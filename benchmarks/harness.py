@@ -1,0 +1,190 @@
+"""Shared benchmark harness: the paper's experimental setup in one place.
+
+Every figure of the evaluation section is a *memory sweep*: per-aggregator
+memory budget on the x-axis, bandwidth on the y-axis, normal two-phase
+collective I/O vs memory-conscious collective I/O. The setup mirrors
+Section 4:
+
+* the baseline runs with a fixed collective buffer equal to the budget
+  on every node (ROMIO's behaviour — memory-oblivious);
+* the memory-conscious strategy sees per-node *available memory* drawn
+  from Normal(budget, 50 MB) (the paper's variance model, sigma = 50)
+  and plans against it;
+* both execute on the simulated 640-node testbed (Lustre, 1 MB stripes,
+  DDN-class storage) through the same round engine.
+
+Results are returned as structured rows, rendered with the metrics
+table renderer, and appended to ``benchmarks/results/`` so the numbers
+survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro import (
+    CollectiveHints,
+    MemoryConsciousCollectiveIO,
+    MemoryConsciousConfig,
+    TwoPhaseCollectiveIO,
+    auto_tune,
+    make_context,
+    mib,
+    render_table,
+    testbed_640,
+)
+from repro.cluster import MachineModel
+from repro.io import CollectiveResult, IOStrategy
+from repro.workloads import Workload
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+# The paper sweeps 2..128 MB of aggregation memory.
+MEMORY_POINTS = [mib(2), mib(4), mib(8), mib(16), mib(32), mib(64), mib(128)]
+VARIANCE_STD = mib(50)  # "The standard deviation was set as 50"
+DEFAULT_SEEDS = (7, 21, 99)
+
+
+@dataclass(slots=True)
+class SweepPoint:
+    """One x-axis point of a figure."""
+
+    memory: int
+    baseline_bw: float
+    mc_bw: float
+    baseline_rounds: float
+    mc_rounds: float
+    mc_aggregators: float
+
+    @property
+    def improvement(self) -> float:
+        return self.mc_bw / self.baseline_bw - 1.0 if self.baseline_bw else 0.0
+
+
+@dataclass(slots=True)
+class FigureData:
+    """A reproduced figure: one sweep per access kind."""
+
+    title: str
+    kind: str
+    points: list[SweepPoint] = field(default_factory=list)
+
+    @property
+    def average_improvement(self) -> float:
+        return statistics.fmean(p.improvement for p in self.points)
+
+    @property
+    def best_improvement(self) -> tuple[float, int]:
+        best = max(self.points, key=lambda p: p.improvement)
+        return best.improvement, best.memory
+
+    def render(self) -> str:
+        rows = [
+            (
+                f"{p.memory >> 20} MiB",
+                f"{p.baseline_bw / mib(1):.1f} MiB/s",
+                f"{p.mc_bw / mib(1):.1f} MiB/s",
+                f"{p.improvement:+.1%}",
+                f"{p.baseline_rounds:.0f}/{p.mc_rounds:.0f}",
+            )
+            for p in self.points
+        ]
+        table = render_table(
+            ["memory", "two-phase", "memory-conscious", "improvement", "rounds b/mc"],
+            rows,
+            title=f"{self.title} [{self.kind}]",
+        )
+        return (
+            f"{table}\n"
+            f"average improvement: {self.average_improvement:+.1%}; "
+            f"best: {self.best_improvement[0]:+.1%} at "
+            f"{self.best_improvement[1] >> 20} MiB\n"
+        )
+
+
+def run_point(
+    machine: MachineModel,
+    workload: Workload,
+    strategy: IOStrategy,
+    *,
+    kind: str,
+    cb_buffer: int,
+    seed: int,
+    procs_per_node: int = 12,
+    memory_variance_mean: int | None = None,
+) -> CollectiveResult:
+    """One strategy, one memory point, one seed."""
+    ctx = make_context(
+        machine,
+        workload.n_procs,
+        procs_per_node=procs_per_node,
+        seed=seed,
+        hints=CollectiveHints(cb_buffer_size=cb_buffer),
+    )
+    if memory_variance_mean is not None:
+        ctx.cluster.apply_memory_variance(
+            ctx.rng, mean_available=memory_variance_mean, std=VARIANCE_STD
+        )
+    file = ctx.pfs.open("bench")
+    return strategy.run(ctx, file, workload.requests(), kind=kind)
+
+
+def memory_sweep(
+    machine: MachineModel,
+    workload: Workload,
+    *,
+    kind: str,
+    title: str,
+    config: MemoryConsciousConfig | None = None,
+    memory_points: Sequence[int] = MEMORY_POINTS,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    procs_per_node: int = 12,
+) -> FigureData:
+    """The full figure: both strategies across the memory axis."""
+    if config is None:
+        config = auto_tune(machine).as_config()
+    fig = FigureData(title=title, kind=kind)
+    for mem in memory_points:
+        base_bw, base_rounds = [], []
+        mc_bw, mc_rounds, mc_aggs = [], [], []
+        for seed in seeds:
+            b = run_point(
+                machine, workload, TwoPhaseCollectiveIO(),
+                kind=kind, cb_buffer=mem, seed=seed,
+                procs_per_node=procs_per_node,
+            )
+            base_bw.append(b.bandwidth)
+            base_rounds.append(b.n_rounds)
+            m = run_point(
+                machine, workload, MemoryConsciousCollectiveIO(config),
+                kind=kind, cb_buffer=mem, seed=seed,
+                procs_per_node=procs_per_node,
+                memory_variance_mean=mem,
+            )
+            mc_bw.append(m.bandwidth)
+            mc_rounds.append(m.n_rounds)
+            mc_aggs.append(m.n_aggregators)
+        fig.points.append(
+            SweepPoint(
+                memory=mem,
+                baseline_bw=statistics.fmean(base_bw),
+                mc_bw=statistics.fmean(mc_bw),
+                baseline_rounds=statistics.fmean(base_rounds),
+                mc_rounds=statistics.fmean(mc_rounds),
+                mc_aggregators=statistics.fmean(mc_aggs),
+            )
+        )
+    return fig
+
+
+def publish(name: str, text: str) -> None:
+    """Print and persist a benchmark's rendered output."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+
+

@@ -1,0 +1,59 @@
+"""Figure 6: coll_perf write/read bandwidth vs memory, 120 processes.
+
+Paper setup: the ROMIO coll_perf benchmark writes/reads a 2048-cubed
+block-distributed array (32 GB) with 120 processes on Lustre; averages
+reported: +34.2% (write), +22.9% (read), gap widening at small memory.
+
+Reproduction: identical structure at reduced scale — a 768x640x512 INT
+array (960 MiB) with the same 6x5x4 process grid, so each rank's block
+is the same comb of short row-major pencils and the file-to-memory
+pressure ratio matches the paper's (file ~2x the largest total memory
+budget, >100x the smallest). Shape expectations: both strategies
+degrade as memory shrinks; MC-CIO is always at least competitive and
+clearly better at small memory.
+"""
+
+from __future__ import annotations
+
+import pytest
+from harness import memory_sweep, publish
+
+from repro import CollPerfWorkload, INT, testbed_640
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return testbed_640()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    wl = CollPerfWorkload(120, (768, 640, 512), element=INT)
+    assert wl.grid == (6, 5, 4)  # same grid the paper's 120 ranks form
+    return wl
+
+
+@pytest.mark.parametrize("kind", ["write", "read"])
+def test_fig6_coll_perf(benchmark, machine, workload, kind):
+    fig = benchmark.pedantic(
+        memory_sweep,
+        args=(machine, workload),
+        kwargs=dict(
+            kind=kind,
+            title="Figure 6: coll_perf 3-D array, 120 processes",
+            seeds=(7, 21),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    publish(f"fig6_coll_perf_{kind}", fig.render())
+
+    # Both strategies drop as memory shrinks; MC-CIO on top on average
+    # (paper: +34.2% write / +22.9% read) and clearly at small memory.
+    assert fig.points[0].improvement > 0.2
+    assert fig.average_improvement > 0.10
+    assert fig.points[-1].baseline_bw > fig.points[0].baseline_bw
+    # Mid-sweep the baseline passes through its buffer sweet spot while
+    # MC pays for its variance-constrained memory; tolerate a bounded dip
+    # there (see EXPERIMENTS.md), never a collapse.
+    assert all(p.improvement > -0.40 for p in fig.points)

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Adaptive middleware: profile the pattern, pick the strategy, run it.
+
+Uses the MPI-IO style :class:`CollectiveFile` facade together with the
+strategy advisor: three very different applications open the same
+simulated machine, the advisor inspects each one's flattened access
+pattern and the memory situation, explains its reasoning, and the
+chosen strategy executes the collective write (byte-verified).
+
+Run:  python examples/adaptive_io.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    CollectiveFile,
+    CollectiveHints,
+    ExtentList,
+    MemoryConsciousConfig,
+    make_context,
+    mib,
+    pattern_bytes,
+    render_table,
+    scaled_testbed,
+)
+from repro.core import advise
+from repro.workloads import (
+    CheckpointWorkload,
+    DatasetSpec,
+    IORWorkload,
+    SkewedWorkload,
+)
+
+N = 24
+
+
+def scenario_contexts():
+    machine = scaled_testbed(4, cores_per_node=12)
+    scenarios = [
+        (
+            "bulk dump (contiguous 16 MiB/rank)",
+            SkewedWorkload(N, base_bytes=mib(16), decay=1.0),
+            mib(64),  # plenty of memory
+        ),
+        (
+            "analysis output (interleaved 128 KiB records)",
+            IORWorkload(N, block_size=mib(2), transfer_size=mib(1) // 8),
+            mib(64),
+        ),
+        (
+            "checkpoint under memory pressure",
+            CheckpointWorkload(
+                N, [DatasetSpec((48, 48, 32))], header_bytes=4096
+            ),
+            mib(1),  # scarce + uneven
+        ),
+    ]
+    for title, workload, avail in scenarios:
+        ctx = make_context(
+            machine, N, procs_per_node=12, track_data=True, seed=31,
+            hints=CollectiveHints(cb_buffer_size=mib(4)),
+        )
+        ctx.cluster.apply_memory_variance(
+            ctx.rng, mean_available=avail, std=mib(8)
+        )
+        yield title, workload, ctx
+
+
+def main() -> None:
+    rows = []
+    for title, workload, ctx in scenario_contexts():
+        requests = workload.requests(with_data=True)
+        rec = advise(ctx, requests)
+        print(f"{title}:")
+        for reason in rec.reasons:
+            print(f"  - {reason}")
+        strategy = rec.build(
+            MemoryConsciousConfig(msg_ind=mib(2), msg_group=mib(16),
+                                  nah=4, mem_min=mib(1) // 2)
+        )
+
+        file = CollectiveFile.open(ctx, "out.dat", strategy=strategy)
+        result = strategy.write(ctx, file.sim_file, requests)
+
+        expected = ExtentList.union_all([r.extents for r in requests])
+        ok = np.array_equal(
+            file.sim_file.apply_read(expected), pattern_bytes(expected)
+        )
+        rows.append(
+            (
+                title,
+                rec.strategy_name,
+                f"{result.bandwidth / mib(1):.0f} MiB/s",
+                "yes" if ok else "NO",
+            )
+        )
+        print()
+    print(
+        render_table(
+            ["scenario", "advised strategy", "bandwidth", "verified"],
+            rows,
+            title="adaptive strategy selection",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""The exascale argument: Table 1 and what it means for collective I/O.
+
+Prints the paper's Table 1 (2010 petascale vs projected 2018 exascale
+design, after Vetter et al.), evaluates the memory-per-core formula
+fm/(fs*fn), and then *demonstrates* the consequence on the simulator:
+the same collective write executed on machine models with progressively
+less memory per core, showing the baseline two-phase strategy falling
+away from the memory-conscious one as the memory wall closes in.
+
+Run:  python examples/exascale_projection.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    CollectiveHints,
+    IORWorkload,
+    MemoryConsciousCollectiveIO,
+    MemoryConsciousConfig,
+    TwoPhaseCollectiveIO,
+    make_context,
+    memory_per_core_factor,
+    mib,
+    projection_table,
+    render_table,
+    scaled_testbed,
+)
+
+
+def print_table1() -> None:
+    rows = [
+        (r.label, f"{r.value_2010:g}", f"{r.value_2018:g}", f"{r.factor:.0f}x")
+        for r in projection_table()
+    ]
+    print(render_table(["metric", "2010", "2018", "factor"], rows,
+                       title="Table 1 (after Vetter et al.)"))
+    f = memory_per_core_factor()
+    print(
+        f"\nmemory per core scales by fm/(fs*fn) = {f:.5f} — "
+        f"a ~{1 / f:.0f}x reduction, into single-digit megabytes.\n"
+    )
+
+
+def memory_wall_demo() -> None:
+    """Shrink per-node memory while holding the workload: who survives?"""
+    n_procs = 48
+    workload = IORWorkload(n_procs, block_size=mib(16), transfer_size=mib(2))
+    config = MemoryConsciousConfig(
+        msg_ind=mib(4), msg_group=mib(64), nah=4, mem_min=mib(1)
+    )
+    rows = []
+    for mem_per_core in (mib(64), mib(16), mib(4), mib(1)):
+        machine = scaled_testbed(4, cores_per_node=12)
+        results = {}
+        for name, strategy in [
+            ("two-phase", TwoPhaseCollectiveIO()),
+            ("mc-cio", MemoryConsciousCollectiveIO(config)),
+        ]:
+            ctx = make_context(
+                machine, n_procs, procs_per_node=12, seed=3,
+                hints=CollectiveHints(cb_buffer_size=mem_per_core),
+            )
+            ctx.cluster.apply_memory_variance(
+                ctx.rng, mean_available=mem_per_core * 12, std=mib(50)
+            )
+            file = ctx.pfs.open("wall")
+            results[name] = strategy.write(ctx, file, workload.requests())
+        base, mc = results["two-phase"], results["mc-cio"]
+        rows.append(
+            (
+                f"{mem_per_core >> 20} MiB/core",
+                f"{base.bandwidth / mib(1):.0f} MiB/s",
+                f"{mc.bandwidth / mib(1):.0f} MiB/s",
+                f"{mc.bandwidth / base.bandwidth - 1:+.0%}",
+            )
+        )
+    print(
+        render_table(
+            ["memory per core", "two-phase", "memory-conscious", "gap"],
+            rows,
+            title="the memory wall, simulated (48-rank IOR write)",
+        )
+    )
+
+
+def main() -> None:
+    print_table1()
+    memory_wall_demo()
+
+
+if __name__ == "__main__":
+    main()

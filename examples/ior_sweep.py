@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""IOR memory sweep — a laptop-sized rendition of the paper's Figure 7.
+
+Sweeps the per-aggregator memory budget on the (simulated) 640-node
+testbed and compares normal two-phase collective I/O against the
+memory-conscious strategy, write and read, exactly as the evaluation
+section does: the baseline uses a fixed buffer equal to the budget on
+every node, while MC-CIO sees per-node available memory drawn from
+Normal(budget, 50 MB) and adapts (the paper's variance setup).
+
+Run:  python examples/ior_sweep.py [--procs 120] [--per-proc-mib 8]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import (
+    CollectiveHints,
+    IORWorkload,
+    MemoryConsciousCollectiveIO,
+    RunComparison,
+    TwoPhaseCollectiveIO,
+    auto_tune,
+    bandwidth_table,
+    make_context,
+    mib,
+    testbed_640,
+)
+
+
+def run_sweep(n_procs: int, per_proc: int, kind: str, seed: int = 7) -> RunComparison:
+    machine = testbed_640()
+    workload = IORWorkload(n_procs, block_size=per_proc, transfer_size=mib(2))
+    config = auto_tune(machine).as_config()
+    mem_points = [mib(2), mib(4), mib(8), mib(16), mib(32), mib(64), mib(128)]
+
+    baseline, mc = [], []
+    for mem in mem_points:
+        ctx = make_context(
+            machine, n_procs, procs_per_node=12, seed=seed,
+            hints=CollectiveHints(cb_buffer_size=mem),
+        )
+        baseline.append(
+            TwoPhaseCollectiveIO().run(
+                ctx, ctx.pfs.open("ior"), workload.requests(), kind=kind
+            )
+        )
+        ctx = make_context(
+            machine, n_procs, procs_per_node=12, seed=seed,
+            hints=CollectiveHints(cb_buffer_size=mem),
+        )
+        ctx.cluster.apply_memory_variance(
+            ctx.rng, mean_available=mem, std=mib(50)
+        )
+        mc.append(
+            MemoryConsciousCollectiveIO(config).run(
+                ctx, ctx.pfs.open("ior"), workload.requests(), kind=kind
+            )
+        )
+    return RunComparison("memory per aggregator", mem_points, baseline, mc)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--procs", type=int, default=120)
+    parser.add_argument("--per-proc-mib", type=int, default=8)
+    args = parser.parse_args()
+
+    for kind in ("write", "read"):
+        cmp = run_sweep(args.procs, mib(args.per_proc_mib), kind)
+        print(
+            bandwidth_table(
+                "memory",
+                cmp.bandwidth_rows(),
+                title=f"\nIOR {kind}, {args.procs} processes "
+                f"({args.per_proc_mib} MiB/process)",
+            )
+        )
+        best, at = cmp.best_improvement
+        print(
+            f"average improvement {cmp.average_improvement:+.1%}; "
+            f"best {best:+.1%} at {at >> 20} MiB"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: enables `python setup.py develop` in offline environments
+where pip's editable-wheel path is unavailable (no `wheel` package)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""Analysis: Table 1 projection model and the analytic two-phase model."""
+
+from .model import CollectivePrediction, predict_two_phase
+from .exascale import (
+    DESIGN_2010,
+    DESIGN_2018,
+    ProjectionRow,
+    SystemDesign,
+    memory_per_core_factor,
+    projection_table,
+)
+
+__all__ = [
+    "SystemDesign",
+    "DESIGN_2010",
+    "DESIGN_2018",
+    "ProjectionRow",
+    "projection_table",
+    "memory_per_core_factor",
+    "CollectivePrediction",
+    "predict_two_phase",
+]

@@ -1,0 +1,141 @@
+"""Table 1: the exascale projection and the memory-per-core argument.
+
+Reproduces the paper's Table 1 (after Vetter et al., "HPC
+Interconnection Networks: The Key to Exascale Computing") — the 2010
+petascale design, the projected 2018 exascale design, and the factor
+change of each metric — plus the formula the paper derives from it:
+
+    memory-per-core factor = fm / (fs * fn)
+
+where ``fm`` is the factor change of system memory, ``fs`` of system
+size (node count) and ``fn`` of node concurrency. For the table's
+numbers that is 33 / (50 * 83) ≈ 1/126: per-core memory *shrinks* two
+orders of magnitude, into single-digit megabytes — the premise of
+memory-conscious collective I/O.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util.validation import check_positive
+
+__all__ = ["SystemDesign", "DESIGN_2010", "DESIGN_2018", "ProjectionRow", "projection_table", "memory_per_core_factor"]
+
+
+@dataclass(frozen=True, slots=True)
+class SystemDesign:
+    """One column of Table 1 (values in the units shown in the paper)."""
+
+    name: str
+    system_peak_pf: float  # Pf/s
+    power_mw: float  # MW
+    system_memory_pb: float  # PB
+    node_performance_tf: float  # Tf/s
+    node_memory_bw_gb: float  # GB/s
+    node_concurrency: float  # cores per node
+    interconnect_bw_gb: float  # GB/s
+    system_size_nodes: float  # nodes
+    total_concurrency: float  # cores
+    storage_pb: float  # PB
+    io_bandwidth_tb: float  # TB/s
+
+    def memory_per_core_mb(self) -> float:
+        """Average memory per core in megabytes."""
+        total_mb = self.system_memory_pb * 1e9  # PB -> MB
+        return total_mb / self.total_concurrency
+
+
+DESIGN_2010 = SystemDesign(
+    name="2010",
+    system_peak_pf=2.0,
+    power_mw=6.0,
+    system_memory_pb=0.3,
+    node_performance_tf=0.125,
+    node_memory_bw_gb=25.0,
+    node_concurrency=12.0,
+    interconnect_bw_gb=1.5,
+    system_size_nodes=20_000.0,
+    total_concurrency=225_000.0,
+    storage_pb=15.0,
+    io_bandwidth_tb=0.2,
+)
+
+DESIGN_2018 = SystemDesign(
+    name="2018",
+    system_peak_pf=1_000.0,
+    power_mw=20.0,
+    system_memory_pb=10.0,
+    node_performance_tf=10.0,
+    node_memory_bw_gb=400.0,
+    node_concurrency=1_000.0,
+    interconnect_bw_gb=50.0,
+    system_size_nodes=1_000_000.0,
+    total_concurrency=1_000_000_000.0,
+    storage_pb=300.0,
+    io_bandwidth_tb=20.0,
+)
+
+# (attribute, label, factor reported in the paper's Table 1)
+_ROWS = [
+    ("system_peak_pf", "System Peak (Pf/s)", 500),
+    ("power_mw", "Power (MW)", 3),
+    ("system_memory_pb", "System Memory (PB)", 33),
+    ("node_performance_tf", "Node Performance (Tf/s)", 80),
+    ("node_memory_bw_gb", "Node Memory BW (GB/s)", 16),
+    ("node_concurrency", "Node Concurrency (CPUs)", 83),
+    ("interconnect_bw_gb", "Interconnect BW (GB/s)", 33),
+    ("system_size_nodes", "System Size (nodes)", 50),
+    ("total_concurrency", "Total Concurrency", 4444),
+    ("storage_pb", "Storage (PB)", 20),
+    ("io_bandwidth_tb", "I/O Bandwidth (TB/s)", 100),
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ProjectionRow:
+    """One metric of the projection table."""
+
+    label: str
+    value_2010: float
+    value_2018: float
+    factor: float
+    paper_factor: float
+
+    @property
+    def matches_paper(self) -> bool:
+        """True when the computed factor rounds to the paper's value."""
+        if self.paper_factor == 0:
+            return False
+        return abs(self.factor - self.paper_factor) / self.paper_factor < 0.15
+
+
+def projection_table(
+    base: SystemDesign = DESIGN_2010, target: SystemDesign = DESIGN_2018
+) -> list[ProjectionRow]:
+    """Compute the factor-change table between two designs."""
+    rows = []
+    for attr, label, paper_factor in _ROWS:
+        v0 = getattr(base, attr)
+        v1 = getattr(target, attr)
+        check_positive(attr, v0)
+        rows.append(
+            ProjectionRow(
+                label=label,
+                value_2010=v0,
+                value_2018=v1,
+                factor=v1 / v0,
+                paper_factor=paper_factor,
+            )
+        )
+    return rows
+
+
+def memory_per_core_factor(
+    base: SystemDesign = DESIGN_2010, target: SystemDesign = DESIGN_2018
+) -> float:
+    """The paper's fm / (fs * fn) formula — the memory-per-core factor."""
+    fm = target.system_memory_pb / base.system_memory_pb
+    fs = target.system_size_nodes / base.system_size_nodes
+    fn = target.node_concurrency / base.node_concurrency
+    return fm / (fs * fn)

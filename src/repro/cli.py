@@ -1,0 +1,239 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the library a shell-level surface for the common workflows:
+
+* ``sweep``   — run a Figure-7-style memory sweep for a chosen workload
+  and print the comparison table;
+* ``tune``    — run the Nah/Msg_ind/Msg_group calibration for a machine
+  preset and print the chosen parameters with the calibration curves;
+* ``project`` — print the Table 1 exascale projection;
+* ``run``     — execute one collective operation with one strategy and
+  print the result summary and phase trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis import DESIGN_2010, DESIGN_2018, memory_per_core_factor, projection_table
+from .cluster import MachineModel, exascale_2018, petascale_2010, scaled_testbed, testbed_640
+from .core import MemoryConsciousCollectiveIO, auto_tune
+from .io import (
+    CollectiveHints,
+    DataSievingIO,
+    IndependentIO,
+    IOStrategy,
+    TwoPhaseCollectiveIO,
+    make_context,
+)
+from .metrics import render_table
+from .util import fmt_rate, mib
+from .workloads import CollPerfWorkload, IORWorkload, Workload
+
+__all__ = ["main"]
+
+_MACHINES = {
+    "testbed": testbed_640,
+    "petascale-2010": petascale_2010,
+    "exascale-2018": exascale_2018,
+}
+
+
+def _machine(args: argparse.Namespace) -> MachineModel:
+    if args.machine.startswith("testbed-"):
+        return scaled_testbed(int(args.machine.split("-", 1)[1]))
+    try:
+        return _MACHINES[args.machine]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown machine {args.machine!r}; choose from "
+            f"{sorted(_MACHINES)} or 'testbed-<nodes>'"
+        )
+
+
+def _workload(args: argparse.Namespace) -> Workload:
+    if args.workload == "ior":
+        return IORWorkload(
+            args.procs,
+            block_size=mib(args.block_mib),
+            transfer_size=mib(args.transfer_mib),
+        )
+    if args.workload == "ior-segmented":
+        return IORWorkload(args.procs, block_size=mib(args.block_mib), segmented=True)
+    if args.workload == "coll_perf":
+        edge = args.array_edge
+        return CollPerfWorkload(args.procs, (edge, edge, edge))
+    raise SystemExit(f"unknown workload {args.workload!r}")
+
+
+def _strategy(name: str, machine: MachineModel) -> IOStrategy:
+    if name == "independent":
+        return IndependentIO()
+    if name == "sieving":
+        return DataSievingIO()
+    if name == "two-phase":
+        return TwoPhaseCollectiveIO()
+    if name == "mc":
+        return MemoryConsciousCollectiveIO(auto_tune(machine).as_config())
+    raise SystemExit(f"unknown strategy {name!r}")
+
+
+def cmd_project(args: argparse.Namespace) -> int:
+    rows = [
+        (r.label, f"{r.value_2010:g}", f"{r.value_2018:g}", f"{r.factor:.0f}x")
+        for r in projection_table()
+    ]
+    print(render_table(["metric", "2010", "2018", "factor"], rows,
+                       title="Table 1 (after Vetter et al.)"))
+    f = memory_per_core_factor()
+    print(
+        f"\nmemory per core: {DESIGN_2010.memory_per_core_mb():.0f} MB -> "
+        f"{DESIGN_2018.memory_per_core_mb():.1f} MB "
+        f"(fm/(fs*fn) = {f:.5f}, ~{1 / f:.0f}x reduction)"
+    )
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    machine = _machine(args)
+    result = auto_tune(machine)
+    print(f"machine: {machine.name}")
+    print(f"  Nah       = {result.nah} aggregators/node")
+    print(f"  Msg_ind   = {result.msg_ind >> 20} MiB")
+    print(f"  Mem_min   = {result.mem_min >> 20} MiB")
+    print(f"  Msg_group = {result.msg_group >> 20} MiB")
+    if args.verbose:
+        rows = [
+            (f"k={k}", f"{s >> 20} MiB", fmt_rate(bw))
+            for (k, s), bw in sorted(result.node_sweep.items())
+        ]
+        print()
+        print(render_table(["aggs", "msg", "node bw"], rows, title="node sweep"))
+        rows = [(str(k), fmt_rate(bw)) for k, bw in sorted(result.group_sweep.items())]
+        print()
+        print(render_table(["aggregators", "system bw"], rows, title="system sweep"))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    machine = _machine(args)
+    workload = _workload(args)
+    strategy = _strategy(args.strategy, machine)
+    ctx = make_context(
+        machine,
+        workload.n_procs,
+        procs_per_node=args.procs_per_node,
+        seed=args.seed,
+        hints=CollectiveHints(cb_buffer_size=mib(args.memory_mib)),
+    )
+    if args.variance_mib > 0:
+        ctx.cluster.apply_memory_variance(
+            ctx.rng, mean_available=mib(args.memory_mib), std=mib(args.variance_mib)
+        )
+    file = ctx.pfs.open("cli.dat")
+    result = strategy.run(ctx, file, workload.requests(), kind=args.kind)
+    print(result.summary())
+    if args.trace and result.trace is not None:
+        for phase in result.trace:
+            print(
+                f"  {phase.start * 1e3:9.3f} ms  {phase.name:<20} "
+                f"{phase.duration * 1e3:9.3f} ms"
+            )
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    machine = _machine(args)
+    workload = _workload(args)
+    config = auto_tune(machine).as_config()
+    rows = []
+    for mem_mib in args.memory_mib:
+        mem = mib(mem_mib)
+        base_ctx = make_context(
+            machine, workload.n_procs, procs_per_node=args.procs_per_node,
+            seed=args.seed, hints=CollectiveHints(cb_buffer_size=mem),
+        )
+        base = TwoPhaseCollectiveIO().run(
+            base_ctx, base_ctx.pfs.open("s"), workload.requests(), kind=args.kind
+        )
+        mc_ctx = make_context(
+            machine, workload.n_procs, procs_per_node=args.procs_per_node,
+            seed=args.seed, hints=CollectiveHints(cb_buffer_size=mem),
+        )
+        mc_ctx.cluster.apply_memory_variance(
+            mc_ctx.rng, mean_available=mem, std=mib(50)
+        )
+        mc = MemoryConsciousCollectiveIO(config).run(
+            mc_ctx, mc_ctx.pfs.open("s"), workload.requests(), kind=args.kind
+        )
+        rows.append(
+            (
+                f"{mem_mib} MiB",
+                fmt_rate(base.bandwidth),
+                fmt_rate(mc.bandwidth),
+                f"{mc.bandwidth / base.bandwidth - 1:+.1%}",
+            )
+        )
+    print(
+        render_table(
+            ["memory", "two-phase", "memory-conscious", "improvement"],
+            rows,
+            title=f"{workload.name} {args.kind}, {workload.n_procs} procs "
+            f"on {machine.name}",
+        )
+    )
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Memory-conscious collective I/O reproduction"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("project", help="print the Table 1 exascale projection")
+    p.set_defaults(fn=cmd_project)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--machine", default="testbed")
+    common.add_argument("--procs", type=int, default=120)
+    common.add_argument("--procs-per-node", type=int, default=12)
+    common.add_argument("--seed", type=int, default=7)
+    common.add_argument("--workload", default="ior",
+                        choices=["ior", "ior-segmented", "coll_perf"])
+    common.add_argument("--block-mib", type=int, default=32)
+    common.add_argument("--transfer-mib", type=int, default=2)
+    common.add_argument("--array-edge", type=int, default=240)
+    common.add_argument("--kind", default="write", choices=["write", "read"])
+
+    p = sub.add_parser("tune", help="calibrate Nah/Msg_ind/Msg_group")
+    p.add_argument("--machine", default="testbed")
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(fn=cmd_tune)
+
+    p = sub.add_parser("run", parents=[common], help="run one collective op")
+    p.add_argument("--strategy", default="mc",
+                   choices=["independent", "sieving", "two-phase", "mc"])
+    p.add_argument("--memory-mib", type=int, default=16)
+    p.add_argument("--variance-mib", type=int, default=0)
+    p.add_argument("--trace", action="store_true")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("sweep", parents=[common], help="memory sweep table")
+    p.add_argument("--memory-mib", type=int, nargs="+",
+                   default=[2, 8, 32, 128])
+    p.set_defaults(fn=cmd_sweep)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Simulated extreme-scale cluster: nodes, memory, topology, interconnect."""
+
+from .machine import (
+    MachineModel,
+    StorageSpec,
+    exascale_2018,
+    petascale_2010,
+    scaled_testbed,
+    testbed_640,
+)
+from .memory import Allocation, MemoryManager
+from .network import BISECTION, NetworkModel, membw, nic_in, nic_out
+from .node import TESTBED_NODE, Node, NodeSpec
+from .topology import Cluster, Placement
+
+__all__ = [
+    "NodeSpec",
+    "Node",
+    "TESTBED_NODE",
+    "MemoryManager",
+    "Allocation",
+    "StorageSpec",
+    "MachineModel",
+    "testbed_640",
+    "scaled_testbed",
+    "petascale_2010",
+    "exascale_2018",
+    "Cluster",
+    "Placement",
+    "NetworkModel",
+    "BISECTION",
+    "nic_in",
+    "nic_out",
+    "membw",
+]

@@ -1,0 +1,208 @@
+"""Whole-machine models, including the paper's Table 1 designs.
+
+A :class:`MachineModel` bundles everything the simulator needs to price a
+collective I/O operation: node hardware, node count, interconnect, and
+the storage subsystem. Presets:
+
+* :func:`testbed_640` — the evaluation platform of the paper: 640 Linux
+  nodes, 2× Xeon 6-core, 24 GB, DDR InfiniBand, Lustre on DDN storage
+  with 1 MB stripes.
+* :func:`petascale_2010` / :func:`exascale_2018` — the two columns of
+  Table 1 (Vetter et al.'s exascale projection), used by
+  ``repro.analysis`` and the projection benchmark.
+* :func:`scaled_testbed` — a shrunk testbed for unit tests and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..util.units import GB_per_s, MB_per_s, TB_per_s, mib
+from ..util.validation import check_non_negative, check_positive
+from .node import TESTBED_NODE, NodeSpec
+
+__all__ = [
+    "StorageSpec",
+    "MachineModel",
+    "testbed_640",
+    "scaled_testbed",
+    "petascale_2010",
+    "exascale_2018",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class StorageSpec:
+    """Parallel-file-system hardware parameters.
+
+    ``ost_bandwidth`` is per-OST streaming bandwidth; ``backplane`` caps
+    the aggregate (controller/fabric limit); ``request_overhead`` is the
+    fixed per-request service latency at an OST, which is what makes many
+    small requests slow and is the raison d'être of collective I/O.
+    """
+
+    n_osts: int
+    ost_bandwidth: float  # bytes/s, per OST (each direction)
+    backplane: float  # bytes/s aggregate cap
+    stripe_unit: int  # bytes (Lustre default in the paper: 1 MiB)
+    request_overhead: float  # seconds per I/O request at an OST
+    read_factor: float = 1.25  # reads stream faster than writes (no RMW)
+    # One client process drives the file system at a limited rate (bounded
+    # RPC concurrency / per-stream locking in Lustre-era clients); more
+    # aggregators means more streams. This is why a single aggregator per
+    # node cannot saturate a fast PFS.
+    client_stream_bandwidth: float = 200.0 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        check_positive("n_osts", self.n_osts)
+        check_positive("ost_bandwidth", self.ost_bandwidth)
+        check_positive("backplane", self.backplane)
+        check_positive("stripe_unit", self.stripe_unit)
+        check_non_negative("request_overhead", self.request_overhead)
+        check_positive("read_factor", self.read_factor)
+        check_positive("client_stream_bandwidth", self.client_stream_bandwidth)
+
+    @property
+    def aggregate_bandwidth(self) -> float:
+        """Best-case aggregate write bandwidth."""
+        return min(self.n_osts * self.ost_bandwidth, self.backplane)
+
+
+@dataclass(frozen=True, slots=True)
+class MachineModel:
+    """A complete machine: nodes + interconnect + storage."""
+
+    name: str
+    n_nodes: int
+    node: NodeSpec
+    storage: StorageSpec
+    bisection_bandwidth: float  # bytes/s across the fabric core
+    network_latency: float  # seconds, one message
+    collective_latency_factor: float = 1.0e-6  # seconds per log2(P) step
+
+    def __post_init__(self) -> None:
+        check_positive("n_nodes", self.n_nodes)
+        check_positive("bisection_bandwidth", self.bisection_bandwidth)
+        check_non_negative("network_latency", self.network_latency)
+
+    @property
+    def total_cores(self) -> int:
+        return self.n_nodes * self.node.cores
+
+    @property
+    def total_memory(self) -> int:
+        return self.n_nodes * self.node.mem_capacity
+
+    def with_storage(self, **changes) -> "MachineModel":
+        """Copy with modified storage parameters."""
+        return replace(self, storage=replace(self.storage, **changes))
+
+    def with_node(self, **changes) -> "MachineModel":
+        """Copy with modified node parameters."""
+        return replace(self, node=replace(self.node, **changes))
+
+
+def testbed_640() -> MachineModel:
+    """The paper's evaluation platform (640 nodes, Lustre/DDN)."""
+    storage = StorageSpec(
+        n_osts=48,
+        ost_bandwidth=MB_per_s(80.0),
+        backplane=GB_per_s(3.0),
+        stripe_unit=mib(1),
+        request_overhead=0.8e-3,
+    )
+    return MachineModel(
+        name="ttu-640",
+        n_nodes=640,
+        node=TESTBED_NODE,
+        storage=storage,
+        bisection_bandwidth=GB_per_s(160.0),  # full cross-section DDR IB
+        network_latency=4.0e-6,
+    )
+
+
+def scaled_testbed(
+    n_nodes: int,
+    *,
+    cores_per_node: int = 12,
+    mem_per_node: int | None = None,
+    n_osts: int | None = None,
+) -> MachineModel:
+    """A shrunk copy of the testbed for tests/examples.
+
+    Storage scales with node count so small clusters are not trivially
+    storage-bound, keeping the memory effects visible at any size.
+    """
+    base = testbed_640()
+    node = replace(
+        base.node,
+        cores=cores_per_node,
+        mem_capacity=mem_per_node if mem_per_node is not None else base.node.mem_capacity,
+    )
+    osts = n_osts if n_osts is not None else max(4, min(48, n_nodes))
+    storage = replace(
+        base.storage,
+        n_osts=osts,
+        backplane=osts * base.storage.ost_bandwidth,
+    )
+    return replace(
+        base,
+        name=f"ttu-{n_nodes}",
+        n_nodes=n_nodes,
+        node=node,
+        storage=storage,
+        bisection_bandwidth=base.bisection_bandwidth * max(n_nodes, 8) / 640.0,
+    )
+
+
+def petascale_2010() -> MachineModel:
+    """Table 1, 2010 column: 2 Pf/s, 20 K nodes, 12 cores/node."""
+    node = NodeSpec(
+        cores=12,
+        mem_capacity=int(0.3e15 / 20_000),  # 0.3 PB system memory
+        mem_bandwidth=GB_per_s(25.0),
+        nic_bandwidth=GB_per_s(1.5),
+    )
+    storage = StorageSpec(
+        n_osts=1_000,
+        ost_bandwidth=MB_per_s(200.0),
+        backplane=TB_per_s(0.2),
+        stripe_unit=mib(1),
+        request_overhead=0.8e-3,
+    )
+    return MachineModel(
+        name="petascale-2010",
+        n_nodes=20_000,
+        node=node,
+        storage=storage,
+        bisection_bandwidth=TB_per_s(15.0),
+        network_latency=2.0e-6,
+    )
+
+
+def exascale_2018() -> MachineModel:
+    """Table 1, 2018 column: 1 Ef/s, 1 M nodes, 1000 cores/node.
+
+    Memory per core drops to ~10 MB — the regime the paper targets.
+    """
+    node = NodeSpec(
+        cores=1_000,
+        mem_capacity=int(10e15 / 1_000_000),  # 10 PB system memory
+        mem_bandwidth=GB_per_s(400.0),
+        nic_bandwidth=GB_per_s(50.0),
+    )
+    storage = StorageSpec(
+        n_osts=100_000,
+        ost_bandwidth=MB_per_s(200.0),
+        backplane=TB_per_s(20.0),
+        stripe_unit=mib(1),
+        request_overhead=0.4e-3,
+    )
+    return MachineModel(
+        name="exascale-2018",
+        n_nodes=1_000_000,
+        node=node,
+        storage=storage,
+        bisection_bandwidth=TB_per_s(2_500.0),
+        network_latency=1.0e-6,
+    )

@@ -1,0 +1,93 @@
+"""Interconnect resource model.
+
+Turns a :class:`~repro.cluster.machine.MachineModel` into the resource
+capacities the fluid flow solver consumes, and provides the latency
+terms for message startup and metadata collectives.
+
+Resource keys (shared with :mod:`repro.fs`):
+
+* ``("nic_out", node_id)`` / ``("nic_in", node_id)`` — per-node NIC
+  injection/ejection bandwidth (full duplex).
+* ``("membw", node_id)`` — per-node off-chip memory bandwidth. Every
+  byte that enters or leaves a buffer on the node is charged here; an
+  aggregator therefore pays twice (receive-copy + write-out read),
+  which is exactly the off-chip contention the paper highlights.
+* ``"bisection"`` — the fabric core crossed by inter-node flows.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable
+
+from ..util.validation import check_non_negative
+from .machine import MachineModel
+from .topology import Cluster
+
+__all__ = ["NetworkModel", "nic_in", "nic_out", "membw", "BISECTION"]
+
+BISECTION: str = "bisection"
+
+
+def nic_out(node_id: int) -> tuple[str, int]:
+    """Resource key for a node's NIC injection side."""
+    return ("nic_out", node_id)
+
+
+def nic_in(node_id: int) -> tuple[str, int]:
+    """Resource key for a node's NIC ejection side."""
+    return ("nic_in", node_id)
+
+
+def membw(node_id: int) -> tuple[str, int]:
+    """Resource key for a node's off-chip memory bandwidth."""
+    return ("membw", node_id)
+
+
+class NetworkModel:
+    """Capacity map + latency model for one machine."""
+
+    def __init__(self, machine: MachineModel) -> None:
+        self.machine = machine
+
+    def capacity_map(self, cluster: Cluster) -> dict[Hashable, float]:
+        """Capacities for every network/memory resource of the job's nodes."""
+        caps: dict[Hashable, float] = {BISECTION: self.machine.bisection_bandwidth}
+        node = self.machine.node
+        for n in cluster.nodes:
+            caps[nic_out(n.node_id)] = node.nic_bandwidth
+            caps[nic_in(n.node_id)] = node.nic_bandwidth
+            caps[membw(n.node_id)] = node.mem_bandwidth
+        return caps
+
+    def message_latency(self, n_messages: int = 1) -> float:
+        """Startup cost of ``n_messages`` point-to-point messages.
+
+        Messages posted concurrently pipeline, so the charge is one
+        latency plus a small per-message issue cost, not n × latency.
+        """
+        check_non_negative("n_messages", n_messages)
+        if n_messages == 0:
+            return 0.0
+        issue_cost = 0.1 * self.machine.network_latency
+        return self.machine.network_latency + issue_cost * (n_messages - 1)
+
+    def collective_metadata_time(self, n_procs: int, bytes_per_proc: int) -> float:
+        """Time for an allgather-style metadata exchange among ``n_procs``.
+
+        Standard recursive-doubling model: ``log2(P)`` latency steps plus
+        the serialized data volume over one NIC (each process ends up
+        receiving ``(P-1) * bytes_per_proc``).
+        """
+        if n_procs <= 1:
+            return 0.0
+        steps = math.ceil(math.log2(n_procs))
+        volume = (n_procs - 1) * bytes_per_proc
+        bw = self.machine.node.nic_bandwidth
+        return steps * self.machine.network_latency + volume / bw
+
+    def barrier_time(self, n_procs: int) -> float:
+        """Dissemination-barrier latency."""
+        if n_procs <= 1:
+            return 0.0
+        return math.ceil(math.log2(n_procs)) * self.machine.network_latency

@@ -1,0 +1,75 @@
+"""Compute-node hardware description and runtime state."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util.units import GB_per_s, fmt_bytes, fmt_rate, gib
+from ..util.validation import check_positive
+from .memory import MemoryManager
+
+__all__ = ["NodeSpec", "Node"]
+
+
+@dataclass(frozen=True, slots=True)
+class NodeSpec:
+    """Static hardware parameters of one compute node.
+
+    ``mem_bandwidth`` is the off-chip (DRAM) bandwidth shared by all cores
+    of the node — the resource the paper identifies as the second
+    bottleneck after capacity. ``nic_bandwidth`` is the injection/ejection
+    bandwidth of the node's network interface (full duplex: modelled as
+    separate in/out resources).
+    """
+
+    cores: int
+    mem_capacity: int  # bytes
+    mem_bandwidth: float  # bytes/s, off-chip
+    nic_bandwidth: float  # bytes/s each direction
+
+    def __post_init__(self) -> None:
+        check_positive("cores", self.cores)
+        check_positive("mem_capacity", self.mem_capacity)
+        check_positive("mem_bandwidth", self.mem_bandwidth)
+        check_positive("nic_bandwidth", self.nic_bandwidth)
+
+    @property
+    def mem_per_core(self) -> float:
+        """Average memory per core — the quantity Table 1 projects to MBs."""
+        return self.mem_capacity / self.cores
+
+    def describe(self) -> str:
+        return (
+            f"{self.cores} cores, {fmt_bytes(self.mem_capacity)} RAM, "
+            f"{fmt_rate(self.mem_bandwidth)} membw, "
+            f"{fmt_rate(self.nic_bandwidth)} NIC"
+        )
+
+
+# The testbed in the paper: 2x Intel Xeon 2.8 GHz 6-core, 24 GB/node,
+# DDR InfiniBand. DDR IB 4x ~ 2 GB/s signalling -> ~1.6 GB/s effective.
+TESTBED_NODE = NodeSpec(
+    cores=12,
+    mem_capacity=gib(24),
+    mem_bandwidth=GB_per_s(25.0),
+    nic_bandwidth=GB_per_s(1.5),
+)
+
+
+class Node:
+    """Runtime state of one node: spec + memory manager."""
+
+    __slots__ = ("node_id", "spec", "memory")
+
+    def __init__(self, node_id: int, spec: NodeSpec, *, reserved: int = 0) -> None:
+        self.node_id = int(node_id)
+        self.spec = spec
+        self.memory = MemoryManager(node_id, spec.mem_capacity, reserved)
+
+    @property
+    def available_memory(self) -> int:
+        """Bytes currently available for aggregation buffers."""
+        return self.memory.available
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Node({self.node_id}, avail={fmt_bytes(self.available_memory)})"

@@ -1,0 +1,151 @@
+"""Cluster runtime: instantiated nodes and the rank → node mapping.
+
+A :class:`Cluster` is the live counterpart of a :class:`MachineModel`:
+it owns :class:`~repro.cluster.node.Node` objects (with their memory
+managers) and places MPI ranks onto nodes. Placement is *block* by
+default (ranks 0..k-1 on node 0, etc.), matching how MPI process
+managers fill nodes and matching the paper's Figure 4 example, where
+consecutive ranks share a physical node. Round-robin (cyclic) placement
+is also provided, because aggregation-group division behaves differently
+under it — one of the ablations exercises exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Literal
+
+import numpy as np
+
+from ..util.errors import CommunicatorError, ConfigurationError
+from ..util.rng import truncated_normal
+from ..util.validation import check_positive
+from .machine import MachineModel
+from .node import Node
+
+__all__ = ["Cluster", "Placement"]
+
+Placement = Literal["block", "cyclic"]
+
+
+class Cluster:
+    """Live nodes plus the process placement for one job."""
+
+    def __init__(
+        self,
+        machine: MachineModel,
+        n_procs: int,
+        *,
+        procs_per_node: int | None = None,
+        placement: Placement = "block",
+        reserved_per_node: int = 0,
+    ) -> None:
+        check_positive("n_procs", n_procs)
+        if procs_per_node is None:
+            procs_per_node = machine.node.cores
+        check_positive("procs_per_node", procs_per_node)
+        if procs_per_node > machine.node.cores:
+            raise ConfigurationError(
+                f"procs_per_node {procs_per_node} exceeds cores/node "
+                f"{machine.node.cores}"
+            )
+        n_nodes_used = -(-n_procs // procs_per_node)  # ceil
+        if n_nodes_used > machine.n_nodes:
+            raise ConfigurationError(
+                f"{n_procs} procs at {procs_per_node}/node needs "
+                f"{n_nodes_used} nodes; machine has {machine.n_nodes}"
+            )
+        self.machine = machine
+        self.n_procs = n_procs
+        self.procs_per_node = procs_per_node
+        self.placement: Placement = placement
+        self.nodes: list[Node] = [
+            Node(i, machine.node, reserved=reserved_per_node)
+            for i in range(n_nodes_used)
+        ]
+        self._rank_to_node = self._place(placement)
+
+    # ----------------------------------------------------------- placement
+    def _place(self, placement: Placement) -> np.ndarray:
+        ranks = np.arange(self.n_procs, dtype=np.int64)
+        if placement == "block":
+            return ranks // self.procs_per_node
+        if placement == "cyclic":
+            return ranks % len(self.nodes)
+        raise ConfigurationError(f"unknown placement {placement!r}")
+
+    @property
+    def n_nodes(self) -> int:
+        """Nodes actually occupied by this job."""
+        return len(self.nodes)
+
+    def node_of_rank(self, rank: int) -> Node:
+        """The node hosting ``rank``."""
+        if not 0 <= rank < self.n_procs:
+            raise CommunicatorError(f"rank {rank} out of range [0, {self.n_procs})")
+        return self.nodes[int(self._rank_to_node[rank])]
+
+    def node_id_of_rank(self, rank: int) -> int:
+        if not 0 <= rank < self.n_procs:
+            raise CommunicatorError(f"rank {rank} out of range [0, {self.n_procs})")
+        return int(self._rank_to_node[rank])
+
+    @property
+    def rank_to_node(self) -> np.ndarray:
+        """Read-only rank → node-id array (length ``n_procs``)."""
+        return self._rank_to_node
+
+    def ranks_on_node(self, node_id: int) -> np.ndarray:
+        """All ranks hosted by ``node_id``, ascending."""
+        return np.flatnonzero(self._rank_to_node == node_id)
+
+    def iter_nodes(self) -> Iterator[Node]:
+        return iter(self.nodes)
+
+    # ------------------------------------------------------ memory variance
+    def apply_memory_variance(
+        self,
+        rng: np.random.Generator,
+        *,
+        mean_available: int,
+        std: int,
+        floor: int = 0,
+    ) -> np.ndarray:
+        """Make per-node available memory ~ Normal(mean, std), clipped.
+
+        Mirrors the paper's setup: per-run aggregation-memory budgets drawn
+        from a normal distribution whose mean equals the baseline buffer
+        size. Implemented by adjusting each node's baseline reservation so
+        that ``node.available_memory`` equals the sample. Returns the
+        sampled available-memory array (bytes, one per node).
+        """
+        cap = self.machine.node.mem_capacity
+        samples = truncated_normal(
+            rng,
+            mean=float(mean_available),
+            std=float(std),
+            low=float(floor),
+            high=float(cap),
+            size=len(self.nodes),
+        ).astype(np.int64)
+        for node, avail in zip(self.nodes, samples):
+            node.memory.set_reserved(cap - int(avail))
+        return samples
+
+    def set_uniform_available(self, available: int) -> None:
+        """Give every node exactly ``available`` bytes for aggregation."""
+        cap = self.machine.node.mem_capacity
+        if not 0 <= available <= cap:
+            raise ConfigurationError(
+                f"available {available} outside [0, capacity {cap}]"
+            )
+        for node in self.nodes:
+            node.memory.set_reserved(cap - available)
+
+    def available_by_node(self) -> np.ndarray:
+        """Current available-memory vector (bytes, one entry per node)."""
+        return np.asarray([n.available_memory for n in self.nodes], dtype=np.int64)
+
+    def release_all(self) -> None:
+        """Drop every live allocation on every node."""
+        for node in self.nodes:
+            node.memory.release_all()

@@ -1,0 +1,43 @@
+"""Memory-Conscious Collective I/O: the paper's core contribution."""
+
+from .advisor import PatternProfile, Recommendation, advise, profile_requests
+from .config import MemoryConsciousConfig
+from .driver import MemoryConsciousCollectiveIO
+from .group_division import AggregationGroup, detect_serial, divide_groups
+from .partition_tree import PartitionNode, PartitionTree, offset_at_rank
+from .placement import (  # noqa: F401
+    Assignment,
+    PlacementStats,
+    Slot,
+    SlotPlan,
+    build_domains,
+    place_group,
+    rebalance,
+)
+from .tuning import TuningResult, auto_tune, tune_group, tune_node
+
+__all__ = [
+    "MemoryConsciousConfig",
+    "advise",
+    "profile_requests",
+    "PatternProfile",
+    "Recommendation",
+    "MemoryConsciousCollectiveIO",
+    "AggregationGroup",
+    "divide_groups",
+    "detect_serial",
+    "PartitionTree",
+    "PartitionNode",
+    "offset_at_rank",
+    "Slot",
+    "SlotPlan",
+    "PlacementStats",
+    "place_group",
+    "rebalance",
+    "build_domains",
+    "Assignment",
+    "TuningResult",
+    "auto_tune",
+    "tune_node",
+    "tune_group",
+]

@@ -1,0 +1,176 @@
+"""Strategy advisor: pick the right I/O method for an access pattern.
+
+An extension in the spirit of the paper's adaptive, run-time decisions:
+given the flattened requests, the machine, and the memory situation,
+recommend independent I/O, data sieving, two-phase collective I/O, or
+memory-conscious collective I/O — with the quantified evidence behind
+the recommendation. The heuristics encode the trade-offs the paper's
+Section 2 walks through:
+
+* contiguous, large per-process requests → independent I/O (aggregation
+  only adds a copy);
+* noncontiguous but *dense* per-process envelopes → data sieving is
+  viable; sparse envelopes make its read-modify-write amplification
+  explode;
+* interleaved/small accesses → collective I/O; and when per-node
+  available memory is scarce or uneven relative to the collective
+  buffer, the memory-conscious variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..io.base import IOStrategy
+from ..io.context import IOContext
+from ..io.data_sieving import DataSievingIO
+from ..io.independent import IndependentIO
+from ..io.two_phase import TwoPhaseCollectiveIO
+from ..mpi.requests import AccessRequest
+from .config import MemoryConsciousConfig
+from .driver import MemoryConsciousCollectiveIO
+
+__all__ = ["PatternProfile", "Recommendation", "profile_requests", "advise"]
+
+
+@dataclass(frozen=True, slots=True)
+class PatternProfile:
+    """Quantified shape of a collective access pattern."""
+
+    n_ranks: int
+    total_bytes: int
+    mean_segment_bytes: float  # average contiguous run per request
+    segments_per_rank: float
+    envelope_density: float  # covered bytes / per-rank envelope span
+    interleave_factor: float  # aggregate envelope span / sum of spans
+
+    @property
+    def is_contiguous(self) -> bool:
+        return self.segments_per_rank <= 1.5
+
+    @property
+    def is_dense(self) -> bool:
+        return self.envelope_density >= 0.5
+
+    @property
+    def is_interleaved(self) -> bool:
+        # Ranks' envelopes overlap heavily when the union span is much
+        # smaller than the sum of individual spans.
+        return self.interleave_factor < 0.5
+
+
+@dataclass(frozen=True, slots=True)
+class Recommendation:
+    """The advised strategy plus the reasoning trail."""
+
+    strategy_name: str
+    reasons: tuple[str, ...]
+    profile: PatternProfile
+
+    def build(
+        self, config: MemoryConsciousConfig | None = None
+    ) -> IOStrategy:
+        """Instantiate the advised strategy."""
+        if self.strategy_name == "independent":
+            return IndependentIO()
+        if self.strategy_name == "data-sieving":
+            return DataSievingIO()
+        if self.strategy_name == "two-phase":
+            return TwoPhaseCollectiveIO()
+        return MemoryConsciousCollectiveIO(config)
+
+
+def profile_requests(requests: Sequence[AccessRequest]) -> PatternProfile:
+    """Measure the pattern features the advisor decides on."""
+    active = [r for r in requests if not r.extents.is_empty]
+    if not active:
+        return PatternProfile(0, 0, 0.0, 0.0, 1.0, 1.0)
+    seg_counts = np.asarray([len(r.extents) for r in active], dtype=np.float64)
+    totals = np.asarray([r.extents.total for r in active], dtype=np.float64)
+    spans = np.asarray(
+        [r.extents.envelope().length for r in active], dtype=np.float64
+    )
+    lo = min(r.extents.envelope().offset for r in active)
+    hi = max(r.extents.envelope().end for r in active)
+    union_span = float(hi - lo)
+    return PatternProfile(
+        n_ranks=len(active),
+        total_bytes=int(totals.sum()),
+        mean_segment_bytes=float(totals.sum() / seg_counts.sum()),
+        segments_per_rank=float(seg_counts.mean()),
+        envelope_density=float((totals / np.maximum(spans, 1)).mean()),
+        interleave_factor=union_span / float(spans.sum())
+        if spans.sum()
+        else 1.0,
+    )
+
+
+def advise(
+    ctx: IOContext,
+    requests: Sequence[AccessRequest],
+    *,
+    large_segment_bytes: int | None = None,
+) -> Recommendation:
+    """Recommend a strategy for this access on this machine, with reasons."""
+    profile = profile_requests(requests)
+    reasons: list[str] = []
+    if profile.n_ranks == 0:
+        return Recommendation("independent", ("empty access",), profile)
+
+    if large_segment_bytes is None:
+        # "Large" = amortizes the per-request service overhead 8x over.
+        storage = ctx.machine.storage
+        large_segment_bytes = int(
+            8 * storage.request_overhead * storage.ost_bandwidth
+        )
+
+    if profile.is_contiguous and profile.mean_segment_bytes >= large_segment_bytes:
+        reasons.append(
+            f"contiguous per-rank requests of "
+            f"{profile.mean_segment_bytes / 2**20:.1f} MiB amortize request "
+            "overhead without aggregation"
+        )
+        return Recommendation("independent", tuple(reasons), profile)
+
+    reasons.append(
+        f"{profile.segments_per_rank:.0f} segments/rank of "
+        f"{profile.mean_segment_bytes / 1024:.1f} KiB favour collective "
+        "aggregation"
+    )
+
+    if not profile.is_interleaved and profile.is_dense and not profile.is_contiguous:
+        # Dense private combs: sieving competes, but collective still
+        # removes the RMW volume; only advise sieving for tiny jobs
+        # where collective setup dominates.
+        if profile.n_ranks <= 2:
+            reasons.append(
+                "dense per-rank envelope with <=2 ranks: sieving avoids "
+                "collective setup"
+            )
+            return Recommendation("data-sieving", tuple(reasons), profile)
+
+    # Collective: memory-conscious when memory is scarce or uneven.
+    avail = ctx.cluster.available_by_node().astype(np.float64)
+    cb = float(ctx.hints.cb_buffer_size)
+    scarce = bool(np.any(avail < cb))
+    mean = float(avail.mean()) if avail.size else 0.0
+    uneven = bool(mean > 0 and float(avail.std()) > 0.25 * mean)
+    if scarce:
+        reasons.append(
+            "some nodes cannot back the collective buffer "
+            f"(min {avail.min() / 2**20:.1f} MiB < cb "
+            f"{cb / 2**20:.1f} MiB)"
+        )
+    if uneven:
+        reasons.append(
+            f"available memory varies {avail.std() / 2**20:.1f} MiB "
+            f"around a {mean / 2**20:.1f} MiB mean"
+        )
+    if scarce or uneven:
+        return Recommendation("memory-conscious", tuple(reasons), profile)
+
+    reasons.append("memory is plentiful and even; plain two-phase suffices")
+    return Recommendation("two-phase", tuple(reasons), profile)

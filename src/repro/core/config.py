@@ -1,0 +1,72 @@
+"""Configuration for the memory-conscious collective I/O strategy.
+
+The three tunables the paper determines empirically (Section 3):
+
+* ``msg_ind`` — the per-aggregator I/O message size that saturates one
+  node's I/O path; the partition tree bisects file regions until each
+  leaf carries at most this much data.
+* ``nah`` — the maximum number of aggregators hosted by one physical
+  node ("each candidate host should have less than Nah aggregators").
+* ``msg_group`` — the optimal aggregate message size of one aggregation
+  group; group division cuts the linearized workload at this grain.
+
+plus ``mem_min`` — the minimum aggregation memory a host must offer
+before a file domain may be placed on it; domains whose candidate hosts
+all fall short are remerged with their neighbours.
+
+The ablation switches turn individual components off so benchmarks can
+attribute the improvement (DESIGN.md experiments A1–A3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Literal
+
+from ..util.units import kib, mib
+from ..util.validation import check_positive
+
+__all__ = ["MemoryConsciousConfig"]
+
+GroupMode = Literal["auto", "serial", "interleaved", "off"]
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryConsciousConfig:
+    """Tunables + ablation switches for MC-CIO."""
+
+    msg_ind: int = mib(16)
+    msg_group: int = mib(256)
+    nah: int = 4
+    mem_min: int = mib(1)
+    buffer_floor: int = kib(64)  # smallest usable aggregation buffer
+    group_mode: GroupMode = "auto"
+    enable_remerge: bool = True
+    # False -> memory-oblivious placement: one hint-sized slot per
+    # node, like ROMIO's aggregator choice (ablation A3).
+    dynamic_placement: bool = True
+    # Fraction of per-node extents that may overlap other nodes' before
+    # the auto group-divider switches from serial to interleaved mode.
+    serial_overlap_threshold: float = 0.25
+
+    def __post_init__(self) -> None:
+        check_positive("msg_ind", self.msg_ind)
+        check_positive("msg_group", self.msg_group)
+        check_positive("nah", self.nah)
+        check_positive("mem_min", self.mem_min)
+        check_positive("buffer_floor", self.buffer_floor)
+        if self.group_mode not in ("auto", "serial", "interleaved", "off"):
+            raise ValueError(f"unknown group_mode {self.group_mode!r}")
+        if not 0.0 <= self.serial_overlap_threshold <= 1.0:
+            raise ValueError(
+                f"serial_overlap_threshold must be in [0, 1], got "
+                f"{self.serial_overlap_threshold}"
+            )
+        if self.buffer_floor > self.msg_ind:
+            raise ValueError(
+                f"buffer_floor {self.buffer_floor} exceeds msg_ind {self.msg_ind}"
+            )
+
+    def replace(self, **changes) -> "MemoryConsciousConfig":
+        """Copy with modified fields."""
+        return replace(self, **changes)

@@ -1,0 +1,212 @@
+"""The Aggregation Group Division component (paper Section 3.1, Figure 4).
+
+Splits the collective workload into disjoint *aggregation groups* of
+roughly ``Msg_group`` requested bytes each; all shuffle traffic then
+stays inside a group. Two detection-driven modes:
+
+* **serial** — when processes' file regions are (mostly) disjoint and
+  ordered, cuts are placed between *physical nodes*: a group's boundary
+  is extended to the ending offset of the data accessed by the last
+  process of its last node, so no node's processes ever aggregate into
+  two groups (the Figure 4 rule).
+* **interleaved** — when per-node regions interleave (complex structured
+  datatypes, IOR-style patterns), node-aligned cuts are impossible; the
+  divider falls back to analysing the combined access set ("the MPI file
+  view across processes") and cuts it at covered-byte quantiles of
+  ``Msg_group``.
+
+``auto`` measures how much neighbouring nodes' regions overlap and picks
+the mode; ``off`` yields a single global group (the ablation baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..mpi.comm import SimComm
+from ..mpi.requests import AccessRequest
+from ..util.errors import PartitionError
+from ..util.intervals import Extent, ExtentList
+from .config import MemoryConsciousConfig
+from .partition_tree import offset_at_rank
+
+__all__ = ["AggregationGroup", "divide_groups", "detect_serial"]
+
+
+@dataclass(frozen=True, slots=True)
+class AggregationGroup:
+    """A disjoint slice of the collective workload."""
+
+    group_id: int
+    region: Extent
+    coverage: ExtentList
+    member_ranks: tuple[int, ...]
+
+    @property
+    def covered_bytes(self) -> int:
+        return self.coverage.total
+
+
+@dataclass(frozen=True, slots=True)
+class _NodeAccess:
+    node_id: int
+    start: int
+    end: int
+    nbytes: int
+
+
+def _node_accesses(
+    requests: Sequence[AccessRequest], comm: SimComm
+) -> list[_NodeAccess]:
+    """Per-node access envelopes, ordered by start offset."""
+    by_node: dict[int, list[ExtentList]] = {}
+    for req in requests:
+        if req.extents.is_empty:
+            continue
+        by_node.setdefault(comm.node_of(req.rank), []).append(req.extents)
+    infos = []
+    for node_id, parts in by_node.items():
+        cov = ExtentList.union_all(parts)
+        env = cov.envelope()
+        infos.append(
+            _NodeAccess(node_id, env.offset, env.end, cov.total)
+        )
+    infos.sort(key=lambda n: (n.start, n.end))
+    return infos
+
+
+def detect_serial(
+    requests: Sequence[AccessRequest],
+    comm: SimComm,
+    *,
+    overlap_threshold: float,
+) -> bool:
+    """True when per-node regions are ordered with little overlap."""
+    infos = _node_accesses(requests, comm)
+    if len(infos) <= 1:
+        return True
+    span_sum = sum(n.end - n.start for n in infos)
+    if span_sum == 0:
+        return True
+    overlap = 0
+    max_end = infos[0].end
+    for node in infos[1:]:
+        overlap += max(0, min(max_end, node.end) - node.start)
+        max_end = max(max_end, node.end)
+    return overlap / span_sum <= overlap_threshold
+
+
+def _members(
+    requests: Sequence[AccessRequest], region: Extent
+) -> tuple[int, ...]:
+    out = []
+    for req in requests:
+        if req.extents.is_empty:
+            continue
+        env = req.extents.envelope()
+        if env.end <= region.offset or env.offset >= region.end:
+            continue
+        if not req.extents.clip(region.offset, region.length).is_empty:
+            out.append(req.rank)
+    return tuple(sorted(out))
+
+
+def _groups_from_boundaries(
+    requests: Sequence[AccessRequest],
+    aggregate: ExtentList,
+    boundaries: list[int],
+) -> list[AggregationGroup]:
+    """Materialize groups from sorted cut offsets (incl. both ends)."""
+    groups: list[AggregationGroup] = []
+    for gid, (lo, hi) in enumerate(zip(boundaries, boundaries[1:])):
+        if hi <= lo:
+            raise PartitionError(f"non-monotone group boundaries at {lo}")
+        region = Extent(lo, hi - lo)
+        coverage = aggregate.clip(lo, hi - lo)
+        if coverage.is_empty:
+            continue
+        groups.append(
+            AggregationGroup(
+                group_id=len(groups),
+                region=region,
+                coverage=coverage,
+                member_ranks=_members(requests, region),
+            )
+        )
+    return groups
+
+
+def divide_groups(
+    requests: Sequence[AccessRequest],
+    comm: SimComm,
+    config: MemoryConsciousConfig,
+) -> list[AggregationGroup]:
+    """Split the workload into aggregation groups per the configured mode."""
+    aggregate = ExtentList.union_all([r.extents for r in requests])
+    if aggregate.is_empty:
+        return []
+    env = aggregate.envelope()
+
+    mode = config.group_mode
+    if mode == "auto":
+        mode = (
+            "serial"
+            if detect_serial(
+                requests, comm, overlap_threshold=config.serial_overlap_threshold
+            )
+            else "interleaved"
+        )
+
+    if mode == "off":
+        boundaries = [env.offset, env.end]
+    elif mode == "serial":
+        boundaries = _serial_boundaries(requests, comm, config, env)
+    elif mode == "interleaved":
+        boundaries = _interleaved_boundaries(aggregate, config, env)
+    else:  # pragma: no cover - config validates
+        raise PartitionError(f"unknown group mode {mode!r}")
+    return _groups_from_boundaries(requests, aggregate, boundaries)
+
+
+def _serial_boundaries(
+    requests: Sequence[AccessRequest],
+    comm: SimComm,
+    config: MemoryConsciousConfig,
+    env: Extent,
+) -> list[int]:
+    """Node-aligned cuts: close a group at the end offset of the last node
+    whose data pushed the accumulated size past Msg_group (Figure 4)."""
+    infos = _node_accesses(requests, comm)
+    boundaries = [env.offset]
+    acc = 0
+    group_end = env.offset
+    for i, node in enumerate(infos):
+        acc += node.nbytes
+        group_end = max(group_end, node.end)
+        is_last = i == len(infos) - 1
+        if acc >= config.msg_group and not is_last:
+            if group_end > boundaries[-1]:
+                boundaries.append(group_end)
+                acc = 0
+    if boundaries[-1] != env.end:
+        boundaries.append(env.end)
+    return boundaries
+
+
+def _interleaved_boundaries(
+    aggregate: ExtentList,
+    config: MemoryConsciousConfig,
+    env: Extent,
+) -> list[int]:
+    """Covered-byte quantile cuts of the combined access set."""
+    total = aggregate.total
+    n_groups = max(1, total // config.msg_group)
+    boundaries = [env.offset]
+    for k in range(1, n_groups):
+        off = offset_at_rank(aggregate, k * config.msg_group)
+        if off > boundaries[-1]:
+            boundaries.append(off)
+    if boundaries[-1] != env.end:
+        boundaries.append(env.end)
+    return boundaries

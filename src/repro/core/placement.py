@@ -1,0 +1,394 @@
+"""Aggregators Location + memory-driven remerging (paper Section 3.3).
+
+The placer realizes the paper's run-time aggregator determination:
+
+**Slot plan** (:class:`SlotPlan`). Each node offers aggregator *slots*
+according to its measured available memory ``Mem_avl``: at most ``Nah``
+slots, each backed by at least ``Mem_min`` of buffer, the node's
+available memory divided evenly among them. Memory-rich nodes offer
+many large-buffer slots; starved nodes offer none — this is "identify
+the host with maximum system memory available" plus the "< Nah
+aggregators" constraint, applied cluster-wide.
+
+**Leaf assignment** (:func:`place_group`). Every partition-tree leaf is
+assigned to a slot on a host of the processes whose requests intersect
+the leaf ("obtain all processes of which I/O requests are located in
+this file domain; then compare the processes related hosts"), choosing
+the slot with the fewest projected rounds ``(load + bytes) / buffer``.
+When *none* of a leaf's candidate hosts offers a slot, the leaf is
+**remerged** with its neighbour (partition-tree surgery) and the search
+repeats with the expanded domain — the paper's "merged with the domain
+nearby to expand the search area until [we] find the aggregator host
+that satisfies the memory requirement". A domain that grows to its
+whole group without finding a slotted candidate host is placed on the
+globally least-loaded slot (any rank may aggregate, as in ROMIO).
+
+**Rebalance** (:func:`rebalance`). After all groups are placed, domains
+are moved off the slots with the highest projected round counts until
+no move helps — memory-induced load imbalance (a node that must serve
+far more data than its memory share) is resolved by shipping work to
+memory-rich hosts rather than by stalling the whole collective on one
+starved aggregator.
+
+One slot is one aggregator: all its leaves (across groups) merge into a
+single file domain processed in buffer-sized rounds
+(:func:`build_domains`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from ..io.context import IOContext
+from ..io.domains import FileDomain
+from ..mpi.requests import AccessRequest
+from ..util.errors import PlacementError
+from ..util.intervals import Extent, ExtentList
+from .config import MemoryConsciousConfig
+from .group_division import AggregationGroup
+from .partition_tree import PartitionNode, PartitionTree
+
+__all__ = [
+    "PlacementStats",
+    "Slot",
+    "SlotPlan",
+    "Assignment",
+    "place_group",
+    "rebalance",
+    "build_domains",
+]
+
+
+@dataclass(slots=True)
+class PlacementStats:
+    """Counters describing what placement had to do."""
+
+    n_domains: int = 0
+    n_remerges: int = 0
+    n_fallbacks: int = 0
+    n_rebalanced: int = 0
+
+    def merge(self, other: "PlacementStats") -> None:
+        self.n_domains += other.n_domains
+        self.n_remerges += other.n_remerges
+        self.n_fallbacks += other.n_fallbacks
+        self.n_rebalanced += other.n_rebalanced
+
+
+@dataclass(slots=True)
+class Slot:
+    """One aggregator opportunity on a node."""
+
+    slot_id: int
+    node_id: int
+    buffer_bytes: int
+    load: int = 0  # covered bytes assigned so far
+
+    def projected_rounds(self, extra: int = 0) -> float:
+        return (self.load + extra) / self.buffer_bytes
+
+
+class SlotPlan:
+    """All aggregator slots the cluster's memory supports right now."""
+
+    def __init__(self, slots: list[Slot]) -> None:
+        self.slots = slots
+        self.by_node: dict[int, list[Slot]] = {}
+        for slot in slots:
+            self.by_node.setdefault(slot.node_id, []).append(slot)
+
+    @classmethod
+    def build(cls, ctx: IOContext, config: MemoryConsciousConfig) -> "SlotPlan":
+        if not config.dynamic_placement:
+            # Ablation A3: memory-oblivious placement — one aggregator
+            # slot per node with the hinted buffer size, exactly like the
+            # baseline's aggregator choice (paging included), but still
+            # under MC-CIO's grouping and partitioning.
+            return cls(
+                [
+                    Slot(i, node.node_id, ctx.hints.cb_buffer_size)
+                    for i, node in enumerate(ctx.cluster.nodes)
+                ]
+            )
+        slots: list[Slot] = []
+        for node in ctx.cluster.nodes:
+            avail = node.available_memory
+            k = int(min(config.nah, avail // max(config.mem_min, 1)))
+            if k < 1:
+                continue
+            # The node's whole available memory is divided among its
+            # slots; Msg_ind governs *domain granularity*, not buffer
+            # size — a slot with a large share simply covers several
+            # Msg_ind-sized domains per round.
+            buffer_bytes = int(avail // k)
+            for _ in range(k):
+                slots.append(Slot(len(slots), node.node_id, buffer_bytes))
+        if not slots:
+            # Every node is starved: degrade to one paging slot per node
+            # with the minimum buffer, so the operation still spreads.
+            for node in ctx.cluster.nodes:
+                slots.append(
+                    Slot(len(slots), node.node_id, max(config.mem_min, 1))
+                )
+        return cls(slots)
+
+    @property
+    def total_buffer(self) -> int:
+        return sum(s.buffer_bytes for s in self.slots)
+
+    def best_for(self, node_ids, covered: int) -> Slot | None:
+        """Least-projected-rounds slot among ``node_ids`` (None if none)."""
+        best: Slot | None = None
+        best_key: tuple[float, int] | None = None
+        for node_id in node_ids:
+            for slot in self.by_node.get(node_id, ()):
+                key = (slot.projected_rounds(covered), -slot.buffer_bytes)
+                if best_key is None or key < best_key:
+                    best, best_key = slot, key
+        return best
+
+    def best_anywhere(self, covered: int) -> Slot:
+        slot = self.best_for(self.by_node.keys(), covered)
+        assert slot is not None  # plan construction guarantees >= 1 slot
+        return slot
+
+    def max_rounds(self) -> float:
+        return max((s.projected_rounds() for s in self.slots), default=0.0)
+
+
+@dataclass(frozen=True, slots=True)
+class Assignment:
+    """One partition-tree leaf bound to a slot."""
+
+    slot_id: int
+    coverage: ExtentList
+    group_id: int
+    # candidate host -> ((rank, bytes-in-leaf), ...) for every
+    # intersecting process; used for affinity and by the rebalancer.
+    host_ranks: dict[int, tuple[tuple[int, int], ...]]
+
+    @property
+    def nbytes(self) -> int:
+        return self.coverage.total
+
+
+def _candidates(
+    leaf: PartitionNode,
+    member_requests: Sequence[AccessRequest],
+    ctx: IOContext,
+) -> dict[int, tuple[tuple[int, int], ...]]:
+    """host node -> ((rank, bytes in leaf), ...) for intersecting procs."""
+    assert leaf.coverage is not None
+    hosts: dict[int, list[tuple[int, int]]] = {}
+    for req in member_requests:
+        if req.extents.is_empty:
+            continue
+        env = req.extents.envelope()
+        if env.end <= leaf.lo or env.offset >= leaf.hi:
+            continue
+        nbytes = req.extents.overlap_bytes(leaf.coverage)
+        if nbytes == 0:
+            continue
+        node_id = ctx.comm.node_of(req.rank)
+        hosts.setdefault(node_id, []).append((req.rank, nbytes))
+    return {node: tuple(ranks) for node, ranks in hosts.items()}
+
+
+def place_group(
+    group: AggregationGroup,
+    tree: PartitionTree,
+    requests_by_rank: dict[int, AccessRequest],
+    ctx: IOContext,
+    config: MemoryConsciousConfig,
+    plan: SlotPlan,
+) -> tuple[list[Assignment], PlacementStats]:
+    """Assign every leaf of one group's partition tree to a slot.
+
+    Mutates ``tree`` (remerging) and ``plan`` (slot loads). Returns the
+    leaf-to-slot assignments (merged into per-slot file domains by
+    :func:`build_domains` once every group is placed) plus counters.
+    """
+    stats = PlacementStats()
+    member_requests = [
+        requests_by_rank[r] for r in group.member_ranks if r in requests_by_rank
+    ]
+    assigned: dict[int, Assignment] = {}  # id(leaf) -> assignment
+
+    guard = 4 * max(tree.n_leaves, 1) + 8
+    while True:
+        guard -= 1
+        if guard < 0:
+            raise PlacementError("placement failed to converge")
+        pending = [l for l in tree.leaves() if id(l) not in assigned]
+        if not pending:
+            break
+        leaf = pending[0]
+        covered = leaf.covered_bytes
+        hosts = _candidates(leaf, member_requests, ctx)
+        if not hosts:
+            raise PlacementError(
+                f"group {group.group_id}: no process intersects domain "
+                f"[{leaf.lo}, {leaf.hi})"
+            )
+        slot = plan.best_for(hosts.keys(), covered)
+        if slot is None:
+            # Every candidate host is memory-starved.
+            if config.enable_remerge and leaf.parent is not None:
+                taker = tree.remove_leaf(leaf)
+                stats.n_remerges += 1
+                prior = assigned.pop(id(taker), None)
+                if prior is not None:
+                    # The taker already absorbed `covered`; undo its old
+                    # contribution to its slot.
+                    _slot_of(plan, prior.slot_id).load -= (
+                        taker.covered_bytes - covered
+                    )
+                continue
+            slot = plan.best_anywhere(covered)
+            stats.n_fallbacks += 1
+        slot.load += covered
+        assert leaf.coverage is not None
+        assigned[id(leaf)] = Assignment(
+            slot_id=slot.slot_id,
+            coverage=leaf.coverage,
+            group_id=group.group_id,
+            host_ranks=hosts,
+        )
+
+    assignments = [assigned[id(leaf)] for leaf in tree.leaves()]
+    stats.n_domains += len(assignments)
+    return assignments, stats
+
+
+def _slot_of(plan: SlotPlan, slot_id: int) -> Slot:
+    return plan.slots[slot_id]
+
+
+def rebalance(
+    plan: SlotPlan,
+    assignments: list[Assignment],
+    *,
+    max_moves: int | None = None,
+) -> tuple[list[Assignment], int]:
+    """Move domains off the most-loaded slots until no move helps.
+
+    Greedy makespan reduction: repeatedly take the slot with the highest
+    projected round count and move one of its assignments to the slot
+    that most lowers the pairwise maximum — preferring slots on the
+    assignment's own candidate hosts (locality), falling back to any
+    slot. Returns the updated assignment list and the move count.
+    """
+    if not assignments:
+        return assignments, 0
+    if max_moves is None:
+        max_moves = 4 * len(assignments)
+    by_slot: dict[int, list[int]] = {}
+    for i, a in enumerate(assignments):
+        by_slot.setdefault(a.slot_id, []).append(i)
+    out = list(assignments)
+    moves = 0
+    eps = 1e-9
+
+    while moves < max_moves:
+        worst = max(plan.slots, key=lambda s: s.projected_rounds())
+        worst_rounds = worst.projected_rounds()
+        if worst_rounds <= 0:
+            break
+        indices = sorted(
+            by_slot.get(worst.slot_id, ()), key=lambda i: out[i].nbytes
+        )
+        best_move: tuple[float, int, Slot] | None = None
+        for i in indices:
+            a = out[i]
+            local = [
+                s
+                for node in a.host_ranks
+                for s in plan.by_node.get(node, ())
+            ]
+            for pool in (local, plan.slots):
+                for target in pool:
+                    if target.slot_id == a.slot_id:
+                        continue
+                    new_max = max(
+                        (worst.load - a.nbytes) / worst.buffer_bytes,
+                        target.projected_rounds(a.nbytes),
+                    )
+                    if new_max < worst_rounds - eps and (
+                        best_move is None or new_max < best_move[0] - eps
+                    ):
+                        best_move = (new_max, i, target)
+                if best_move is not None:
+                    break  # prefer a local move over a remote one
+            if best_move is not None:
+                break  # smallest movable assignment wins
+        if best_move is None:
+            break
+        _, i, target = best_move
+        a = out[i]
+        _slot_of(plan, a.slot_id).load -= a.nbytes
+        target.load += a.nbytes
+        by_slot[a.slot_id].remove(i)
+        by_slot.setdefault(target.slot_id, []).append(i)
+        out[i] = replace(a, slot_id=target.slot_id)
+        moves += 1
+    return out, moves
+
+
+def build_domains(
+    plan: SlotPlan,
+    assignments: Sequence[Assignment],
+    ctx: IOContext,
+    config: MemoryConsciousConfig,
+) -> list[FileDomain]:
+    """Merge each slot's assigned leaves (across groups) into one domain.
+
+    One slot is one aggregator process: it holds one buffer and works
+    through everything assigned to it in buffer-sized rounds. Domains of
+    a slot that served several groups carry ``group_id = -1``.
+    """
+    per_slot: dict[int, list[Assignment]] = {}
+    for a in assignments:
+        per_slot.setdefault(a.slot_id, []).append(a)
+    slot_by_id = {s.slot_id: s for s in plan.slots}
+
+    domains: list[FileDomain] = []
+    for slot_id, items in sorted(per_slot.items()):
+        slot = slot_by_id[slot_id]
+        coverage = ExtentList.union_all([a.coverage for a in items])
+        affinity: dict[int, int] = {}
+        for a in items:
+            for rank, b in a.host_ranks.get(slot.node_id, ()):
+                affinity[rank] = affinity.get(rank, 0) + b
+        rank = _choose_rank(slot.node_id, affinity, ctx, config)
+        group_ids = {a.group_id for a in items}
+        env = coverage.envelope()
+        domains.append(
+            FileDomain(
+                region=Extent(env.offset, env.length),
+                coverage=coverage,
+                aggregator=rank,
+                buffer_bytes=min(slot.buffer_bytes, max(coverage.total, 1)),
+                group_id=group_ids.pop() if len(group_ids) == 1 else -1,
+            )
+        )
+    domains.sort(key=lambda d: d.region.offset)
+    return domains
+
+
+def _choose_rank(
+    node_id: int,
+    affinity: dict[int, int],
+    ctx: IOContext,
+    config: MemoryConsciousConfig,
+) -> int:
+    """Pick the aggregator process on the chosen host."""
+    if affinity:
+        if config.dynamic_placement:
+            # Data affinity: the co-located rank holding the most bytes.
+            return max(affinity.items(), key=lambda kv: (kv[1], -kv[0]))[0]
+        return min(affinity)
+    ranks = ctx.cluster.ranks_on_node(node_id)
+    if ranks.size == 0:
+        raise PlacementError(f"node {node_id} hosts no ranks")
+    return int(ranks[0])

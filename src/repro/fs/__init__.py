@@ -1,0 +1,15 @@
+"""Parallel file system substrate: striping, OST resources, file images."""
+
+from .file_image import FileImage
+from .pfs import PFS_BACKPLANE, IOKind, ParallelFileSystem, SimFile, ost_key
+from .striping import StripingLayout
+
+__all__ = [
+    "StripingLayout",
+    "FileImage",
+    "ParallelFileSystem",
+    "SimFile",
+    "ost_key",
+    "PFS_BACKPLANE",
+    "IOKind",
+]

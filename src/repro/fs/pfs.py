@@ -1,0 +1,209 @@
+"""Parallel file system model (Lustre-like).
+
+Combines the striping layout, per-OST/backplane bandwidth resources, the
+per-request service overhead, and (optionally) byte-accurate
+:class:`~repro.fs.file_image.FileImage` contents.
+
+The PFS does not time anything itself — it *prices* accesses by emitting
+:class:`~repro.sim.flows.Flow` objects and request-overhead terms that
+the I/O strategies combine with network flows into phases. That keeps
+contention between the shuffle and the storage path in one solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Literal
+
+import numpy as np
+
+from ..cluster.machine import StorageSpec
+from ..cluster.network import BISECTION, membw, nic_in, nic_out
+from ..sim.flows import Flow
+from ..util.errors import FileSystemError
+from ..util.intervals import ExtentList
+from .file_image import FileImage
+from .striping import StripingLayout
+
+__all__ = ["ParallelFileSystem", "SimFile", "ost_key", "PFS_BACKPLANE", "IOKind"]
+
+PFS_BACKPLANE: str = "pfs_backplane"
+
+IOKind = Literal["read", "write"]
+
+
+def ost_key(index: int) -> tuple[str, int]:
+    """Resource key for one object storage target."""
+    return ("ost", index)
+
+
+@dataclass(slots=True)
+class _OSTStats:
+    bytes_written: int = 0
+    bytes_read: int = 0
+    requests: int = 0
+
+
+class SimFile:
+    """An open file: logical size plus optional byte-accurate contents."""
+
+    __slots__ = ("name", "pfs", "image", "_size")
+
+    def __init__(self, name: str, pfs: "ParallelFileSystem") -> None:
+        self.name = name
+        self.pfs = pfs
+        self.image: FileImage | None = FileImage() if pfs.track_data else None
+        self._size = 0
+
+    @property
+    def size(self) -> int:
+        return self._size if self.image is None else max(self._size, self.image.size)
+
+    def apply_write(self, extents: ExtentList, data: np.ndarray | bytes | None) -> None:
+        """Commit a write's *effects*: grow the file, store bytes if tracking."""
+        if not extents.is_empty:
+            self._size = max(self._size, extents.envelope().end)
+        if self.image is not None:
+            if data is None:
+                raise FileSystemError(
+                    f"file {self.name!r} tracks data; write needs a payload"
+                )
+            self.image.write_extents(extents, data)
+
+    def apply_read(self, extents: ExtentList) -> np.ndarray | None:
+        """Fetch bytes for a read (None when data tracking is off)."""
+        if self.image is None:
+            return None
+        return self.image.read_extents(extents)
+
+
+class ParallelFileSystem:
+    """The storage subsystem of one machine."""
+
+    def __init__(self, storage: StorageSpec, *, track_data: bool = False) -> None:
+        self.storage = storage
+        self.track_data = track_data
+        self.layout = StripingLayout(storage.stripe_unit, storage.n_osts)
+        self._files: dict[str, SimFile] = {}
+        self._ost_stats = [_OSTStats() for _ in range(storage.n_osts)]
+
+    # --------------------------------------------------------------- files
+    def open(self, name: str) -> SimFile:
+        """Open (creating if needed) a file by name."""
+        if name not in self._files:
+            self._files[name] = SimFile(name, self)
+        return self._files[name]
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def delete(self, name: str) -> None:
+        self._files.pop(name, None)
+
+    # ------------------------------------------------------------ resources
+    def capacity_map(self, kind: IOKind = "write") -> dict[Hashable, float]:
+        """Per-OST and backplane capacities for one access direction."""
+        factor = self.storage.read_factor if kind == "read" else 1.0
+        caps: dict[Hashable, float] = {
+            PFS_BACKPLANE: self.storage.backplane * factor
+        }
+        per_ost = self.storage.ost_bandwidth * factor
+        for i in range(self.storage.n_osts):
+            caps[ost_key(i)] = per_ost
+        return caps
+
+    def access_flows(
+        self,
+        node_id: int,
+        extents: ExtentList,
+        kind: IOKind,
+        *,
+        label: str = "",
+        stream: Hashable | None = None,
+    ) -> list[Flow]:
+        """Flows for one client node accessing ``extents``.
+
+        A write flow crosses: the client's memory bus (buffer read-out),
+        its NIC injection, the fabric core, the target OST, and the PFS
+        backplane. Reads mirror the path through NIC ejection.
+
+        ``stream`` identifies the issuing client process; all its flows
+        additionally share a per-stream resource capped at
+        ``client_stream_bandwidth`` (add the matching capacity with
+        :meth:`stream_key` / :meth:`stream_capacity`).
+        """
+        if extents.is_empty:
+            return []
+        bytes_per, runs_per = self.layout.object_stats(extents)
+        nic = nic_out(node_id) if kind == "write" else nic_in(node_id)
+        factor = self.storage.read_factor if kind == "read" else 1.0
+        per_ost_cap = self.storage.ost_bandwidth * factor
+        stream_res = (self.stream_key(stream),) if stream is not None else ()
+        flows: list[Flow] = []
+        for ost, (nbytes, runs) in enumerate(zip(bytes_per, runs_per)):
+            if nbytes == 0:
+                continue
+            key = ost_key(ost)
+            # Each contiguous object run pays the per-request service
+            # overhead at the OST; expressed as extra effective bytes so
+            # the flow solver sees one consistent load.
+            overhead_bytes = float(runs) * self.storage.request_overhead * per_ost_cap
+            flows.append(
+                Flow(
+                    size=float(nbytes),
+                    resources=(
+                        membw(node_id),
+                        nic,
+                        BISECTION,
+                        key,
+                        PFS_BACKPLANE,
+                    )
+                    + stream_res,
+                    label=label or f"{kind}:node{node_id}:ost{ost}",
+                    resource_sizes={key: float(nbytes) + overhead_bytes},
+                )
+            )
+        return flows
+
+    @staticmethod
+    def stream_key(stream: Hashable) -> tuple[str, Hashable]:
+        """Resource key for one client process's I/O stream."""
+        return ("client_stream", stream)
+
+    def stream_capacity(self, kind: IOKind = "write") -> float:
+        """Capacity to register for each stream key used in a phase."""
+        factor = self.storage.read_factor if kind == "read" else 1.0
+        return self.storage.client_stream_bandwidth * factor
+
+    def request_overhead_seconds(self, piece_counts_per_ost: np.ndarray) -> float:
+        """Latency from per-request service costs in one I/O phase.
+
+        Requests at one OST serialize; OSTs work in parallel — so the
+        phase pays the *maximum* per-OST request count times the
+        per-request overhead.
+        """
+        if piece_counts_per_ost.size == 0:
+            return 0.0
+        return float(piece_counts_per_ost.max(initial=0)) * self.storage.request_overhead
+
+    # ------------------------------------------------------------ accounting
+    def account_access(self, extents: ExtentList, kind: IOKind) -> None:
+        """Record bytes/requests per OST for metrics."""
+        bytes_per, reqs_per = self.layout.piece_stats(extents)
+        for i, (b, r) in enumerate(zip(bytes_per, reqs_per)):
+            stats = self._ost_stats[i]
+            if kind == "write":
+                stats.bytes_written += int(b)
+            else:
+                stats.bytes_read += int(b)
+            stats.requests += int(r)
+
+    def ost_utilization(self) -> np.ndarray:
+        """Total bytes served per OST (reads + writes)."""
+        return np.asarray(
+            [s.bytes_read + s.bytes_written for s in self._ost_stats],
+            dtype=np.int64,
+        )
+
+    def total_requests(self) -> int:
+        return sum(s.requests for s in self._ost_stats)

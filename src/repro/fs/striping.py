@@ -1,0 +1,127 @@
+"""Round-robin file striping (Lustre-style).
+
+A file is cut into fixed ``stripe_unit`` chunks; chunk ``k`` lives on
+object storage target ``k mod stripe_count``. The paper's testbed used
+Lustre's default round-robin striping with a 1 MiB unit striped over all
+I/O servers, and both collective strategies interact with the layout:
+file-domain boundaries that respect stripe boundaries avoid splitting a
+server request across OSTs.
+
+All the mapping operations here are vectorized over
+:class:`~repro.util.intervals.ExtentList` sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..util.errors import StripingError
+from ..util.intervals import ExtentList
+from ..util.validation import check_positive
+
+__all__ = ["StripingLayout"]
+
+
+class StripingLayout:
+    """Maps byte offsets to OSTs under round-robin striping."""
+
+    __slots__ = ("stripe_unit", "stripe_count")
+
+    def __init__(self, stripe_unit: int, stripe_count: int) -> None:
+        self.stripe_unit = check_positive("stripe_unit", int(stripe_unit))
+        self.stripe_count = check_positive("stripe_count", int(stripe_count))
+
+    # ------------------------------------------------------------ scalars
+    def ost_of(self, offset: int) -> int:
+        """OST index holding the byte at ``offset``."""
+        if offset < 0:
+            raise StripingError(f"negative offset {offset}")
+        return (offset // self.stripe_unit) % self.stripe_count
+
+    def align_down(self, offset: int) -> int:
+        """Largest stripe-unit boundary <= offset."""
+        return (offset // self.stripe_unit) * self.stripe_unit
+
+    def align_up(self, offset: int) -> int:
+        """Smallest stripe-unit boundary >= offset."""
+        return -(-offset // self.stripe_unit) * self.stripe_unit
+
+    # ------------------------------------------------------------- extents
+    def _grid(self, lo: int, hi: int) -> np.ndarray:
+        """Stripe-unit boundaries covering ``[lo, hi)`` (inclusive ends)."""
+        g_lo = self.align_down(lo)
+        g_hi = self.align_up(hi)
+        if g_hi == g_lo:
+            g_hi = g_lo + self.stripe_unit
+        return np.arange(g_lo, g_hi + 1, self.stripe_unit, dtype=np.int64)
+
+    def split_pieces(
+        self, extents: ExtentList
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cut ``extents`` at stripe-unit boundaries.
+
+        Returns ``(ost_idx, piece_starts, piece_ends)``; each piece lies
+        inside one stripe unit, so it maps to exactly one OST and is one
+        server request.
+        """
+        if extents.is_empty:
+            e = np.empty(0, np.int64)
+            return e, e.copy(), e.copy()
+        env = extents.envelope()
+        grid = self._grid(env.offset, env.end)
+        bin_idx, ps, pe = extents.split_to_bins(grid)
+        stripe_index = grid[bin_idx] // self.stripe_unit
+        ost = (stripe_index % self.stripe_count).astype(np.int64)
+        return ost, ps, pe
+
+    def split_by_ost(self, extents: ExtentList) -> list[ExtentList]:
+        """Per-OST extent lists (index = OST id). Union equals input."""
+        ost, ps, pe = self.split_pieces(extents)
+        out: list[ExtentList] = []
+        for k in range(self.stripe_count):
+            mask = ost == k
+            out.append(ExtentList(ps[mask], pe[mask]))
+        return out
+
+    def piece_stats(self, extents: ExtentList) -> tuple[np.ndarray, np.ndarray]:
+        """Per-OST ``(bytes, n_requests)`` for an access set.
+
+        ``n_requests`` counts stripe-unit-confined contiguous pieces —
+        the number of server-side requests the access generates.
+        """
+        ost, ps, pe = self.split_pieces(extents)
+        bytes_per = np.zeros(self.stripe_count, dtype=np.int64)
+        reqs_per = np.zeros(self.stripe_count, dtype=np.int64)
+        np.add.at(bytes_per, ost, pe - ps)
+        np.add.at(reqs_per, ost, 1)
+        return bytes_per, reqs_per
+
+    def object_stats(self, extents: ExtentList) -> tuple[np.ndarray, np.ndarray]:
+        """Per-OST ``(bytes, n_contiguous_object_runs)`` for an access set.
+
+        Lustre stores a file's stripe units for one OST back-to-back in a
+        single object, so stripe units ``k`` and ``k + stripe_count`` are
+        *contiguous on disk*. A client therefore issues one server request
+        per contiguous **object** range, not per stripe unit — this is what
+        lets large collective buffers amortize per-request overhead.
+        """
+        ost, ps, pe = self.split_pieces(extents)
+        bytes_per = np.zeros(self.stripe_count, dtype=np.int64)
+        runs_per = np.zeros(self.stripe_count, dtype=np.int64)
+        if ost.size == 0:
+            return bytes_per, runs_per
+        unit = self.stripe_unit
+        stripe_index = ps // unit
+        obj_start = (stripe_index // self.stripe_count) * unit + (ps % unit)
+        obj_end = obj_start + (pe - ps)
+        for k in np.unique(ost):
+            mask = ost == k
+            runs = ExtentList(obj_start[mask], obj_end[mask])
+            bytes_per[k] = runs.total
+            runs_per[k] = len(runs)
+        return bytes_per, runs_per
+
+    def osts_touched(self, extents: ExtentList) -> np.ndarray:
+        """Sorted unique OST ids an access set lands on."""
+        ost, _, _ = self.split_pieces(extents)
+        return np.unique(ost)

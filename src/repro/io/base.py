@@ -1,0 +1,48 @@
+"""Strategy interface all I/O methods implement."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from ..fs.pfs import IOKind, SimFile
+from ..mpi.requests import AccessRequest
+from .context import IOContext
+from .result import CollectiveResult
+
+__all__ = ["IOStrategy"]
+
+
+class IOStrategy(ABC):
+    """A way of executing a parallel file access.
+
+    Implementations: independent I/O, data sieving, two-phase collective
+    I/O (baseline), and memory-conscious collective I/O (the paper's
+    contribution, in :mod:`repro.core`).
+    """
+
+    #: Short identifier used in results, traces and benchmark tables.
+    name: str = "abstract"
+
+    @abstractmethod
+    def run(
+        self,
+        ctx: IOContext,
+        file: SimFile,
+        requests: Sequence[AccessRequest],
+        *,
+        kind: IOKind,
+    ) -> CollectiveResult:
+        """Execute the access and return timing + statistics."""
+
+    def write(
+        self, ctx: IOContext, file: SimFile, requests: Sequence[AccessRequest]
+    ) -> CollectiveResult:
+        """Collective write entry point."""
+        return self.run(ctx, file, requests, kind="write")
+
+    def read(
+        self, ctx: IOContext, file: SimFile, requests: Sequence[AccessRequest]
+    ) -> CollectiveResult:
+        """Collective read entry point."""
+        return self.run(ctx, file, requests, kind="read")

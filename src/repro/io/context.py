@@ -1,0 +1,77 @@
+"""The execution context shared by all I/O strategies.
+
+An :class:`IOContext` bundles the simulated job (cluster + communicator),
+the storage system, the network model, and the hint set — everything a
+strategy needs to plan and price an operation. Use :func:`make_context`
+to build one from a machine model in one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+import numpy as np
+
+from ..cluster.machine import MachineModel
+from ..cluster.network import NetworkModel
+from ..cluster.topology import Cluster, Placement
+from ..fs.pfs import IOKind, ParallelFileSystem
+from ..mpi.comm import SimComm
+from ..util.rng import make_rng
+from .hints import CollectiveHints
+
+__all__ = ["IOContext", "make_context"]
+
+
+@dataclass(slots=True)
+class IOContext:
+    """Everything a collective-I/O strategy operates on."""
+
+    cluster: Cluster
+    comm: SimComm
+    network: NetworkModel
+    pfs: ParallelFileSystem
+    hints: CollectiveHints
+    rng: np.random.Generator
+
+    @property
+    def machine(self) -> MachineModel:
+        return self.cluster.machine
+
+    @property
+    def n_procs(self) -> int:
+        return self.cluster.n_procs
+
+    def capacity_map(self, kind: IOKind) -> dict[Hashable, float]:
+        """Combined network + storage capacities for one direction."""
+        caps = self.network.capacity_map(self.cluster)
+        caps.update(self.pfs.capacity_map(kind))
+        return caps
+
+
+def make_context(
+    machine: MachineModel,
+    n_procs: int,
+    *,
+    procs_per_node: int | None = None,
+    placement: Placement = "block",
+    hints: CollectiveHints | None = None,
+    track_data: bool = False,
+    seed: int | None = None,
+) -> IOContext:
+    """Build a ready-to-use context for one job on one machine."""
+    cluster = Cluster(
+        machine, n_procs, procs_per_node=procs_per_node, placement=placement
+    )
+    network = NetworkModel(machine)
+    comm = SimComm(cluster, network)
+    pfs = ParallelFileSystem(machine.storage, track_data=track_data)
+    return IOContext(
+        cluster=cluster,
+        comm=comm,
+        network=network,
+        pfs=pfs,
+        hints=hints if hints is not None else CollectiveHints(),
+        rng=make_rng(seed),
+    )

@@ -1,0 +1,123 @@
+"""File domains: the unit of aggregator responsibility.
+
+A file domain is a contiguous file region assigned to exactly one
+aggregator, together with the *coverage* (the requested bytes inside
+it). The baseline strategy builds domains by even division of the
+aggregate access region (ROMIO's ``ADIOI_Calc_file_domains``); the
+memory-conscious strategy builds them from a binary partition tree
+(:mod:`repro.core.partition_tree`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from ..fs.striping import StripingLayout
+from ..mpi.requests import AccessRequest
+from ..util.errors import PartitionError
+from ..util.intervals import Extent, ExtentList
+
+__all__ = ["FileDomain", "aggregate_access", "even_domains"]
+
+
+@dataclass(frozen=True, slots=True)
+class FileDomain:
+    """A contiguous region of the file owned by one aggregator."""
+
+    region: Extent
+    coverage: ExtentList
+    aggregator: int
+    buffer_bytes: int
+    group_id: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.coverage.is_empty:
+            env = self.coverage.envelope()
+            if env.offset < self.region.offset or env.end > self.region.end:
+                raise PartitionError(
+                    f"coverage {env} escapes domain region {self.region}"
+                )
+        if self.buffer_bytes < 0:
+            raise PartitionError(f"negative buffer {self.buffer_bytes}")
+
+    @property
+    def covered_bytes(self) -> int:
+        return self.coverage.total
+
+    def rounds(self) -> int:
+        """Rounds needed at the assigned buffer size."""
+        if self.covered_bytes == 0:
+            return 0
+        if self.buffer_bytes == 0:
+            raise PartitionError("non-empty domain with zero buffer")
+        return -(-self.covered_bytes // self.buffer_bytes)
+
+    def window(self, round_index: int) -> ExtentList:
+        """Coverage slice handled in one round (buffer-sized chunks)."""
+        lo = round_index * self.buffer_bytes
+        return self.coverage.slice_bytes(lo, lo + self.buffer_bytes)
+
+    def with_buffer(self, buffer_bytes: int) -> "FileDomain":
+        return replace(self, buffer_bytes=buffer_bytes)
+
+
+def aggregate_access(requests: Sequence[AccessRequest]) -> ExtentList:
+    """Union of all processes' file extents — the collective access set."""
+    return ExtentList.union_all([r.extents for r in requests])
+
+
+def even_domains(
+    requests: Sequence[AccessRequest],
+    aggregator_ranks: Sequence[int],
+    *,
+    buffer_bytes: int,
+    layout: StripingLayout | None = None,
+    align_to_stripes: bool = True,
+) -> list[FileDomain]:
+    """ROMIO-style even division of the aggregate region.
+
+    The region between the minimum start offset and maximum end offset is
+    split into ``len(aggregator_ranks)`` near-equal contiguous pieces
+    (optionally rounded to stripe-unit boundaries, as ROMIO's Lustre
+    driver does), assigned to aggregators in rank order — *independent of
+    where the data actually lives*, which is exactly the
+    distribution-obliviousness the paper criticizes.
+
+    Domains that end up empty (no covered bytes) are dropped.
+    """
+    if not aggregator_ranks:
+        raise PartitionError("need at least one aggregator")
+    access = aggregate_access(requests)
+    if access.is_empty:
+        return []
+    env = access.envelope()
+    n = len(aggregator_ranks)
+    bounds = np.linspace(env.offset, env.end, n + 1).astype(np.int64)
+    if align_to_stripes and layout is not None:
+        aligned = [
+            layout.align_up(int(b)) for b in bounds[1:-1]
+        ]
+        bounds = np.asarray([env.offset, *aligned, env.end], dtype=np.int64)
+        bounds = np.maximum.accumulate(bounds)  # keep monotone after aligning
+    domains: list[FileDomain] = []
+    for i, rank in enumerate(aggregator_ranks):
+        lo, hi = int(bounds[i]), int(bounds[i + 1])
+        if hi <= lo:
+            continue
+        coverage = access.clip(lo, hi - lo)
+        if coverage.is_empty:
+            continue
+        domains.append(
+            FileDomain(
+                region=Extent(lo, hi - lo),
+                coverage=coverage,
+                aggregator=int(rank),
+                buffer_bytes=min(buffer_bytes, coverage.total)
+                if buffer_bytes
+                else coverage.total,
+            )
+        )
+    return domains

@@ -1,0 +1,179 @@
+"""MPI-IO style file facade.
+
+Wraps the simulated stack in the interface parallel applications
+actually program against — open a shared file on a communicator, set
+per-rank file views, issue ``write_all``/``read_all`` collectives:
+
+    file = CollectiveFile.open(ctx, "out.dat", strategy=MemoryConsciousCollectiveIO())
+    file.set_view(rank, displacement=0, filetype=subarray_t)
+    file.write_all({rank: local_bytes for rank in ranks})
+
+Each collective call flattens every rank's access through its view,
+hands the requests to the configured strategy, and returns the
+:class:`~repro.io.result.CollectiveResult`. Byte payloads are optional
+(pass them to verify data placement; omit them for pure performance
+studies).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..fs.pfs import SimFile
+from ..mpi.datatypes import BYTE, Datatype
+from ..mpi.fileview import FileView
+from ..mpi.requests import AccessRequest
+from ..util.errors import CommunicatorError, FileViewError
+from .base import IOStrategy
+from .context import IOContext
+from .result import CollectiveResult
+from .two_phase import TwoPhaseCollectiveIO
+
+__all__ = ["CollectiveFile"]
+
+
+class CollectiveFile:
+    """A shared file opened by every rank of a job."""
+
+    def __init__(
+        self,
+        ctx: IOContext,
+        sim_file: SimFile,
+        *,
+        strategy: IOStrategy | None = None,
+    ) -> None:
+        self.ctx = ctx
+        self.sim_file = sim_file
+        self.strategy = strategy if strategy is not None else TwoPhaseCollectiveIO()
+        self._views: dict[int, FileView] = {}
+        self._offsets: dict[int, int] = {}  # per-rank view position (bytes)
+        self.history: list[CollectiveResult] = []
+
+    # ---------------------------------------------------------------- setup
+    @classmethod
+    def open(
+        cls,
+        ctx: IOContext,
+        name: str,
+        *,
+        strategy: IOStrategy | None = None,
+    ) -> "CollectiveFile":
+        """Open (creating) ``name`` on the context's file system."""
+        return cls(ctx, ctx.pfs.open(name), strategy=strategy)
+
+    def set_view(
+        self,
+        rank: int,
+        *,
+        displacement: int = 0,
+        etype: Datatype = BYTE,
+        filetype: Datatype | None = None,
+    ) -> None:
+        """MPI_File_set_view for one rank; resets its view position."""
+        self.ctx.comm.check_rank(rank)
+        self._views[rank] = FileView(
+            displacement=displacement, etype=etype, filetype=filetype
+        )
+        self._offsets[rank] = 0
+
+    def view_of(self, rank: int) -> FileView:
+        """The rank's current view (default: contiguous bytes at 0)."""
+        return self._views.get(rank, FileView())
+
+    def seek(self, rank: int, view_offset: int) -> None:
+        """Set a rank's view-linear position (bytes)."""
+        if view_offset < 0:
+            raise FileViewError(f"negative seek {view_offset}")
+        self._offsets[rank] = view_offset
+
+    def tell(self, rank: int) -> int:
+        return self._offsets.get(rank, 0)
+
+    # ----------------------------------------------------------- collectives
+    def _build_requests(
+        self,
+        amounts: Mapping[int, int],
+        payloads: Mapping[int, np.ndarray] | None,
+    ) -> list[AccessRequest]:
+        if not amounts:
+            raise CommunicatorError("collective call with no participants")
+        requests = []
+        for rank in range(self.ctx.n_procs):
+            nbytes = int(amounts.get(rank, 0))
+            view = self.view_of(rank)
+            extents = view.extents_for(self.tell(rank), nbytes)
+            data = None
+            if payloads is not None and rank in payloads:
+                data = np.asarray(payloads[rank], dtype=np.uint8).ravel()
+                if data.size != nbytes:
+                    raise CommunicatorError(
+                        f"rank {rank}: payload {data.size} B != amount {nbytes} B"
+                    )
+            requests.append(AccessRequest(rank=rank, extents=extents, data=data))
+        return requests
+
+    def _advance(self, amounts: Mapping[int, int]) -> None:
+        for rank, nbytes in amounts.items():
+            self._offsets[rank] = self.tell(rank) + int(nbytes)
+
+    def write_all(
+        self,
+        payloads: Mapping[int, np.ndarray | bytes] | None = None,
+        *,
+        amounts: Mapping[int, int] | None = None,
+    ) -> CollectiveResult:
+        """Collective write at each rank's current view position.
+
+        Pass ``payloads`` (rank -> bytes) for byte-accurate runs, or just
+        ``amounts`` (rank -> byte count) for performance studies.
+        """
+        if payloads is not None:
+            payloads = {
+                r: np.frombuffer(bytes(p), dtype=np.uint8)
+                if isinstance(p, (bytes, bytearray))
+                else np.asarray(p, dtype=np.uint8).ravel()
+                for r, p in payloads.items()
+            }
+            derived = {r: int(p.size) for r, p in payloads.items()}
+            if amounts is not None and dict(amounts) != derived:
+                raise CommunicatorError(
+                    "write_all: explicit amounts disagree with payload sizes"
+                )
+            amounts = derived
+        if amounts is None:
+            raise CommunicatorError("write_all needs payloads or amounts")
+        requests = self._build_requests(amounts, payloads)
+        result = self.strategy.write(self.ctx, self.sim_file, requests)
+        self._advance(amounts)
+        self.history.append(result)
+        return result
+
+    def read_all(
+        self, amounts: Mapping[int, int]
+    ) -> tuple[CollectiveResult, dict[int, np.ndarray | None]]:
+        """Collective read at each rank's view position.
+
+        Returns the result and, when the file tracks data, each rank's
+        bytes (None otherwise).
+        """
+        requests = self._build_requests(amounts, None)
+        result = self.strategy.read(self.ctx, self.sim_file, requests)
+        self._advance(amounts)
+        self.history.append(result)
+        data = {
+            req.rank: req.data for req in requests if amounts.get(req.rank, 0) > 0
+        }
+        return result, data
+
+    # ------------------------------------------------------------- metrics
+    @property
+    def total_bytes_moved(self) -> int:
+        return sum(r.nbytes for r in self.history)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CollectiveFile({self.sim_file.name!r}, "
+            f"strategy={self.strategy.name}, ops={len(self.history)})"
+        )

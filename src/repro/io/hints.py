@@ -1,0 +1,55 @@
+"""MPI-IO style hints controlling collective I/O behaviour.
+
+Mirrors the ROMIO hint set the paper's experiments turn: the collective
+buffer size (``cb_buffer_size``), aggregator selection, and stripe
+alignment of file domains. The memory-conscious strategy adds its own
+tunables in :mod:`repro.core.config`; these are the knobs both
+strategies share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..util.units import mib
+from ..util.validation import check_positive
+
+__all__ = ["CollectiveHints"]
+
+
+@dataclass(frozen=True, slots=True)
+class CollectiveHints:
+    """Shared collective-I/O knobs (ROMIO hint analogues).
+
+    Attributes:
+        cb_buffer_size: bytes of aggregation buffer per aggregator per
+            round (ROMIO default 16 MiB; the figures sweep this).
+        cb_nodes_per_node: aggregators per physical node for the
+            *baseline* strategy (ROMIO default: exactly one).
+        align_domains_to_stripes: round file-domain boundaries to stripe
+            units (ROMIO's Lustre driver behaviour).
+        sieve_buffer_size: data-sieving buffer for independent I/O.
+        solver_mode: flow-phase solver ("bottleneck" fast / "fluid" fine).
+        two_layer_shuffle: gather each node's shuffle traffic at a node
+            leader before crossing the network (the paper's intra-node /
+            inter-node coordination): one message per (node, aggregator)
+            pair instead of one per process, for an extra memory-bus pass.
+    """
+
+    cb_buffer_size: int = mib(16)
+    cb_nodes_per_node: int = 1
+    align_domains_to_stripes: bool = True
+    sieve_buffer_size: int = mib(4)
+    solver_mode: str = "bottleneck"
+    two_layer_shuffle: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive("cb_buffer_size", self.cb_buffer_size)
+        check_positive("cb_nodes_per_node", self.cb_nodes_per_node)
+        check_positive("sieve_buffer_size", self.sieve_buffer_size)
+        if self.solver_mode not in ("bottleneck", "fluid"):
+            raise ValueError(f"unknown solver_mode {self.solver_mode!r}")
+
+    def with_buffer(self, cb_buffer_size: int) -> "CollectiveHints":
+        """Copy with a different aggregation buffer size."""
+        return replace(self, cb_buffer_size=cb_buffer_size)

@@ -1,0 +1,98 @@
+"""Result objects returned by every I/O strategy.
+
+A :class:`CollectiveResult` carries the simulated elapsed time, derived
+bandwidth, the full phase trace, and the memory/traffic statistics that
+the paper's evaluation reasons about: per-aggregator buffer sizes (mean,
+max, variance across aggregators), intra- vs inter-node shuffle volume,
+and round counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..sim.trace import TraceRecorder
+from ..util.units import fmt_bytes, fmt_rate
+
+__all__ = ["AggregatorInfo", "CollectiveResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class AggregatorInfo:
+    """One aggregator's assignment in an operation."""
+
+    rank: int
+    node_id: int
+    domain_bytes: int  # covered bytes of its file domain
+    buffer_bytes: int  # aggregation buffer it used
+    rounds: int
+    group_id: int = 0
+
+
+@dataclass(slots=True)
+class CollectiveResult:
+    """Outcome of one collective (or independent) I/O operation."""
+
+    kind: str  # "read" | "write"
+    strategy: str
+    elapsed: float  # simulated seconds
+    nbytes: int  # payload bytes moved to/from the file
+    n_rounds: int
+    aggregators: list[AggregatorInfo] = field(default_factory=list)
+    shuffle_intra_bytes: int = 0
+    shuffle_inter_bytes: int = 0
+    trace: TraceRecorder | None = None
+    extras: dict = field(default_factory=dict)  # strategy-specific stats
+
+    @property
+    def bandwidth(self) -> float:
+        """Achieved bytes/second (the y-axis of every figure)."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.nbytes / self.elapsed
+
+    @property
+    def n_aggregators(self) -> int:
+        return len(self.aggregators)
+
+    def buffer_sizes(self) -> np.ndarray:
+        return np.asarray([a.buffer_bytes for a in self.aggregators], dtype=np.int64)
+
+    @property
+    def buffer_mean(self) -> float:
+        sizes = self.buffer_sizes()
+        return float(sizes.mean()) if sizes.size else 0.0
+
+    @property
+    def buffer_max(self) -> int:
+        sizes = self.buffer_sizes()
+        return int(sizes.max()) if sizes.size else 0
+
+    @property
+    def buffer_std(self) -> float:
+        """Std-dev of aggregation buffer sizes across aggregators — the
+        'memory variance' the memory-conscious strategy minimizes."""
+        sizes = self.buffer_sizes()
+        return float(sizes.std()) if sizes.size else 0.0
+
+    @property
+    def shuffle_bytes(self) -> int:
+        return self.shuffle_intra_bytes + self.shuffle_inter_bytes
+
+    @property
+    def inter_node_fraction(self) -> float:
+        """Fraction of shuffle traffic that crossed the network."""
+        total = self.shuffle_bytes
+        return self.shuffle_inter_bytes / total if total else 0.0
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.strategy} {self.kind}: {fmt_bytes(self.nbytes)} in "
+            f"{self.elapsed * 1e3:.2f} ms -> {fmt_rate(self.bandwidth)}; "
+            f"{self.n_aggregators} aggregators, {self.n_rounds} rounds, "
+            f"shuffle {fmt_bytes(self.shuffle_bytes)} "
+            f"({self.inter_node_fraction:.0%} inter-node)"
+        )

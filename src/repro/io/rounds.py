@@ -1,0 +1,323 @@
+"""The two-phase round engine.
+
+Both the baseline and the memory-conscious strategy reduce, after
+planning, to the same execution shape: a set of file domains with
+aggregators and buffer sizes, processed in buffer-sized rounds of
+(shuffle, I/O). This module executes that shape: it prices the data
+movement through the flow model, applies the byte-accurate data path
+when the file tracks data, accounts memory allocations (including
+oversubscription → paging penalties), and assembles the
+:class:`~repro.io.result.CollectiveResult`.
+
+Timing model. Rounds are *not* globally synchronized (ROMIO aggregators
+advance as their own sends/receives complete; there is no barrier), but
+within one aggregator the phases serialize — it owns a single collective
+buffer, so round ``r+1``'s shuffle cannot start before round ``r``'s
+I/O drained the buffer. The makespan is therefore approximated by the
+maximum of two lower bounds, plus the latency terms:
+
+* **resource bound** — for every shared resource, all bytes that cross
+  it (all domains, all rounds, shuffle and I/O overlapped) divided by
+  its capacity;
+* **critical chain** — for every aggregator, the serial sum over its
+  rounds of that round's *contended* phase times: a round's shuffle
+  (I/O) costs the aggregator the drain time of the most-loaded resource
+  its own flows touch, counting every aggregator's traffic on that
+  resource that round. Aggregators whose rounds collide on the same
+  OSTs (ROMIO's stripe-aligned domains famously do) therefore pay the
+  collision, while aggregators on disjoint resources proceed
+  independently — no global barrier.
+
+For homogeneous plans (the baseline's identical per-node domains) this
+agrees with a strictly synchronized model; for heterogeneous plans it
+lets fast aggregators finish early instead of idling.
+
+Keeping one engine for both strategies guarantees that measured
+differences come from *planning decisions* (domains, aggregators,
+buffers, groups) and not from divergent cost accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from ..cluster.network import membw
+from ..fs.pfs import IOKind, SimFile
+from ..mpi.requests import AccessRequest
+from ..sim.flows import Flow
+from ..sim.trace import TraceRecorder
+from ..util.errors import CollectiveIOError
+from .context import IOContext
+from .domains import FileDomain
+from .result import AggregatorInfo, CollectiveResult
+from .shuffle import plan_exchange, shuffle_flows
+
+__all__ = ["execute_collective", "PAGING_PENALTY_FACTOR"]
+
+# When aggregation buffers exceed a node's available memory, the node
+# starts paging: its effective memory bandwidth is divided by
+# (1 + PAGING_PENALTY_FACTOR * paged_fraction_of_working_set). The
+# baseline can trigger this because it sizes buffers without looking at
+# memory; the memory-conscious strategy avoids it by construction.
+PAGING_PENALTY_FACTOR = 4.0
+
+
+def _allocate_buffers(
+    ctx: IOContext, domains: Sequence[FileDomain]
+) -> dict[int, float]:
+    """Claim aggregation buffers on host nodes; return paging slowdowns.
+
+    Returns ``{node_id: slowdown}`` for nodes pushed past their available
+    memory (empty when everything fits).
+    """
+    for idx, domain in enumerate(domains):
+        node = ctx.cluster.node_of_rank(domain.aggregator)
+        node.memory.allocate(
+            f"aggbuf:{idx}", domain.buffer_bytes, allow_oversubscribe=True
+        )
+    slowdowns: dict[int, float] = {}
+    for node in ctx.cluster.nodes:
+        over = node.memory.oversubscribed_bytes
+        if over > 0:
+            # Fraction of the aggregation working set that must page:
+            # bounded in (0, 1], so the worst slowdown is
+            # 1 + PAGING_PENALTY_FACTOR.
+            frac = over / max(node.memory.in_use, 1)
+            slowdowns[node.node_id] = 1.0 + PAGING_PENALTY_FACTOR * frac
+    return slowdowns
+
+
+def _release_buffers(ctx: IOContext, domains: Sequence[FileDomain]) -> None:
+    for idx, domain in enumerate(domains):
+        node = ctx.cluster.node_of_rank(domain.aggregator)
+        node.memory.release(f"aggbuf:{idx}")
+
+
+def _move_data(
+    file: SimFile,
+    requests_by_piece: Sequence,
+    kind: IOKind,
+) -> None:
+    """Byte-accurate data path for one round (verified mode only)."""
+    for piece, req in requests_by_piece:
+        if kind == "write":
+            file.apply_write(piece.piece, req.slice_payload(piece.piece))
+        else:
+            data = file.apply_read(piece.piece)
+            if data is not None:
+                req.scatter_payload(piece.piece, data)
+
+
+def execute_collective(
+    ctx: IOContext,
+    file: SimFile,
+    requests: Sequence[AccessRequest],
+    domains: Sequence[FileDomain],
+    *,
+    kind: IOKind,
+    strategy: str,
+    planning_time: float = 0.0,
+    group_sizes: dict[int, int] | None = None,
+) -> CollectiveResult:
+    """Run the generic two-phase schedule over the planned domains.
+
+    ``planning_time`` lets a strategy charge its own analysis cost (the
+    memory-conscious planner pays for group division and placement).
+    ``group_sizes`` maps group_id -> participant count, used to price
+    per-round synchronization within groups instead of globally.
+    """
+    for domain in domains:
+        ctx.comm.check_rank(domain.aggregator)
+        if domain.covered_bytes > 0 and domain.buffer_bytes <= 0:
+            raise CollectiveIOError(
+                f"domain at {domain.region} has no aggregation buffer"
+            )
+    trace = TraceRecorder()
+    trace.record(
+        "request_exchange",
+        ctx.comm.offsets_exchange_time(),
+        n_procs=ctx.n_procs,
+    )
+    if planning_time > 0:
+        trace.record("planning", planning_time)
+
+    slowdowns = _allocate_buffers(ctx, domains)
+    caps = ctx.capacity_map(kind)
+    for node_id, slowdown in slowdowns.items():
+        caps[membw(node_id)] = caps[membw(node_id)] / slowdown
+    for i in range(len(domains)):
+        caps.setdefault(ctx.pfs.stream_key(i), ctx.pfs.stream_capacity(kind))
+
+    # Each domain's candidate requests, pre-intersected with its
+    # coverage once — per-round windows are subsets of the coverage, so
+    # per-round intersections run on these (much smaller) pieces.
+    candidates: list[list[tuple[AccessRequest, "ExtentList"]]] = []
+    for domain in domains:
+        env = domain.coverage.envelope()
+        cands = []
+        for r in requests:
+            if r.extents.is_empty:
+                continue
+            r_env = r.extents.envelope()
+            if r_env.end <= env.offset or r_env.offset >= env.end:
+                continue
+            piece = r.extents.intersect(domain.coverage)
+            if not piece.is_empty:
+                cands.append((r, piece))
+        candidates.append(cands)
+
+    request_by_rank = {r.rank: r for r in requests}
+    total_rounds = max((d.rounds() for d in domains), default=0)
+    intra_total = 0
+    inter_total = 0
+    track = ctx.pfs.track_data
+
+    # Per-round control messages stay inside each group (the whole job
+    # when ungrouped).
+    if group_sizes:
+        sync_time = max(
+            ctx.comm.barrier_time(size) for size in group_sizes.values()
+        )
+    else:
+        sync_time = ctx.comm.barrier_time()
+
+    # Aggregate byte loads per resource (for the resource lower bound)
+    # and per-aggregator serial chains (for the critical-path bound).
+    resource_load: dict[Hashable, float] = {}
+    chain_time = [0.0 for _ in domains]
+    max_pieces_per_agg = 0
+    shuffle_bytes_total = 0
+    io_bytes_total = 0
+
+    def _accumulate(flows: list[Flow]) -> None:
+        for flow in flows:
+            for key in flow.resources:
+                resource_load[key] = resource_load.get(key, 0.0) + flow.charge_on(key)
+
+    try:
+        for r in range(total_rounds):
+            windows = [d.window(r) for d in domains]
+            active = [(i, w) for i, w in enumerate(windows) if not w.is_empty]
+            if not active:
+                continue
+            pieces = plan_exchange(candidates, windows, domains)
+            two_layer = ctx.hints.two_layer_shuffle
+            sh_flows, intra, inter = shuffle_flows(
+                pieces, ctx.comm, kind, two_layer=two_layer
+            )
+            intra_total += intra
+            inter_total += inter
+            shuffle_bytes_total += intra + inter
+
+            pieces_by_domain: dict[int, list] = {}
+            for piece in pieces:
+                pieces_by_domain.setdefault(piece.domain_index, []).append(piece)
+            flows_by_domain: dict[int, list[Flow]] = {}
+            for d_idx, d_pieces in pieces_by_domain.items():
+                flows, _, _ = shuffle_flows(
+                    d_pieces, ctx.comm, kind, two_layer=two_layer
+                )
+                flows_by_domain[d_idx] = flows
+                # Messages per aggregator: merged flows under two-layer
+                # coordination, raw pieces otherwise.
+                n_msgs = len(flows) if two_layer else len(d_pieces)
+                max_pieces_per_agg = max(max_pieces_per_agg, n_msgs)
+            _accumulate(sh_flows)
+
+            # Per-round contended loads, then each domain pays the drain
+            # time of the most-loaded resource its own flows touch.
+            round_sh_load: dict[Hashable, float] = {}
+            for flow in sh_flows:
+                for key in flow.resources:
+                    round_sh_load[key] = round_sh_load.get(key, 0.0) + flow.charge_on(key)
+            round_io_load: dict[Hashable, float] = {}
+            io_flows_by_domain: dict[int, list[Flow]] = {}
+            for i, window in active:
+                agg_node = ctx.comm.node_of(domains[i].aggregator)
+                io_flows = ctx.pfs.access_flows(
+                    agg_node, window, kind, label=f"io:d{i}:r{r}", stream=i
+                )
+                io_flows_by_domain[i] = io_flows
+                ctx.pfs.account_access(window, kind)
+                io_bytes_total += window.total
+                _accumulate(io_flows)
+                for flow in io_flows:
+                    for key in flow.resources:
+                        round_io_load[key] = round_io_load.get(key, 0.0) + flow.charge_on(key)
+
+            for i, _ in active:
+                sh_cost = max(
+                    (
+                        round_sh_load[key] / caps[key]
+                        for flow in flows_by_domain.get(i, [])
+                        for key in flow.resources
+                    ),
+                    default=0.0,
+                )
+                io_cost = max(
+                    (
+                        round_io_load[key] / caps[key]
+                        for flow in io_flows_by_domain[i]
+                        for key in flow.resources
+                    ),
+                    default=0.0,
+                )
+                chain_time[i] += sh_cost + io_cost
+
+            if track:
+                with_data = [
+                    (p, request_by_rank[p.src_rank])
+                    for p in pieces
+                    if request_by_rank[p.src_rank].data is not None
+                    or kind == "read"
+                ]
+                _move_data(file, with_data, kind)
+            elif kind == "write":
+                # Even without byte tracking, the file's logical size grows.
+                for i, window in active:
+                    file.apply_write(window, None)
+    finally:
+        _release_buffers(ctx, domains)
+
+    resource_bound = max(
+        (load / caps[key] for key, load in resource_load.items()),
+        default=0.0,
+    )
+    critical_chain = max(chain_time, default=0.0)
+    latency = total_rounds * (
+        sync_time + ctx.network.message_latency(max_pieces_per_agg)
+    )
+    transfer_time = max(resource_bound, critical_chain)
+    trace.record(
+        "transfer",
+        transfer_time + latency,
+        bytes_moved=shuffle_bytes_total + io_bytes_total,
+        resource_bytes=resource_load,
+        resource_bound=resource_bound,
+        critical_chain=critical_chain,
+        rounds=total_rounds,
+    )
+
+    infos = [
+        AggregatorInfo(
+            rank=d.aggregator,
+            node_id=ctx.comm.node_of(d.aggregator),
+            domain_bytes=d.covered_bytes,
+            buffer_bytes=d.buffer_bytes,
+            rounds=d.rounds(),
+            group_id=d.group_id,
+        )
+        for d in domains
+    ]
+    app_bytes = sum(r.nbytes for r in requests)
+    return CollectiveResult(
+        kind=kind,
+        strategy=strategy,
+        elapsed=trace.now,
+        nbytes=app_bytes,
+        n_rounds=total_rounds,
+        aggregators=infos,
+        shuffle_intra_bytes=intra_total,
+        shuffle_inter_bytes=inter_total,
+        trace=trace,
+    )

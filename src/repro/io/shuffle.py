@@ -1,0 +1,186 @@
+"""The data-shuffle phase: who sends what to which aggregator.
+
+For one round, each process intersects its request with each
+aggregator's round window; the non-empty pieces become point-to-point
+transfers. Intra-node pieces are memory copies (charged twice on the
+node's memory bus); inter-node pieces cross both NICs and the fabric
+core — the distinction that makes aggregator *placement* matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..cluster.network import BISECTION, membw, nic_in, nic_out
+from ..fs.pfs import IOKind
+from ..mpi.comm import SimComm
+from ..mpi.requests import AccessRequest
+from ..sim.flows import Flow
+from ..util.intervals import ExtentList
+from .domains import FileDomain
+
+__all__ = ["ExchangePiece", "plan_exchange", "shuffle_flows"]
+
+
+@dataclass(frozen=True, slots=True)
+class ExchangePiece:
+    """Bytes one process exchanges with one aggregator in one round."""
+
+    src_rank: int  # the requesting process
+    agg_rank: int  # the aggregator
+    domain_index: int
+    piece: ExtentList
+
+    @property
+    def nbytes(self) -> int:
+        return self.piece.total
+
+
+def plan_exchange(
+    candidates: Sequence[Sequence[tuple[AccessRequest, ExtentList]]],
+    windows: Sequence[ExtentList],
+    domains: Sequence[FileDomain],
+) -> list[ExchangePiece]:
+    """Intersect candidate pieces with each aggregator's round window.
+
+    ``windows[i]`` is the slice of ``domains[i]`` handled this round and
+    ``candidates[i]`` holds ``(request, request ∩ domain_coverage)``
+    pairs computed once by the round engine — per-round work then runs
+    on the pre-intersected (small) pieces. Pairs whose envelope misses
+    the window are skipped cheaply.
+    """
+    pieces: list[ExchangePiece] = []
+    for d_idx, (window, domain) in enumerate(zip(windows, domains)):
+        if window.is_empty:
+            continue
+        w_env = window.envelope()
+        for req, dom_piece in candidates[d_idx]:
+            if dom_piece.is_empty:
+                continue
+            r_env = dom_piece.envelope()
+            if r_env.end <= w_env.offset or r_env.offset >= w_env.end:
+                continue
+            piece = dom_piece.intersect(window)
+            if piece.is_empty:
+                continue
+            pieces.append(
+                ExchangePiece(
+                    src_rank=req.rank,
+                    agg_rank=domain.aggregator,
+                    domain_index=d_idx,
+                    piece=piece,
+                )
+            )
+    return pieces
+
+
+def shuffle_flows(
+    pieces: Sequence[ExchangePiece],
+    comm: SimComm,
+    kind: IOKind,
+    *,
+    two_layer: bool = False,
+) -> tuple[list[Flow], int, int]:
+    """Flows for one round's shuffle, plus (intra, inter) byte counts.
+
+    For writes, data moves process → aggregator; for reads the same
+    pieces move aggregator → process (NIC directions swap).
+
+    Intra-node pieces are modelled as one memory copy: the node's
+    off-chip bus carries each byte twice (read + write). Inter-node
+    pieces charge the sender's bus once (read), both NICs, the fabric
+    core, and the receiver's bus once (write).
+
+    ``two_layer`` enables the paper's intra-node/inter-node coordination:
+    pieces from the same source node to the same aggregator are first
+    gathered at a node leader (an extra copy across the source node's
+    memory bus) and cross the network as *one* message — the flow count
+    (and therefore the per-round message-startup latency the caller
+    charges) drops from O(processes) to O(nodes), at the price of one
+    more memory-bandwidth pass.
+    """
+    intra = 0
+    inter = 0
+    if two_layer:
+        merged: dict[tuple[int, int], int] = {}
+        for piece in pieces:
+            if piece.nbytes == 0:
+                continue
+            key = (comm.node_of(piece.src_rank), piece.agg_rank)
+            merged[key] = merged.get(key, 0) + piece.nbytes
+        flows: list[Flow] = []
+        for (src_node, agg_rank), nbytes in merged.items():
+            agg_node = comm.node_of(agg_rank)
+            if kind == "write":
+                from_node, to_node = src_node, agg_node
+            else:
+                from_node, to_node = agg_node, src_node
+            label = f"shuffle2l:n{src_node}->{agg_rank}"
+            if from_node == to_node:
+                intra += nbytes
+                flows.append(
+                    Flow(
+                        size=float(nbytes),
+                        resources=(membw(from_node),),
+                        label=label,
+                        resource_sizes={membw(from_node): 2.0 * nbytes},
+                    )
+                )
+            else:
+                inter += nbytes
+                # Gather copy at the leader (2 bus passes) + network hop.
+                flows.append(
+                    Flow(
+                        size=float(nbytes),
+                        resources=(
+                            membw(from_node),
+                            nic_out(from_node),
+                            BISECTION,
+                            nic_in(to_node),
+                            membw(to_node),
+                        ),
+                        label=label,
+                        resource_sizes={membw(from_node): 3.0 * nbytes},
+                    )
+                )
+        return flows, intra, inter
+
+    flows = []
+    for piece in pieces:
+        nbytes = piece.nbytes
+        if nbytes == 0:
+            continue
+        src_node = comm.node_of(piece.src_rank)
+        agg_node = comm.node_of(piece.agg_rank)
+        if kind == "write":
+            from_node, to_node = src_node, agg_node
+        else:
+            from_node, to_node = agg_node, src_node
+        label = f"shuffle:{piece.src_rank}->{piece.agg_rank}"
+        if from_node == to_node:
+            intra += nbytes
+            flows.append(
+                Flow(
+                    size=float(nbytes),
+                    resources=(membw(from_node),),
+                    label=label,
+                    resource_sizes={membw(from_node): 2.0 * nbytes},
+                )
+            )
+        else:
+            inter += nbytes
+            flows.append(
+                Flow(
+                    size=float(nbytes),
+                    resources=(
+                        membw(from_node),
+                        nic_out(from_node),
+                        BISECTION,
+                        nic_in(to_node),
+                        membw(to_node),
+                    ),
+                    label=label,
+                )
+            )
+    return flows, intra, inter

@@ -1,0 +1,74 @@
+"""Baseline: ROMIO-style two-phase collective I/O.
+
+The reference implementation the paper compares against:
+
+* aggregators: exactly ``cb_nodes_per_node`` processes per physical node
+  (ROMIO default: one — the lowest rank on each node), chosen without
+  looking at memory or data distribution;
+* file domains: the aggregate access region divided *evenly* among
+  aggregators (optionally stripe-aligned), independent of which
+  processes hold the data;
+* buffers: a fixed ``cb_buffer_size`` per aggregator regardless of the
+  host node's available memory (memory-oblivious — the engine applies a
+  paging penalty if a node is pushed past its memory).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..fs.pfs import IOKind, SimFile
+from ..mpi.requests import AccessRequest
+from ..util.errors import CollectiveIOError
+from .base import IOStrategy
+from .context import IOContext
+from .domains import even_domains
+from .result import CollectiveResult
+from .rounds import execute_collective
+
+__all__ = ["TwoPhaseCollectiveIO", "default_aggregators"]
+
+
+def default_aggregators(ctx: IOContext, per_node: int) -> list[int]:
+    """ROMIO's default aggregator choice: first ``per_node`` ranks of
+    each occupied node, in node order."""
+    ranks: list[int] = []
+    for node in ctx.cluster.nodes:
+        on_node = ctx.cluster.ranks_on_node(node.node_id)
+        take = min(per_node, on_node.size)
+        ranks.extend(int(r) for r in on_node[:take])
+    if not ranks:
+        raise CollectiveIOError("no ranks available to act as aggregators")
+    return ranks
+
+
+class TwoPhaseCollectiveIO(IOStrategy):
+    """The normal two-phase collective I/O of ROMIO (the baseline)."""
+
+    name = "two-phase"
+
+    def run(
+        self,
+        ctx: IOContext,
+        file: SimFile,
+        requests: Sequence[AccessRequest],
+        *,
+        kind: IOKind,
+    ) -> CollectiveResult:
+        hints = ctx.hints
+        aggregators = default_aggregators(ctx, hints.cb_nodes_per_node)
+        domains = even_domains(
+            requests,
+            aggregators,
+            buffer_bytes=hints.cb_buffer_size,
+            layout=ctx.pfs.layout,
+            align_to_stripes=hints.align_domains_to_stripes,
+        )
+        return execute_collective(
+            ctx,
+            file,
+            requests,
+            domains,
+            kind=kind,
+            strategy=self.name,
+        )

@@ -1,0 +1,17 @@
+"""Metrics: comparisons, memory summaries, table rendering."""
+
+from .export import dump_results, load_results, result_to_dict
+from .reporting import bandwidth_table, render_table
+from .stats import MemorySummary, RunComparison, improvement, memory_summary
+
+__all__ = [
+    "improvement",
+    "memory_summary",
+    "MemorySummary",
+    "RunComparison",
+    "render_table",
+    "bandwidth_table",
+    "result_to_dict",
+    "dump_results",
+    "load_results",
+]

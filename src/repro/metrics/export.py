@@ -1,0 +1,92 @@
+"""Result/trace serialization.
+
+Benchmark pipelines want machine-readable output next to the rendered
+tables: :func:`result_to_dict` flattens a
+:class:`~repro.io.result.CollectiveResult` (including its phase trace)
+into plain JSON-compatible data, :func:`dump_results` writes a list of
+them, and :func:`load_results` reads them back for post-processing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+from ..io.result import CollectiveResult
+
+__all__ = ["result_to_dict", "dump_results", "load_results"]
+
+
+def _key_to_str(key: Any) -> str:
+    """Resource keys are tuples like ('ost', 3); JSON wants strings."""
+    if isinstance(key, tuple):
+        return ":".join(str(part) for part in key)
+    return str(key)
+
+
+def result_to_dict(result: CollectiveResult) -> dict:
+    """Flatten one result (and its trace) to JSON-compatible data."""
+    out: dict[str, Any] = {
+        "kind": result.kind,
+        "strategy": result.strategy,
+        "elapsed_s": result.elapsed,
+        "nbytes": result.nbytes,
+        "bandwidth_Bps": result.bandwidth,
+        "n_rounds": result.n_rounds,
+        "n_aggregators": result.n_aggregators,
+        "buffer_mean": result.buffer_mean,
+        "buffer_std": result.buffer_std,
+        "buffer_max": result.buffer_max,
+        "shuffle_intra_bytes": result.shuffle_intra_bytes,
+        "shuffle_inter_bytes": result.shuffle_inter_bytes,
+        "extras": dict(result.extras),
+        "aggregators": [
+            {
+                "rank": a.rank,
+                "node": a.node_id,
+                "domain_bytes": a.domain_bytes,
+                "buffer_bytes": a.buffer_bytes,
+                "rounds": a.rounds,
+                "group": a.group_id,
+            }
+            for a in result.aggregators
+        ],
+    }
+    if result.trace is not None:
+        out["trace"] = [
+            {
+                "name": p.name,
+                "start_s": p.start,
+                "duration_s": p.duration,
+                "bytes_moved": p.bytes_moved,
+                "resource_bytes": {
+                    _key_to_str(k): v for k, v in p.resource_bytes.items()
+                },
+                "meta": {
+                    k: v
+                    for k, v in p.meta.items()
+                    if isinstance(v, (int, float, str, bool))
+                },
+            }
+            for p in result.trace
+        ]
+    return out
+
+
+def dump_results(
+    path: str | Path, results: Sequence[CollectiveResult], **metadata: Any
+) -> Path:
+    """Write results (plus free-form run metadata) as one JSON document."""
+    path = Path(path)
+    document = {
+        "metadata": metadata,
+        "results": [result_to_dict(r) for r in results],
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True))
+    return path
+
+
+def load_results(path: str | Path) -> dict:
+    """Read a document written by :func:`dump_results`."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,54 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harness prints the same rows the paper's figures plot;
+these helpers keep that output aligned and unit-consistent without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..util.units import MiB, fmt_rate
+
+__all__ = ["render_table", "bandwidth_table"]
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], *, title: str = ""
+) -> str:
+    """Fixed-width table with a rule under the header."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def bandwidth_table(
+    axis_name: str,
+    rows: Sequence[tuple],
+    *,
+    title: str = "",
+    axis_format=lambda v: f"{v // MiB} MiB" if isinstance(v, int) else str(v),
+) -> str:
+    """Render (axis, baseline_bw, mc_bw, improvement) rows like a figure."""
+    headers = [axis_name, "two-phase", "memory-conscious", "improvement"]
+    body = [
+        (
+            axis_format(axis),
+            fmt_rate(base_bw),
+            fmt_rate(mc_bw),
+            f"{imp * 100:+.1f}%",
+        )
+        for axis, base_bw, mc_bw, imp in rows
+    ]
+    return render_table(headers, body, title=title)

@@ -1,0 +1,93 @@
+"""Aggregate statistics over collective-I/O results.
+
+The paper's claims are about more than bandwidth: memory *pressure*
+(per-aggregator buffer consumption), memory *variance* across
+aggregators, off-chip *bandwidth contention* (bytes through node memory
+buses), and shuffle locality. :class:`RunComparison` computes the
+paper's headline quantities — per-point improvement and average
+improvement of MC-CIO over the baseline — from result pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..io.result import CollectiveResult
+
+__all__ = ["improvement", "RunComparison", "memory_summary"]
+
+
+def improvement(mc: CollectiveResult, baseline: CollectiveResult) -> float:
+    """Fractional bandwidth gain of MC over baseline (0.34 == +34.2%)."""
+    if baseline.bandwidth <= 0:
+        return float("inf") if mc.bandwidth > 0 else 0.0
+    return mc.bandwidth / baseline.bandwidth - 1.0
+
+
+@dataclass(frozen=True, slots=True)
+class MemorySummary:
+    """Buffer-consumption view of one result."""
+
+    total_buffer_bytes: int
+    mean_buffer_bytes: float
+    max_buffer_bytes: int
+    std_buffer_bytes: float
+    n_aggregators: int
+
+    @classmethod
+    def of(cls, result: CollectiveResult) -> "MemorySummary":
+        sizes = result.buffer_sizes()
+        if sizes.size == 0:
+            return cls(0, 0.0, 0, 0.0, 0)
+        return cls(
+            total_buffer_bytes=int(sizes.sum()),
+            mean_buffer_bytes=float(sizes.mean()),
+            max_buffer_bytes=int(sizes.max()),
+            std_buffer_bytes=float(sizes.std()),
+            n_aggregators=int(sizes.size),
+        )
+
+
+def memory_summary(result: CollectiveResult) -> MemorySummary:
+    """Shorthand for :meth:`MemorySummary.of`."""
+    return MemorySummary.of(result)
+
+
+@dataclass(slots=True)
+class RunComparison:
+    """Paired sweep of MC vs baseline across a parameter axis."""
+
+    axis_name: str
+    axis_values: list
+    baseline: list[CollectiveResult]
+    mc: list[CollectiveResult]
+
+    def __post_init__(self) -> None:
+        if not (len(self.axis_values) == len(self.baseline) == len(self.mc)):
+            raise ValueError("comparison arms must have equal lengths")
+
+    def improvements(self) -> np.ndarray:
+        return np.asarray(
+            [improvement(m, b) for m, b in zip(self.mc, self.baseline)]
+        )
+
+    @property
+    def average_improvement(self) -> float:
+        """Arithmetic mean of per-point improvements (how the paper
+        reports its '34.2% average' numbers)."""
+        return float(self.improvements().mean())
+
+    @property
+    def best_improvement(self) -> tuple[float, object]:
+        imps = self.improvements()
+        i = int(np.argmax(imps))
+        return float(imps[i]), self.axis_values[i]
+
+    def bandwidth_rows(self) -> list[tuple]:
+        """(axis, baseline B/W, mc B/W, improvement) rows for reporting."""
+        return [
+            (v, b.bandwidth, m.bandwidth, improvement(m, b))
+            for v, b, m in zip(self.axis_values, self.baseline, self.mc)
+        ]

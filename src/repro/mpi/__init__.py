@@ -1,0 +1,51 @@
+"""Simulated MPI layer: datatypes, file views, requests, communicator."""
+
+from .comm import SimComm
+from .datatypes import (
+    BYTE,
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    INT,
+    BasicType,
+    Contiguous,
+    Datatype,
+    HIndexed,
+    Indexed,
+    Subarray,
+    Vector,
+    contiguous,
+    hindexed,
+    indexed,
+    subarray,
+    vector,
+)
+from .fileview import FileView, contiguous_view
+from .requests import AccessRequest, pattern_bytes, request_from_view, total_bytes
+
+__all__ = [
+    "Datatype",
+    "BasicType",
+    "BYTE",
+    "CHAR",
+    "INT",
+    "FLOAT",
+    "DOUBLE",
+    "Contiguous",
+    "Vector",
+    "Indexed",
+    "HIndexed",
+    "Subarray",
+    "contiguous",
+    "vector",
+    "indexed",
+    "hindexed",
+    "subarray",
+    "FileView",
+    "contiguous_view",
+    "AccessRequest",
+    "request_from_view",
+    "pattern_bytes",
+    "total_bytes",
+    "SimComm",
+]

@@ -1,0 +1,72 @@
+"""Simulated MPI communicator.
+
+Binds a rank space to a :class:`~repro.cluster.topology.Cluster` and
+prices the metadata collectives that collective I/O issues (offset/length
+allgathers, barriers). Data movement is *not* done here — the I/O
+strategies build explicit flow phases for it; the communicator only
+models the small, latency-bound exchanges.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..cluster.network import NetworkModel
+from ..cluster.topology import Cluster
+from ..util.errors import CommunicatorError
+
+__all__ = ["SimComm"]
+
+# Bytes of metadata exchanged per process in the request-exchange step of
+# two-phase I/O: start offset + end offset + count (ROMIO exchanges
+# st_offsets[] and end_offsets[] arrays).
+OFFSET_METADATA_BYTES = 24
+
+
+class SimComm:
+    """Rank space + metadata-collective cost model for one job."""
+
+    def __init__(self, cluster: Cluster, network: NetworkModel | None = None) -> None:
+        self.cluster = cluster
+        self.network = network if network is not None else NetworkModel(cluster.machine)
+
+    @property
+    def size(self) -> int:
+        return self.cluster.n_procs
+
+    def check_rank(self, rank: int) -> int:
+        if not 0 <= rank < self.size:
+            raise CommunicatorError(f"rank {rank} out of range [0, {self.size})")
+        return rank
+
+    def node_of(self, rank: int) -> int:
+        return self.cluster.node_id_of_rank(self.check_rank(rank))
+
+    def nodes_of(self, ranks: Sequence[int] | np.ndarray) -> np.ndarray:
+        ranks = np.asarray(ranks, dtype=np.int64)
+        if ranks.size and (ranks.min() < 0 or ranks.max() >= self.size):
+            raise CommunicatorError("rank out of range in nodes_of()")
+        return self.cluster.rank_to_node[ranks]
+
+    def ranks_by_node(self) -> dict[int, np.ndarray]:
+        """node id -> ascending array of ranks it hosts."""
+        return {
+            node.node_id: self.cluster.ranks_on_node(node.node_id)
+            for node in self.cluster.nodes
+        }
+
+    # -------------------------------------------------------- cost models
+    def offsets_exchange_time(self, group_size: int | None = None) -> float:
+        """Allgather of each process's (start, end, count) request summary."""
+        n = self.size if group_size is None else group_size
+        return self.network.collective_metadata_time(n, OFFSET_METADATA_BYTES)
+
+    def allgather_time(self, bytes_per_proc: int, group_size: int | None = None) -> float:
+        n = self.size if group_size is None else group_size
+        return self.network.collective_metadata_time(n, bytes_per_proc)
+
+    def barrier_time(self, group_size: int | None = None) -> float:
+        n = self.size if group_size is None else group_size
+        return self.network.barrier_time(n)

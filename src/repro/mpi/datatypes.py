@@ -1,0 +1,405 @@
+"""MPI derived datatypes with byte-accurate flattening.
+
+Collective I/O begins by *flattening* each process's datatype into a
+list of (offset, length) byte segments — ROMIO's ``ADIOI_Flatten``. This
+module reimplements the datatype constructors scientific codes actually
+use (contiguous, vector, indexed, hindexed, subarray) on top of
+:class:`~repro.util.intervals.ExtentList`.
+
+Conventions (matching MPI semantics with lower bound 0):
+
+* ``size``  — number of *data* bytes one instance carries.
+* ``extent`` — the span the type occupies, i.e. the stride between
+  consecutive instances in a contiguous sequence.
+* ``flatten()`` — the data bytes of one instance as extents relative to
+  the instance origin, normalized (sorted, coalesced). MPI-IO requires
+  monotonically non-decreasing, non-overlapping file-view displacements,
+  so normalization is semantics-preserving for every legal file view.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Sequence
+
+import numpy as np
+
+from ..util.errors import DatatypeError
+from ..util.intervals import ExtentList
+
+__all__ = [
+    "Datatype",
+    "BasicType",
+    "BYTE",
+    "CHAR",
+    "INT",
+    "FLOAT",
+    "DOUBLE",
+    "Contiguous",
+    "Vector",
+    "Indexed",
+    "HIndexed",
+    "Subarray",
+    "contiguous",
+    "vector",
+    "indexed",
+    "hindexed",
+    "subarray",
+]
+
+
+class Datatype:
+    """Base class; subclasses define ``size``, ``extent``, ``_flatten``."""
+
+    @property
+    def size(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def extent(self) -> int:
+        raise NotImplementedError
+
+    @cached_property
+    def flattened(self) -> ExtentList:
+        """Normalized byte extents of one instance (cached)."""
+        el = self._flatten()
+        if el.total != self.size:
+            raise DatatypeError(
+                f"{type(self).__name__}: flattened bytes {el.total} != "
+                f"size {self.size} (overlapping segments in datatype?)"
+            )
+        return el
+
+    def _flatten(self) -> ExtentList:
+        raise NotImplementedError
+
+    @property
+    def is_contiguous(self) -> bool:
+        """True when the data bytes form one solid block from offset 0."""
+        el = self.flattened
+        return len(el) == 1 and el[0].offset == 0 and el[0].length == self.extent
+
+    def flatten_count(self, count: int) -> ExtentList:
+        """Extents of ``count`` consecutive instances."""
+        if count < 0:
+            raise DatatypeError(f"negative count {count}")
+        if count == 0:
+            return ExtentList.empty()
+        base = self.flattened
+        if count == 1:
+            return base
+        reps = np.arange(count, dtype=np.int64) * self.extent
+        starts = (reps[:, None] + base.starts[None, :]).ravel()
+        ends = (reps[:, None] + base.ends[None, :]).ravel()
+        return ExtentList(starts, ends)
+
+
+class BasicType(Datatype):
+    """A named elementary type (contiguous block of ``nbytes``)."""
+
+    __slots__ = ("name", "_nbytes")
+
+    def __init__(self, name: str, nbytes: int) -> None:
+        if nbytes <= 0:
+            raise DatatypeError(f"basic type must have positive size, got {nbytes}")
+        self.name = name
+        self._nbytes = int(nbytes)
+
+    @property
+    def size(self) -> int:
+        return self._nbytes
+
+    @property
+    def extent(self) -> int:
+        return self._nbytes
+
+    def _flatten(self) -> ExtentList:
+        return ExtentList.single(0, self._nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MPI_{self.name}"
+
+
+BYTE = BasicType("BYTE", 1)
+CHAR = BasicType("CHAR", 1)
+INT = BasicType("INT", 4)
+FLOAT = BasicType("FLOAT", 4)
+DOUBLE = BasicType("DOUBLE", 8)
+
+
+class Contiguous(Datatype):
+    """``count`` back-to-back instances of ``base``."""
+
+    def __init__(self, count: int, base: Datatype) -> None:
+        if count < 0:
+            raise DatatypeError(f"negative count {count}")
+        self.count = int(count)
+        self.base = base
+
+    @property
+    def size(self) -> int:
+        return self.count * self.base.size
+
+    @property
+    def extent(self) -> int:
+        return self.count * self.base.extent
+
+    def _flatten(self) -> ExtentList:
+        return self.base.flatten_count(self.count)
+
+
+class Vector(Datatype):
+    """``count`` blocks of ``blocklength`` base elements, ``stride`` apart.
+
+    ``stride`` is in base-type extents (MPI_Type_vector semantics).
+    """
+
+    def __init__(self, count: int, blocklength: int, stride: int, base: Datatype):
+        if count < 0 or blocklength < 0:
+            raise DatatypeError(
+                f"negative count/blocklength ({count}, {blocklength})"
+            )
+        if count > 1 and stride < blocklength:
+            raise DatatypeError(
+                f"stride {stride} < blocklength {blocklength} would overlap"
+            )
+        self.count = int(count)
+        self.blocklength = int(blocklength)
+        self.stride = int(stride)
+        self.base = base
+
+    @property
+    def size(self) -> int:
+        return self.count * self.blocklength * self.base.size
+
+    @property
+    def extent(self) -> int:
+        if self.count == 0 or self.blocklength == 0:
+            return 0
+        return ((self.count - 1) * self.stride + self.blocklength) * self.base.extent
+
+    def _flatten(self) -> ExtentList:
+        block = self.base.flatten_count(self.blocklength)
+        if block.is_empty or self.count == 0:
+            return ExtentList.empty()
+        reps = np.arange(self.count, dtype=np.int64) * (
+            self.stride * self.base.extent
+        )
+        starts = (reps[:, None] + block.starts[None, :]).ravel()
+        ends = (reps[:, None] + block.ends[None, :]).ravel()
+        return ExtentList(starts, ends)
+
+
+class Indexed(Datatype):
+    """Blocks of varying length at element-granular displacements."""
+
+    def __init__(
+        self,
+        blocklengths: Sequence[int],
+        displacements: Sequence[int],
+        base: Datatype,
+    ) -> None:
+        if len(blocklengths) != len(displacements):
+            raise DatatypeError(
+                "blocklengths and displacements must have equal length"
+            )
+        self.blocklengths = np.asarray(blocklengths, dtype=np.int64)
+        self.displacements = np.asarray(displacements, dtype=np.int64)
+        if np.any(self.blocklengths < 0):
+            raise DatatypeError("negative blocklength")
+        if np.any(self.displacements < 0):
+            raise DatatypeError("negative displacement")
+        self.base = base
+
+    @property
+    def size(self) -> int:
+        return int(self.blocklengths.sum() * self.base.size)
+
+    @property
+    def extent(self) -> int:
+        if self.blocklengths.size == 0:
+            return 0
+        ub = int((self.displacements + self.blocklengths).max()) * self.base.extent
+        return ub
+
+    def _flatten(self) -> ExtentList:
+        if self.blocklengths.size == 0:
+            return ExtentList.empty()
+        if self.base.is_contiguous:
+            starts = self.displacements * self.base.extent
+            ends = starts + self.blocklengths * self.base.size
+            return ExtentList(starts, ends)
+        pieces = [
+            self.base.flatten_count(int(bl)).shift(int(d) * self.base.extent)
+            for bl, d in zip(self.blocklengths, self.displacements)
+        ]
+        return ExtentList.union_all(pieces)
+
+
+class HIndexed(Datatype):
+    """Indexed with byte-granular displacements (MPI_Type_create_hindexed)."""
+
+    def __init__(
+        self,
+        blocklengths: Sequence[int],
+        byte_displacements: Sequence[int],
+        base: Datatype,
+    ) -> None:
+        if len(blocklengths) != len(byte_displacements):
+            raise DatatypeError(
+                "blocklengths and byte_displacements must have equal length"
+            )
+        self.blocklengths = np.asarray(blocklengths, dtype=np.int64)
+        self.byte_displacements = np.asarray(byte_displacements, dtype=np.int64)
+        if np.any(self.blocklengths < 0):
+            raise DatatypeError("negative blocklength")
+        if np.any(self.byte_displacements < 0):
+            raise DatatypeError("negative byte displacement")
+        self.base = base
+
+    @property
+    def size(self) -> int:
+        return int(self.blocklengths.sum() * self.base.size)
+
+    @property
+    def extent(self) -> int:
+        if self.blocklengths.size == 0:
+            return 0
+        return int(
+            (
+                self.byte_displacements
+                + self.blocklengths * self.base.extent
+            ).max()
+        )
+
+    def _flatten(self) -> ExtentList:
+        if self.blocklengths.size == 0:
+            return ExtentList.empty()
+        if self.base.is_contiguous:
+            starts = self.byte_displacements.copy()
+            ends = starts + self.blocklengths * self.base.size
+            return ExtentList(starts, ends)
+        pieces = [
+            self.base.flatten_count(int(bl)).shift(int(d))
+            for bl, d in zip(self.blocklengths, self.byte_displacements)
+        ]
+        return ExtentList.union_all(pieces)
+
+
+class Subarray(Datatype):
+    """An n-D subarray of a larger n-D array (MPI_Type_create_subarray).
+
+    This is the workhorse of ``coll_perf``-style benchmarks: each process
+    owns one block of a global 3-D array stored in row-major order.
+    ``base`` must be a contiguous type (elements).
+    """
+
+    def __init__(
+        self,
+        sizes: Sequence[int],
+        subsizes: Sequence[int],
+        starts: Sequence[int],
+        base: Datatype,
+        *,
+        order: str = "C",
+    ) -> None:
+        self.sizes = tuple(int(s) for s in sizes)
+        self.subsizes = tuple(int(s) for s in subsizes)
+        self.starts = tuple(int(s) for s in starts)
+        if not (len(self.sizes) == len(self.subsizes) == len(self.starts)):
+            raise DatatypeError("sizes/subsizes/starts must have equal rank")
+        if len(self.sizes) == 0:
+            raise DatatypeError("subarray rank must be >= 1")
+        for d, (n, sub, st) in enumerate(
+            zip(self.sizes, self.subsizes, self.starts)
+        ):
+            if n <= 0 or sub <= 0 or st < 0 or st + sub > n:
+                raise DatatypeError(
+                    f"dimension {d}: invalid (size={n}, subsize={sub}, start={st})"
+                )
+        if order not in ("C", "F"):
+            raise DatatypeError(f"order must be 'C' or 'F', got {order!r}")
+        if not base.is_contiguous:
+            raise DatatypeError("subarray base must be contiguous")
+        self.order = order
+        self.base = base
+
+    @property
+    def size(self) -> int:
+        total = 1
+        for s in self.subsizes:
+            total *= s
+        return total * self.base.size
+
+    @property
+    def extent(self) -> int:
+        total = 1
+        for s in self.sizes:
+            total *= s
+        return total * self.base.extent
+
+    def _flatten(self) -> ExtentList:
+        sizes, subsizes, starts = self.sizes, self.subsizes, self.starts
+        if self.order == "F":
+            sizes, subsizes, starts = sizes[::-1], subsizes[::-1], starts[::-1]
+        elem = self.base.extent
+        ndim = len(sizes)
+        # Row-major strides in bytes.
+        strides = np.ones(ndim, dtype=np.int64)
+        for d in range(ndim - 2, -1, -1):
+            strides[d] = strides[d + 1] * sizes[d + 1]
+        strides *= elem
+        run_len = subsizes[-1] * elem
+        # Start offsets of each contiguous run: all index combinations over
+        # the leading dims, plus the fixed start in the last dim.
+        lead = subsizes[:-1]
+        base_off = int(np.dot(np.asarray(starts, dtype=np.int64), strides))
+        if lead:
+            grids = np.meshgrid(
+                *[np.arange(n, dtype=np.int64) for n in lead], indexing="ij"
+            )
+            offsets = base_off + sum(
+                g.ravel() * strides[d] for d, g in enumerate(grids)
+            )
+        else:
+            offsets = np.asarray([base_off], dtype=np.int64)
+        return ExtentList.from_arrays(
+            offsets, np.full(offsets.size, run_len, dtype=np.int64)
+        )
+
+
+# ------------------------------------------------------------ conveniences
+def contiguous(count: int, base: Datatype = BYTE) -> Contiguous:
+    """Shorthand constructor mirroring ``MPI_Type_contiguous``."""
+    return Contiguous(count, base)
+
+
+def vector(count: int, blocklength: int, stride: int, base: Datatype = BYTE) -> Vector:
+    """Shorthand constructor mirroring ``MPI_Type_vector``."""
+    return Vector(count, blocklength, stride, base)
+
+
+def indexed(
+    blocklengths: Sequence[int], displacements: Sequence[int], base: Datatype = BYTE
+) -> Indexed:
+    """Shorthand constructor mirroring ``MPI_Type_indexed``."""
+    return Indexed(blocklengths, displacements, base)
+
+
+def hindexed(
+    blocklengths: Sequence[int], displacements: Sequence[int], base: Datatype = BYTE
+) -> HIndexed:
+    """Shorthand constructor mirroring ``MPI_Type_create_hindexed``."""
+    return HIndexed(blocklengths, displacements, base)
+
+
+def subarray(
+    sizes: Sequence[int],
+    subsizes: Sequence[int],
+    starts: Sequence[int],
+    base: Datatype = BYTE,
+    *,
+    order: str = "C",
+) -> Subarray:
+    """Shorthand constructor mirroring ``MPI_Type_create_subarray``."""
+    return Subarray(sizes, subsizes, starts, base, order=order)

@@ -1,0 +1,124 @@
+"""MPI file views: displacement + etype + filetype tiling.
+
+A file view exposes a (possibly noncontiguous) window of the file to a
+process: starting at ``displacement``, the ``filetype`` pattern tiles
+the file end-to-end, and only the bytes inside the filetype's segments
+are visible. A read/write of N bytes at view position P touches the
+file bytes whose *view-linear rank* lies in [P, P+N).
+
+:meth:`FileView.extents_for` performs that mapping vectorized — it is
+the per-process half of request flattening; the collective layers work
+on the resulting absolute extents.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..util.errors import FileViewError
+from ..util.intervals import ExtentList
+from .datatypes import BYTE, Datatype
+
+__all__ = ["FileView", "contiguous_view"]
+
+
+def _slice_pattern(pattern: ExtentList, lo_rank: int, hi_rank: int) -> ExtentList:
+    """Bytes of ``pattern`` whose linearized rank lies in [lo_rank, hi_rank)."""
+    return pattern.slice_bytes(lo_rank, hi_rank)
+
+
+class FileView:
+    """One process's window onto a shared file."""
+
+    __slots__ = ("displacement", "etype", "filetype")
+
+    def __init__(
+        self,
+        displacement: int = 0,
+        etype: Datatype = BYTE,
+        filetype: Datatype | None = None,
+    ) -> None:
+        if displacement < 0:
+            raise FileViewError(f"negative displacement {displacement}")
+        filetype = filetype if filetype is not None else etype
+        if etype.size <= 0:
+            raise FileViewError("etype must have positive size")
+        if filetype.size <= 0:
+            raise FileViewError("filetype must have positive size")
+        if filetype.size % etype.size != 0:
+            raise FileViewError(
+                f"filetype size {filetype.size} not a multiple of etype "
+                f"size {etype.size}"
+            )
+        if filetype.extent < filetype.flattened.envelope().end:
+            raise FileViewError("filetype extent smaller than its data span")
+        self.displacement = int(displacement)
+        self.etype = etype
+        self.filetype = filetype
+
+    @property
+    def bytes_per_tile(self) -> int:
+        """Visible bytes in one filetype repetition."""
+        return self.filetype.size
+
+    @property
+    def tile_extent(self) -> int:
+        """File-space span of one filetype repetition."""
+        return self.filetype.extent
+
+    def extents_for(self, view_offset: int, nbytes: int) -> ExtentList:
+        """Absolute file extents for ``nbytes`` at view byte-offset ``view_offset``.
+
+        ``view_offset`` is in *view-linear bytes* (use
+        :meth:`extents_for_etypes` for MPI's etype-granular offsets).
+        """
+        if view_offset < 0 or nbytes < 0:
+            raise FileViewError(
+                f"invalid access (offset={view_offset}, nbytes={nbytes})"
+            )
+        if nbytes == 0:
+            return ExtentList.empty()
+        pattern = self.filetype.flattened
+        tile_size = self.bytes_per_tile
+        ext = self.tile_extent
+        if ext == 0:
+            raise FileViewError("filetype with zero extent cannot tile")
+        t0 = view_offset // tile_size
+        t1 = (view_offset + nbytes - 1) // tile_size
+        pieces: list[ExtentList] = []
+        if t0 == t1:
+            rank_lo = view_offset - t0 * tile_size
+            part = _slice_pattern(pattern, rank_lo, rank_lo + nbytes)
+            pieces.append(part.shift(self.displacement + t0 * ext))
+        else:
+            head_lo = view_offset - t0 * tile_size
+            head = _slice_pattern(pattern, head_lo, tile_size)
+            pieces.append(head.shift(self.displacement + t0 * ext))
+            # Full middle tiles, vectorized in one broadcast.
+            if t1 - t0 > 1:
+                tiles = np.arange(t0 + 1, t1, dtype=np.int64) * ext + self.displacement
+                starts = (tiles[:, None] + pattern.starts[None, :]).ravel()
+                ends = (tiles[:, None] + pattern.ends[None, :]).ravel()
+                pieces.append(ExtentList(starts, ends))
+            tail_hi = view_offset + nbytes - t1 * tile_size
+            tail = _slice_pattern(pattern, 0, tail_hi)
+            pieces.append(tail.shift(self.displacement + t1 * ext))
+        result = ExtentList.union_all(pieces)
+        if result.total != nbytes:
+            raise FileViewError(
+                f"view mapping produced {result.total} B for a {nbytes} B "
+                "access (overlapping filetype tiling?)"
+            )
+        return result
+
+    def extents_for_etypes(self, etype_offset: int, etype_count: int) -> ExtentList:
+        """Absolute file extents for ``etype_count`` etypes at an etype offset
+        (the units MPI_File_set_view/read_at use)."""
+        return self.extents_for(
+            etype_offset * self.etype.size, etype_count * self.etype.size
+        )
+
+
+def contiguous_view(displacement: int = 0) -> FileView:
+    """The default MPI view: raw bytes from ``displacement``."""
+    return FileView(displacement=displacement, etype=BYTE, filetype=BYTE)

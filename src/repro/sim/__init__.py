@@ -1,0 +1,31 @@
+"""Simulation substrate: discrete-event kernel, fluid flow solver, tracing."""
+
+from .engine import Delay, EventHandle, Process, Simulator
+from .resources import BandwidthPipe, Semaphore, Store
+from .flows import (
+    Flow,
+    FluidSimulation,
+    PhaseOutcome,
+    bottleneck_time,
+    max_min_rates,
+    solve_phase,
+)
+from .trace import PhaseRecord, TraceRecorder
+
+__all__ = [
+    "Simulator",
+    "Delay",
+    "EventHandle",
+    "Process",
+    "Semaphore",
+    "Store",
+    "BandwidthPipe",
+    "Flow",
+    "PhaseOutcome",
+    "max_min_rates",
+    "bottleneck_time",
+    "FluidSimulation",
+    "solve_phase",
+    "PhaseRecord",
+    "TraceRecorder",
+]

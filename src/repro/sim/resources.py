@@ -1,0 +1,155 @@
+"""Discrete-event resource primitives.
+
+Process-level building blocks for fine-grained simulations on the
+:class:`~repro.sim.engine.Simulator`: a counting semaphore with FIFO
+fairness, a bounded store (producer/consumer channel), and a
+bandwidth-shared pipe that serves transfers at ``capacity / n_active``
+— the event-driven counterpart of the fluid max-min model in
+:mod:`repro.sim.flows`, useful when a model needs explicit queueing or
+ordering rather than closed-form phase times.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator
+
+from ..util.errors import ResourceError
+from .engine import Delay, EventHandle, Simulator
+
+__all__ = ["Semaphore", "Store", "BandwidthPipe"]
+
+
+class Semaphore:
+    """Counting semaphore with FIFO wakeup order."""
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "sem") -> None:
+        if capacity < 1:
+            raise ResourceError(f"semaphore capacity must be >= 1, got {capacity}")
+        self._sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: deque[EventHandle] = deque()
+        self.name = name
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    def acquire(self) -> Generator[Any, Any, None]:
+        """Process-style acquire: ``yield from sem.acquire()``."""
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            return
+        gate = self._sim.event(f"{self.name}.wait")
+        self._waiters.append(gate)
+        yield gate
+        self._in_use += 1
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise ResourceError(f"{self.name}: release without acquire")
+        self._in_use -= 1
+        if self._waiters:
+            self._waiters.popleft().trigger()
+
+    def locked(self) -> bool:
+        return self._in_use >= self.capacity
+
+
+class Store:
+    """Bounded FIFO channel between producer and consumer processes."""
+
+    def __init__(self, sim: Simulator, capacity: int = 0, name: str = "store") -> None:
+        if capacity < 0:
+            raise ResourceError(f"negative store capacity {capacity}")
+        self._sim = sim
+        self.capacity = capacity  # 0 = unbounded
+        self._items: deque[Any] = deque()
+        self._getters: deque[EventHandle] = deque()
+        self._putters: deque[tuple[EventHandle, Any]] = deque()
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> Generator[Any, Any, None]:
+        """Process-style put; blocks while the store is full."""
+        while self.capacity and len(self._items) >= self.capacity:
+            gate = self._sim.event(f"{self.name}.put")
+            self._putters.append((gate, None))
+            yield gate
+        self._items.append(item)
+        if self._getters:
+            self._getters.popleft().trigger()
+
+    def get(self) -> Generator[Any, Any, Any]:
+        """Process-style get; blocks while the store is empty."""
+        while not self._items:
+            gate = self._sim.event(f"{self.name}.get")
+            self._getters.append(gate)
+            yield gate
+        item = self._items.popleft()
+        if self._putters:
+            self._putters.popleft()[0].trigger()
+        return item
+
+
+class BandwidthPipe:
+    """A shared link serving concurrent transfers at capacity / n_active.
+
+    Event-driven equal sharing: byte progress is always settled at the
+    true time-varying fair rate; each transfer re-checks its completion
+    at the horizon predicted from the rate it last observed. Exact when
+    the active set is stable between checks; when the rate *increases*
+    mid-sleep the completion is detected at the next check (a bounded
+    late detection, never lost bytes). The multi-resource case belongs
+    to the fluid solver in :mod:`repro.sim.flows`.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float, name: str = "pipe") -> None:
+        if capacity <= 0:
+            raise ResourceError(f"pipe capacity must be positive, got {capacity}")
+        self._sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._active: dict[int, list] = {}  # id -> [remaining, last_update]
+        self._next_id = 0
+        self.bytes_served = 0.0
+
+    @property
+    def n_active(self) -> int:
+        return len(self._active)
+
+    def _settle(self) -> None:
+        """Advance every active transfer to the current time."""
+        now = self._sim.now
+        rate = self.capacity / max(len(self._active), 1)
+        for entry in self._active.values():
+            elapsed = now - entry[1]
+            served = min(entry[0], rate * elapsed)
+            entry[0] -= served
+            entry[1] = now
+            self.bytes_served += served
+
+    def transfer(self, nbytes: float) -> Generator[Any, Any, float]:
+        """Process-style transfer; returns the completion time."""
+        if nbytes < 0:
+            raise ResourceError(f"negative transfer size {nbytes}")
+        if nbytes == 0:
+            return self._sim.now
+        self._settle()
+        tid = self._next_id
+        self._next_id += 1
+        self._active[tid] = [float(nbytes), self._sim.now]
+        # Wait in fair-share steps until our remaining bytes hit zero.
+        while True:
+            share = self.capacity / len(self._active)
+            remaining = self._active[tid][0]
+            eta = remaining / share
+            yield Delay(eta)
+            self._settle()
+            if self._active[tid][0] <= 1e-9:
+                del self._active[tid]
+                return self._sim.now
+            # Someone joined/left meanwhile; loop with the new rate.

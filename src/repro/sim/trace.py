@@ -1,0 +1,91 @@
+"""Phase tracing: a structured record of what a strategy did and when.
+
+Every collective-I/O execution appends :class:`PhaseRecord` entries to a
+:class:`TraceRecorder`. Benchmarks and tests inspect the trace to check
+byte conservation (bytes charged to resources equal bytes moved), phase
+ordering, and round counts, and reporters pretty-print it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterator
+
+__all__ = ["PhaseRecord", "TraceRecorder"]
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseRecord:
+    """One completed phase of a simulated operation."""
+
+    name: str
+    start: float
+    duration: float
+    bytes_moved: int = 0
+    resource_bytes: dict[Hashable, float] = field(default_factory=dict)
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+class TraceRecorder:
+    """Append-only list of phases with aggregate queries."""
+
+    def __init__(self) -> None:
+        self._phases: list[PhaseRecord] = []
+        self._clock = 0.0
+
+    @property
+    def now(self) -> float:
+        """Simulated time after the last recorded phase."""
+        return self._clock
+
+    def record(
+        self,
+        name: str,
+        duration: float,
+        *,
+        bytes_moved: int = 0,
+        resource_bytes: dict[Hashable, float] | None = None,
+        **meta: Any,
+    ) -> PhaseRecord:
+        """Append a phase starting at the current clock; advances the clock."""
+        rec = PhaseRecord(
+            name=name,
+            start=self._clock,
+            duration=float(duration),
+            bytes_moved=int(bytes_moved),
+            resource_bytes=dict(resource_bytes or {}),
+            meta=dict(meta),
+        )
+        self._phases.append(rec)
+        self._clock += rec.duration
+        return rec
+
+    def __iter__(self) -> Iterator[PhaseRecord]:
+        return iter(self._phases)
+
+    def __len__(self) -> int:
+        return len(self._phases)
+
+    def phases(self, name: str | None = None) -> list[PhaseRecord]:
+        """All phases, optionally filtered by name."""
+        if name is None:
+            return list(self._phases)
+        return [p for p in self._phases if p.name == name]
+
+    def total_time(self, name: str | None = None) -> float:
+        return sum(p.duration for p in self.phases(name))
+
+    def total_bytes(self, name: str | None = None) -> int:
+        return sum(p.bytes_moved for p in self.phases(name))
+
+    def resource_totals(self) -> dict[Hashable, float]:
+        """Total bytes charged to each resource across all phases."""
+        totals: dict[Hashable, float] = {}
+        for phase in self._phases:
+            for key, b in phase.resource_bytes.items():
+                totals[key] = totals.get(key, 0.0) + b
+        return totals

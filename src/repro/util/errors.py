@@ -1,0 +1,82 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch one base class at API
+boundaries. Sub-hierarchies mirror the package layout: configuration,
+simulation, file-system, MPI-layer and collective-I/O errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "ResourceError",
+    "FileSystemError",
+    "StripingError",
+    "DatatypeError",
+    "FileViewError",
+    "CommunicatorError",
+    "CollectiveIOError",
+    "PartitionError",
+    "PlacementError",
+    "MemoryPressureError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Invalid user-supplied configuration (machine, strategy, workload)."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event / flow simulation reached an invalid state."""
+
+
+class ResourceError(SimulationError):
+    """A simulated shared resource was used inconsistently."""
+
+
+class FileSystemError(ReproError, RuntimeError):
+    """Parallel-file-system level failure (bad handle, out-of-range I/O)."""
+
+
+class StripingError(FileSystemError, ValueError):
+    """Invalid striping layout parameters."""
+
+
+class DatatypeError(ReproError, ValueError):
+    """Malformed MPI derived-datatype construction."""
+
+
+class FileViewError(ReproError, ValueError):
+    """Invalid MPI file-view (displacement/etype/filetype) specification."""
+
+
+class CommunicatorError(ReproError, RuntimeError):
+    """Misuse of the simulated communicator (bad rank, size mismatch)."""
+
+
+class CollectiveIOError(ReproError, RuntimeError):
+    """A collective I/O strategy could not complete the operation."""
+
+
+class PartitionError(CollectiveIOError):
+    """File-domain partitioning produced or received an invalid region."""
+
+
+class PlacementError(CollectiveIOError):
+    """No feasible aggregator placement exists for a file domain."""
+
+
+class MemoryPressureError(CollectiveIOError):
+    """Aggregation buffers cannot fit in any candidate host's memory."""
+
+
+class WorkloadError(ReproError, ValueError):
+    """Invalid benchmark workload specification."""

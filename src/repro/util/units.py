@@ -1,0 +1,88 @@
+"""Byte/bandwidth unit helpers.
+
+All sizes inside the library are plain ``int`` bytes and all rates are
+``float`` bytes/second; these helpers exist so configuration code reads
+like the paper ("128 MB aggregation buffer", "25 GB/s node memory
+bandwidth") without magic numbers.
+
+Binary (power-of-two) units are used for buffer/memory sizes, matching
+MPI-IO hint conventions (``cb_buffer_size`` etc.); storage vendors' decimal
+units are deliberately *not* used so that stripe arithmetic stays exact.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "TiB",
+    "kib",
+    "mib",
+    "gib",
+    "tib",
+    "GB_per_s",
+    "MB_per_s",
+    "TB_per_s",
+    "fmt_bytes",
+    "fmt_rate",
+]
+
+KiB: int = 1024
+MiB: int = 1024 * KiB
+GiB: int = 1024 * MiB
+TiB: int = 1024 * GiB
+
+
+def kib(n: float) -> int:
+    """``n`` kibibytes as an integer byte count."""
+    return int(n * KiB)
+
+
+def mib(n: float) -> int:
+    """``n`` mebibytes as an integer byte count."""
+    return int(n * MiB)
+
+
+def gib(n: float) -> int:
+    """``n`` gibibytes as an integer byte count."""
+    return int(n * GiB)
+
+
+def tib(n: float) -> int:
+    """``n`` tebibytes as an integer byte count."""
+    return int(n * TiB)
+
+
+def MB_per_s(n: float) -> float:
+    """``n`` MiB/s as bytes/second (binary, consistent with sizes)."""
+    return n * MiB
+
+
+def GB_per_s(n: float) -> float:
+    """``n`` GiB/s as bytes/second."""
+    return n * GiB
+
+
+def TB_per_s(n: float) -> float:
+    """``n`` TiB/s as bytes/second."""
+    return n * TiB
+
+
+def fmt_bytes(n: float) -> str:
+    """Render a byte count with a human-readable binary suffix."""
+    value = float(n)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB", "PiB"):
+        if abs(value) < 1024.0 or suffix == "PiB":
+            if suffix == "B":
+                return f"{int(value)} B"
+            return f"{value:.2f} {suffix}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_rate(bytes_per_s: float) -> str:
+    """Render a bandwidth in MiB/s or GiB/s, matching the paper's figures."""
+    if bytes_per_s >= GiB:
+        return f"{bytes_per_s / GiB:.2f} GiB/s"
+    return f"{bytes_per_s / MiB:.2f} MiB/s"

@@ -1,0 +1,45 @@
+"""Small argument-validation helpers used across the package.
+
+These keep constructor bodies readable and produce uniform error
+messages (always naming the offending parameter), which the tests match
+against.
+"""
+
+from __future__ import annotations
+
+from typing import TypeVar
+
+from .errors import ConfigurationError
+
+__all__ = ["require", "check_positive", "check_non_negative", "check_in_range"]
+
+T = TypeVar("T", int, float)
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigurationError` when ``condition`` is false."""
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def check_positive(name: str, value: T) -> T:
+    """Validate ``value > 0`` and return it."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: T) -> T:
+    """Validate ``value >= 0`` and return it."""
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_in_range(name: str, value: T, low: T, high: T) -> T:
+    """Validate ``low <= value <= high`` and return it."""
+    if not (low <= value <= high):
+        raise ConfigurationError(
+            f"{name} must be in [{low}, {high}], got {value!r}"
+        )
+    return value

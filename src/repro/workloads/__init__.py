@@ -1,0 +1,22 @@
+"""Benchmark workload generators: coll_perf, IOR, synthetic patterns."""
+
+from .base import Workload
+from .checkpoint import CheckpointWorkload, DatasetSpec
+from .coll_perf import CollPerfWorkload, proc_grid
+from .ior import IORWorkload
+from .synthetic import ShuffledChunksWorkload, SkewedWorkload, StridedWorkload
+from .trace import TraceRecord, TraceWorkload
+
+__all__ = [
+    "Workload",
+    "CheckpointWorkload",
+    "DatasetSpec",
+    "CollPerfWorkload",
+    "proc_grid",
+    "IORWorkload",
+    "StridedWorkload",
+    "ShuffledChunksWorkload",
+    "SkewedWorkload",
+    "TraceRecord",
+    "TraceWorkload",
+]

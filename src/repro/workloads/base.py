@@ -1,0 +1,58 @@
+"""Workload specification base: things that generate access requests.
+
+A workload turns (number of processes, parameters) into per-rank
+:class:`~repro.mpi.requests.AccessRequest` objects, optionally with
+deterministic payloads for byte-accurate verification. Implementations
+mirror the benchmarks of the paper's evaluation (coll_perf, IOR) plus
+synthetic generators for tests/ablations.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..mpi.requests import AccessRequest, pattern_bytes
+from ..util.errors import WorkloadError
+from ..util.intervals import ExtentList
+
+__all__ = ["Workload"]
+
+
+class Workload(ABC):
+    """Abstract access-pattern generator."""
+
+    #: identifier used in benchmark tables
+    name: str = "abstract"
+
+    @abstractmethod
+    def extents_for_rank(self, rank: int) -> ExtentList:
+        """File extents accessed by ``rank``."""
+
+    @property
+    @abstractmethod
+    def n_procs(self) -> int:
+        """Number of participating processes."""
+
+    def total_bytes(self) -> int:
+        """Total unique bytes accessed by the job."""
+        return ExtentList.union_all(
+            [self.extents_for_rank(r) for r in range(self.n_procs)]
+        ).total
+
+    def requests(self, *, with_data: bool = False) -> list[AccessRequest]:
+        """Materialize all per-rank requests (payloads optional)."""
+        out = []
+        for rank in range(self.n_procs):
+            extents = self.extents_for_rank(rank)
+            data = pattern_bytes(extents) if with_data else None
+            out.append(AccessRequest(rank=rank, extents=extents, data=data))
+        return out
+
+    def validate_disjoint(self) -> None:
+        """Raise when two ranks' extents overlap (benchmarks never do)."""
+        total = sum(self.extents_for_rank(r).total for r in range(self.n_procs))
+        if total != self.total_bytes():
+            raise WorkloadError(
+                f"{self.name}: per-rank extents overlap "
+                f"(sum {total} != union {self.total_bytes()})"
+            )

@@ -1,0 +1,108 @@
+"""Application checkpoint workload: a multi-dataset shared file.
+
+Models what scientific codes actually dump (the paper's motivating
+"hundreds of terabytes per simulation run"): one shared checkpoint file
+laid out as
+
+    [ header | dataset 0 | dataset 1 | ... | per-rank attribute table ]
+
+where each dataset is a block-distributed global array (its own 3-D
+decomposition, like coll_perf), the header is written by rank 0, and
+the attribute table is a fine-grained per-rank comb. The mixture is the
+point: collective strategies must cope with dense array slabs, one hot
+rank, and scattered small records inside a single collective call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..mpi.datatypes import Datatype, DOUBLE
+from ..util.errors import WorkloadError
+from ..util.intervals import ExtentList
+from ..util.validation import check_non_negative, check_positive
+from .base import Workload
+from .coll_perf import CollPerfWorkload
+
+__all__ = ["DatasetSpec", "CheckpointWorkload"]
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetSpec:
+    """One global array inside the checkpoint."""
+
+    shape: tuple[int, int, int]
+    element: Datatype = DOUBLE
+
+    def nbytes(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n * self.element.size
+
+
+class CheckpointWorkload(Workload):
+    """Header + N block-distributed datasets + per-rank attribute comb."""
+
+    name = "checkpoint"
+
+    def __init__(
+        self,
+        n_procs: int,
+        datasets: tuple[DatasetSpec, ...] | list[DatasetSpec],
+        *,
+        header_bytes: int = 8192,
+        attr_bytes_per_rank: int = 256,
+    ) -> None:
+        check_positive("n_procs", n_procs)
+        if not datasets:
+            raise WorkloadError("checkpoint needs at least one dataset")
+        self._n_procs = n_procs
+        self.header_bytes = check_non_negative("header_bytes", header_bytes)
+        self.attr_bytes_per_rank = check_positive(
+            "attr_bytes_per_rank", attr_bytes_per_rank
+        )
+        self.datasets = tuple(datasets)
+        # Each dataset reuses the coll_perf decomposition at an offset.
+        self._arrays: list[CollPerfWorkload] = []
+        self._offsets: list[int] = []
+        offset = self.header_bytes
+        for spec in self.datasets:
+            self._arrays.append(
+                CollPerfWorkload(n_procs, spec.shape, element=spec.element)
+            )
+            self._offsets.append(offset)
+            offset += spec.nbytes()
+        self._attr_offset = offset
+
+    @property
+    def n_procs(self) -> int:
+        return self._n_procs
+
+    @property
+    def attribute_table_offset(self) -> int:
+        """Where the per-rank attribute records start."""
+        return self._attr_offset
+
+    def extents_for_rank(self, rank: int) -> ExtentList:
+        if not 0 <= rank < self._n_procs:
+            raise WorkloadError(f"rank {rank} out of range")
+        parts: list[ExtentList] = []
+        if rank == 0 and self.header_bytes:
+            parts.append(ExtentList.single(0, self.header_bytes))
+        for array, offset in zip(self._arrays, self._offsets):
+            parts.append(array.extents_for_rank(rank).shift(offset))
+        parts.append(
+            ExtentList.single(
+                self._attr_offset + rank * self.attr_bytes_per_rank,
+                self.attr_bytes_per_rank,
+            )
+        )
+        return ExtentList.union_all(parts)
+
+    def total_bytes(self) -> int:
+        return (
+            self.header_bytes
+            + sum(spec.nbytes() for spec in self.datasets)
+            + self._n_procs * self.attr_bytes_per_rank
+        )

@@ -1,0 +1,105 @@
+"""The ``coll_perf`` benchmark (ROMIO test suite).
+
+Writes/reads a 3-D block-distributed array to a file laid out as the
+global array in row-major order. The process grid is the most-cubic
+factorization of the process count; each process owns one block, whose
+file footprint is a ``Subarray`` datatype — many short contiguous runs
+(one per (i, j) pencil), the canonical "large number of small
+noncontiguous requests" pattern that motivates collective I/O.
+
+The paper runs a 2048³ array (32 GB) over 120 processes; benchmarks
+here default to a scaled copy with identical structure.
+"""
+
+from __future__ import annotations
+
+from ..mpi.datatypes import BasicType, Datatype, subarray
+from ..util.errors import WorkloadError
+from ..util.intervals import ExtentList
+from .base import Workload
+
+__all__ = ["CollPerfWorkload", "proc_grid"]
+
+
+def proc_grid(n_procs: int, ndim: int = 3) -> tuple[int, ...]:
+    """Most-cubic factorization of ``n_procs`` into ``ndim`` factors.
+
+    Mirrors ``MPI_Dims_create``: repeatedly peel off the largest factor
+    closest to the remaining geometric mean.
+    """
+    if n_procs <= 0:
+        raise WorkloadError(f"n_procs must be positive, got {n_procs}")
+    dims = []
+    remaining = n_procs
+    for d in range(ndim, 0, -1):
+        if d == 1:
+            dims.append(remaining)
+            break
+        target = round(remaining ** (1.0 / d))
+        best = 1
+        for f in range(max(target, 1), 0, -1):
+            if remaining % f == 0:
+                best = f
+                break
+        # Also look upward for a closer divisor.
+        for f in range(target + 1, remaining + 1):
+            if remaining % f == 0:
+                if abs(f - target) < abs(best - target):
+                    best = f
+                break
+        dims.append(best)
+        remaining //= best
+    dims.sort(reverse=True)
+    return tuple(dims)
+
+
+class CollPerfWorkload(Workload):
+    """3-D block-distributed global array, row-major file layout."""
+
+    name = "coll_perf"
+
+    def __init__(
+        self,
+        n_procs: int,
+        array_shape: tuple[int, int, int],
+        *,
+        element: Datatype | None = None,
+    ) -> None:
+        self._n_procs = n_procs
+        self.array_shape = tuple(int(s) for s in array_shape)
+        if len(self.array_shape) != 3:
+            raise WorkloadError("coll_perf uses a 3-D array")
+        self.element = element if element is not None else BasicType("INT", 4)
+        self.grid = proc_grid(n_procs, 3)
+        for dim, (n, g) in enumerate(zip(self.array_shape, self.grid)):
+            if n % g != 0:
+                raise WorkloadError(
+                    f"array dim {dim} ({n}) not divisible by grid {g}"
+                )
+
+    @property
+    def n_procs(self) -> int:
+        return self._n_procs
+
+    def block_of(self, rank: int) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """(subsizes, starts) of the block owned by ``rank`` (C order)."""
+        if not 0 <= rank < self._n_procs:
+            raise WorkloadError(f"rank {rank} out of range")
+        gx, gy, gz = self.grid
+        cz = rank % gz
+        cy = (rank // gz) % gy
+        cx = rank // (gz * gy)
+        subsizes = tuple(n // g for n, g in zip(self.array_shape, self.grid))
+        starts = (cx * subsizes[0], cy * subsizes[1], cz * subsizes[2])
+        return subsizes, starts
+
+    def extents_for_rank(self, rank: int) -> ExtentList:
+        subsizes, starts = self.block_of(rank)
+        dt = subarray(self.array_shape, subsizes, starts, self.element)
+        return dt.flattened
+
+    def total_bytes(self) -> int:
+        n = 1
+        for s in self.array_shape:
+            n *= s
+        return n * self.element.size

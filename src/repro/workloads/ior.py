@@ -1,0 +1,76 @@
+"""IOR (Interleaved-Or-Random) benchmark patterns.
+
+Reproduces the two classic IOR access modes used in the paper's
+evaluation (interleaved reads/writes of a shared file):
+
+* **interleaved** (``segmented=False``; IOR's default with
+  ``transferSize < blockSize``): the file is a sequence of *transfer*
+  sized slots; slot ``k`` of round ``b`` belongs to process ``k`` — so
+  process ``p`` touches offsets ``(b * P + p) * transfer``. Every
+  process's data combs across the whole file; maximally noncontiguous.
+* **segmented** (``segmented=True``): each process owns one contiguous
+  ``block`` of the file (``p * block``) — the serial distribution of
+  the paper's Figure 4.
+"""
+
+from __future__ import annotations
+
+from ..util.errors import WorkloadError
+from ..util.intervals import ExtentList
+from ..util.validation import check_positive
+from .base import Workload
+
+__all__ = ["IORWorkload"]
+
+
+class IORWorkload(Workload):
+    """IOR shared-file pattern (interleaved or segmented)."""
+
+    name = "ior"
+
+    def __init__(
+        self,
+        n_procs: int,
+        *,
+        block_size: int,
+        transfer_size: int | None = None,
+        segmented: bool = False,
+    ) -> None:
+        check_positive("n_procs", n_procs)
+        check_positive("block_size", block_size)
+        self._n_procs = n_procs
+        self.block_size = int(block_size)
+        self.segmented = segmented
+        if transfer_size is None:
+            transfer_size = block_size if segmented else block_size // 16 or block_size
+        check_positive("transfer_size", transfer_size)
+        if block_size % transfer_size != 0:
+            raise WorkloadError(
+                f"block_size {block_size} not a multiple of transfer_size "
+                f"{transfer_size}"
+            )
+        self.transfer_size = int(transfer_size)
+        self.name = "ior-segmented" if segmented else "ior-interleaved"
+
+    @property
+    def n_procs(self) -> int:
+        return self._n_procs
+
+    @property
+    def transfers_per_proc(self) -> int:
+        return self.block_size // self.transfer_size
+
+    def extents_for_rank(self, rank: int) -> ExtentList:
+        if not 0 <= rank < self._n_procs:
+            raise WorkloadError(f"rank {rank} out of range")
+        if self.segmented:
+            return ExtentList.single(rank * self.block_size, self.block_size)
+        t = self.transfer_size
+        P = self._n_procs
+        pairs = [
+            ((b * P + rank) * t, t) for b in range(self.transfers_per_proc)
+        ]
+        return ExtentList.from_pairs(pairs)
+
+    def total_bytes(self) -> int:
+        return self._n_procs * self.block_size

@@ -1,0 +1,127 @@
+"""Synthetic access-pattern generators for tests and ablations.
+
+Not from the paper's evaluation, but exercising regimes the components
+must handle: strided combs with configurable hole ratios, randomly
+shuffled contiguous chunks (stressing group division's serial/
+interleaved detection), and skewed distributions where a few ranks own
+most of the data (stressing placement's data-affinity choice).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..util.errors import WorkloadError
+from ..util.intervals import ExtentList
+from ..util.rng import make_rng
+from ..util.validation import check_positive
+from .base import Workload
+
+__all__ = ["StridedWorkload", "ShuffledChunksWorkload", "SkewedWorkload"]
+
+
+class StridedWorkload(Workload):
+    """Each rank writes ``count`` blocks of ``block`` bytes, ``stride``
+    apart, starting at ``rank * block`` (a vector-type comb)."""
+
+    name = "strided"
+
+    def __init__(
+        self, n_procs: int, *, block: int, count: int, stride: int | None = None
+    ) -> None:
+        check_positive("n_procs", n_procs)
+        check_positive("block", block)
+        check_positive("count", count)
+        self._n_procs = n_procs
+        self.block = block
+        self.count = count
+        self.stride = stride if stride is not None else block * n_procs
+        if self.stride < block:
+            raise WorkloadError("stride smaller than block would overlap")
+
+    @property
+    def n_procs(self) -> int:
+        return self._n_procs
+
+    def extents_for_rank(self, rank: int) -> ExtentList:
+        if not 0 <= rank < self._n_procs:
+            raise WorkloadError(f"rank {rank} out of range")
+        base = rank * self.block
+        return ExtentList.from_pairs(
+            (base + i * self.stride, self.block) for i in range(self.count)
+        )
+
+
+class ShuffledChunksWorkload(Workload):
+    """The file is cut into equal chunks dealt to ranks in a seeded
+    random permutation — locality exists but rank order is scrambled."""
+
+    name = "shuffled-chunks"
+
+    def __init__(
+        self,
+        n_procs: int,
+        *,
+        chunk: int,
+        chunks_per_proc: int,
+        seed: int | None = None,
+    ) -> None:
+        check_positive("n_procs", n_procs)
+        check_positive("chunk", chunk)
+        check_positive("chunks_per_proc", chunks_per_proc)
+        self._n_procs = n_procs
+        self.chunk = chunk
+        rng = make_rng(seed)
+        n_chunks = n_procs * chunks_per_proc
+        owners = np.repeat(np.arange(n_procs), chunks_per_proc)
+        rng.shuffle(owners)
+        self._chunks_of: list[np.ndarray] = [
+            np.flatnonzero(owners == p) for p in range(n_procs)
+        ]
+
+    @property
+    def n_procs(self) -> int:
+        return self._n_procs
+
+    def extents_for_rank(self, rank: int) -> ExtentList:
+        if not 0 <= rank < self._n_procs:
+            raise WorkloadError(f"rank {rank} out of range")
+        idx = self._chunks_of[rank]
+        return ExtentList.from_arrays(
+            idx.astype(np.int64) * self.chunk,
+            np.full(idx.size, self.chunk, dtype=np.int64),
+        )
+
+
+class SkewedWorkload(Workload):
+    """Zipf-ish skew: rank r owns a contiguous run whose size decays
+    geometrically — a few ranks dominate the data volume."""
+
+    name = "skewed"
+
+    def __init__(
+        self, n_procs: int, *, base_bytes: int, decay: float = 0.85, floor: int = 4096
+    ) -> None:
+        check_positive("n_procs", n_procs)
+        check_positive("base_bytes", base_bytes)
+        check_positive("floor", floor)
+        if not 0.0 < decay <= 1.0:
+            raise WorkloadError(f"decay must be in (0, 1], got {decay}")
+        self._n_procs = n_procs
+        sizes = []
+        size = float(base_bytes)
+        for _ in range(n_procs):
+            sizes.append(max(int(size), floor))
+            size *= decay
+        offsets = np.concatenate(([0], np.cumsum(sizes[:-1]))).astype(np.int64)
+        self._sizes = np.asarray(sizes, dtype=np.int64)
+        self._offsets = offsets
+
+    @property
+    def n_procs(self) -> int:
+        return self._n_procs
+
+    def extents_for_rank(self, rank: int) -> ExtentList:
+        if not 0 <= rank < self._n_procs:
+            raise WorkloadError(f"rank {rank} out of range")
+        return ExtentList.single(int(self._offsets[rank]), int(self._sizes[rank]))

@@ -1,0 +1,116 @@
+"""Trace-replay workloads.
+
+Production I/O studies start from traces (Darshan logs, MPI-IO
+instrumentation). :class:`TraceWorkload` replays a recorded access list
+— one ``(rank, offset, length)`` record per contiguous access — through
+the simulated middleware, so real applications' patterns can be fed to
+the strategies without writing a generator. Includes JSON (de)serializers
+and a converter that snapshots any synthetic workload into a trace
+(useful for perturbing generated patterns by hand).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from ..util.errors import WorkloadError
+from ..util.intervals import ExtentList
+from .base import Workload
+
+__all__ = ["TraceRecord", "TraceWorkload"]
+
+
+class TraceRecord(tuple):
+    """One access record: (rank, offset, length)."""
+
+    __slots__ = ()
+
+    def __new__(cls, rank: int, offset: int, length: int) -> "TraceRecord":
+        if rank < 0:
+            raise WorkloadError(f"negative rank {rank}")
+        if offset < 0 or length < 0:
+            raise WorkloadError(f"invalid access ({offset}, {length})")
+        return super().__new__(cls, (int(rank), int(offset), int(length)))
+
+    @property
+    def rank(self) -> int:
+        return self[0]
+
+    @property
+    def offset(self) -> int:
+        return self[1]
+
+    @property
+    def length(self) -> int:
+        return self[2]
+
+
+class TraceWorkload(Workload):
+    """Replay a list of per-rank contiguous accesses."""
+
+    name = "trace"
+
+    def __init__(
+        self, records: Iterable[TraceRecord | tuple[int, int, int]]
+    ) -> None:
+        parsed = [
+            r if isinstance(r, TraceRecord) else TraceRecord(*r)
+            for r in records
+        ]
+        if not parsed:
+            raise WorkloadError("empty trace")
+        self._n_procs = max(r.rank for r in parsed) + 1
+        self._per_rank: list[list[tuple[int, int]]] = [
+            [] for _ in range(self._n_procs)
+        ]
+        for rec in parsed:
+            if rec.length:
+                self._per_rank[rec.rank].append((rec.offset, rec.length))
+        self._extents = [
+            ExtentList.from_pairs(pairs) for pairs in self._per_rank
+        ]
+        self.n_records = len(parsed)
+
+    @property
+    def n_procs(self) -> int:
+        return self._n_procs
+
+    def extents_for_rank(self, rank: int) -> ExtentList:
+        if not 0 <= rank < self._n_procs:
+            raise WorkloadError(f"rank {rank} out of range")
+        return self._extents[rank]
+
+    # ------------------------------------------------------------- traces
+    @classmethod
+    def from_workload(cls, workload: Workload) -> "TraceWorkload":
+        """Snapshot any workload as a trace (one record per extent)."""
+        records = []
+        for rank in range(workload.n_procs):
+            for ext in workload.extents_for_rank(rank):
+                records.append(TraceRecord(rank, ext.offset, ext.length))
+        return cls(records)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TraceWorkload":
+        """Read a JSON trace: {"records": [[rank, offset, length], ...]}."""
+        doc = json.loads(Path(path).read_text())
+        try:
+            records = doc["records"]
+        except (TypeError, KeyError) as exc:
+            raise WorkloadError(f"malformed trace file {path}") from exc
+        return cls(tuple(r) for r in records)
+
+    def dump(self, path: str | Path, **metadata) -> Path:
+        """Write the trace as JSON (with free-form metadata)."""
+        path = Path(path)
+        records = [
+            [rank, int(off), int(length)]
+            for rank, pairs in enumerate(self._per_rank)
+            for off, length in pairs
+        ]
+        path.write_text(
+            json.dumps({"metadata": metadata, "records": records}, indent=1)
+        )
+        return path

@@ -1,0 +1,100 @@
+"""Tests for the analytic two-phase model, incl. cross-validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.model import predict_two_phase
+from repro.cluster import testbed_640
+from repro.io import CollectiveHints, TwoPhaseCollectiveIO, make_context
+from repro.util import ConfigurationError, gib, mib
+from repro.workloads import IORWorkload
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return testbed_640()
+
+
+class TestModelStructure:
+    def test_rounds(self, machine):
+        pred = predict_two_phase(
+            machine, total_bytes=gib(1), n_aggregators=10,
+            buffer_bytes=mib(8), n_nodes=10,
+        )
+        assert pred.n_rounds == -(-gib(1) // (10 * mib(8)))
+
+    def test_elapsed_is_max_of_terms(self, machine):
+        pred = predict_two_phase(
+            machine, total_bytes=gib(1), n_aggregators=10,
+            buffer_bytes=mib(8), n_nodes=10,
+        )
+        assert pred.elapsed_s == pytest.approx(
+            max(
+                pred.storage_bound_s,
+                pred.stream_bound_s,
+                pred.shuffle_bound_s,
+                pred.round_overhead_s,
+            )
+        )
+        assert pred.bandwidth > 0
+        assert pred.binding_term in ("storage", "streams", "shuffle", "rounds")
+
+    def test_small_buffers_round_bound(self, machine):
+        pred = predict_two_phase(
+            machine, total_bytes=gib(4), n_aggregators=10,
+            buffer_bytes=mib(2), n_nodes=10,
+        )
+        big = predict_two_phase(
+            machine, total_bytes=gib(4), n_aggregators=10,
+            buffer_bytes=mib(128), n_nodes=10,
+        )
+        assert pred.bandwidth < big.bandwidth
+
+    def test_more_aggregators_relax_stream_bound(self, machine):
+        few = predict_two_phase(
+            machine, total_bytes=gib(4), n_aggregators=2,
+            buffer_bytes=mib(128), n_nodes=10,
+        )
+        many = predict_two_phase(
+            machine, total_bytes=gib(4), n_aggregators=40,
+            buffer_bytes=mib(128), n_nodes=10,
+        )
+        assert many.bandwidth >= few.bandwidth
+        assert few.binding_term == "streams"
+
+    def test_validation(self, machine):
+        with pytest.raises(ConfigurationError):
+            predict_two_phase(
+                machine, total_bytes=0, n_aggregators=1,
+                buffer_bytes=1, n_nodes=1,
+            )
+
+
+class TestCrossValidation:
+    """The model should track the simulator on its home turf."""
+
+    @pytest.mark.parametrize("mem_mib", [2, 8, 32, 128])
+    def test_against_simulator(self, machine, mem_mib):
+        mem = mib(mem_mib)
+        workload = IORWorkload(120, block_size=mib(16), transfer_size=mib(2))
+        ctx = make_context(
+            machine, 120, procs_per_node=12, seed=7,
+            hints=CollectiveHints(cb_buffer_size=mem),
+        )
+        sim = TwoPhaseCollectiveIO().write(
+            ctx, ctx.pfs.open("f"), workload.requests()
+        )
+        pred = predict_two_phase(
+            machine,
+            total_bytes=workload.total_bytes(),
+            n_aggregators=sim.n_aggregators,
+            buffer_bytes=mem,
+            n_nodes=10,
+            inter_node_fraction=sim.inter_node_fraction,
+        )
+        assert pred.n_rounds == sim.n_rounds
+        # Same order of magnitude and same trend; the model ignores
+        # second-order contention so allow a generous band.
+        ratio = pred.bandwidth / sim.bandwidth
+        assert 0.4 < ratio < 2.5, (mem_mib, pred.binding_term, ratio)

@@ -1,0 +1,80 @@
+"""Tests for per-node memory accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import MemoryManager
+from repro.util import MemoryPressureError, mib
+
+
+class TestBasics:
+    def test_initial_state(self):
+        mm = MemoryManager(0, mib(100))
+        assert mm.capacity == mib(100)
+        assert mm.in_use == 0
+        assert mm.available == mib(100)
+        assert mm.high_watermark == 0
+
+    def test_reserved_reduces_available(self):
+        mm = MemoryManager(0, mib(100), reserved=mib(30))
+        assert mm.available == mib(70)
+
+    def test_reserved_beyond_capacity_rejected(self):
+        with pytest.raises(MemoryPressureError):
+            MemoryManager(0, mib(10), reserved=mib(20))
+
+
+class TestAllocation:
+    def test_allocate_release_cycle(self):
+        mm = MemoryManager(0, mib(100))
+        mm.allocate("buf", mib(40))
+        assert mm.in_use == mib(40)
+        assert mm.available == mib(60)
+        mm.release("buf")
+        assert mm.in_use == 0
+
+    def test_duplicate_tag_rejected(self):
+        mm = MemoryManager(0, mib(100))
+        mm.allocate("buf", mib(1))
+        with pytest.raises(MemoryPressureError):
+            mm.allocate("buf", mib(1))
+
+    def test_release_unknown_tag_rejected(self):
+        mm = MemoryManager(0, mib(100))
+        with pytest.raises(MemoryPressureError):
+            mm.release("ghost")
+
+    def test_over_allocation_rejected_by_default(self):
+        mm = MemoryManager(0, mib(10))
+        with pytest.raises(MemoryPressureError):
+            mm.allocate("big", mib(20))
+
+    def test_oversubscribe_allowed_when_requested(self):
+        mm = MemoryManager(0, mib(10))
+        mm.allocate("big", mib(25), allow_oversubscribe=True)
+        assert mm.oversubscribed_bytes == mib(15)
+        assert mm.available == -mib(15)
+
+    def test_watermark_tracks_peak(self):
+        mm = MemoryManager(0, mib(100))
+        mm.allocate("a", mib(30))
+        mm.allocate("b", mib(20))
+        mm.release("a")
+        assert mm.high_watermark == mib(50)
+        mm.reset_watermark()
+        assert mm.high_watermark == mib(20)
+
+    def test_release_all(self):
+        mm = MemoryManager(0, mib(100))
+        mm.allocate("a", mib(1))
+        mm.allocate("b", mib(2))
+        mm.release_all()
+        assert mm.in_use == 0
+
+    def test_set_reserved_variance_hook(self):
+        mm = MemoryManager(0, mib(100))
+        mm.set_reserved(mib(90))
+        assert mm.available == mib(10)
+        with pytest.raises(MemoryPressureError):
+            mm.set_reserved(mib(200))

@@ -1,0 +1,64 @@
+"""Tests for the interconnect resource/latency model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    BISECTION,
+    Cluster,
+    NetworkModel,
+    membw,
+    nic_in,
+    nic_out,
+    scaled_testbed,
+)
+
+
+@pytest.fixture
+def setup():
+    machine = scaled_testbed(4, cores_per_node=4)
+    cluster = Cluster(machine, 8, procs_per_node=2)
+    return machine, cluster, NetworkModel(machine)
+
+
+class TestCapacityMap:
+    def test_contains_all_node_resources(self, setup):
+        machine, cluster, net = setup
+        caps = net.capacity_map(cluster)
+        assert caps[BISECTION] == machine.bisection_bandwidth
+        for node in cluster.nodes:
+            assert caps[nic_out(node.node_id)] == machine.node.nic_bandwidth
+            assert caps[nic_in(node.node_id)] == machine.node.nic_bandwidth
+            assert caps[membw(node.node_id)] == machine.node.mem_bandwidth
+
+    def test_key_helpers_distinct(self):
+        assert nic_in(1) != nic_out(1)
+        assert membw(1) != membw(2)
+
+
+class TestLatencies:
+    def test_message_latency_zero_messages(self, setup):
+        _, _, net = setup
+        assert net.message_latency(0) == 0.0
+
+    def test_message_latency_grows_sublinearly(self, setup):
+        machine, _, net = setup
+        one = net.message_latency(1)
+        hundred = net.message_latency(100)
+        assert one == machine.network_latency
+        assert hundred > one
+        assert hundred < 100 * one  # pipelined, not serialized
+
+    def test_collective_metadata_time(self, setup):
+        _, _, net = setup
+        assert net.collective_metadata_time(1, 100) == 0.0
+        t2 = net.collective_metadata_time(2, 24)
+        t64 = net.collective_metadata_time(64, 24)
+        assert 0 < t2 < t64
+
+    def test_barrier_log_steps(self, setup):
+        machine, _, net = setup
+        assert net.barrier_time(1) == 0.0
+        assert net.barrier_time(8) == pytest.approx(3 * machine.network_latency)
+        assert net.barrier_time(9) == pytest.approx(4 * machine.network_latency)

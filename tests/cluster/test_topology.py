@@ -1,0 +1,83 @@
+"""Tests for cluster topology and rank placement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, scaled_testbed
+from repro.util import CommunicatorError, ConfigurationError, make_rng, mib
+
+
+@pytest.fixture
+def machine():
+    return scaled_testbed(8, cores_per_node=4)
+
+
+class TestPlacement:
+    def test_block_placement(self, machine):
+        cl = Cluster(machine, 8, procs_per_node=2, placement="block")
+        assert cl.rank_to_node.tolist() == [0, 0, 1, 1, 2, 2, 3, 3]
+        assert cl.n_nodes == 4
+
+    def test_cyclic_placement(self, machine):
+        cl = Cluster(machine, 8, procs_per_node=2, placement="cyclic")
+        assert cl.rank_to_node.tolist() == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_partial_last_node(self, machine):
+        cl = Cluster(machine, 5, procs_per_node=2)
+        assert cl.n_nodes == 3
+        assert cl.ranks_on_node(2).tolist() == [4]
+
+    def test_ranks_on_node_matches_node_of_rank(self, machine):
+        cl = Cluster(machine, 8, procs_per_node=3)
+        for node in cl.nodes:
+            for rank in cl.ranks_on_node(node.node_id):
+                assert cl.node_id_of_rank(int(rank)) == node.node_id
+
+    def test_too_many_procs_rejected(self, machine):
+        with pytest.raises(ConfigurationError):
+            Cluster(machine, 1000, procs_per_node=2)
+
+    def test_oversubscribed_cores_rejected(self, machine):
+        with pytest.raises(ConfigurationError):
+            Cluster(machine, 4, procs_per_node=100)
+
+    def test_bad_rank_rejected(self, machine):
+        cl = Cluster(machine, 4, procs_per_node=2)
+        with pytest.raises(CommunicatorError):
+            cl.node_of_rank(99)
+        with pytest.raises(CommunicatorError):
+            cl.node_id_of_rank(-1)
+
+
+class TestMemoryVariance:
+    def test_uniform_available(self, machine):
+        cl = Cluster(machine, 8, procs_per_node=2)
+        cl.set_uniform_available(mib(64))
+        assert np.all(cl.available_by_node() == mib(64))
+
+    def test_uniform_out_of_range_rejected(self, machine):
+        cl = Cluster(machine, 8, procs_per_node=2)
+        with pytest.raises(ConfigurationError):
+            cl.set_uniform_available(-1)
+
+    def test_variance_is_seeded_and_bounded(self, machine):
+        cl1 = Cluster(machine, 8, procs_per_node=2)
+        cl2 = Cluster(machine, 8, procs_per_node=2)
+        s1 = cl1.apply_memory_variance(
+            make_rng(5), mean_available=mib(16), std=mib(50)
+        )
+        s2 = cl2.apply_memory_variance(
+            make_rng(5), mean_available=mib(16), std=mib(50)
+        )
+        assert np.array_equal(s1, s2)
+        assert np.all(s1 >= 0)
+        assert np.all(s1 <= machine.node.mem_capacity)
+        assert np.array_equal(cl1.available_by_node(), s1)
+
+    def test_release_all(self, machine):
+        cl = Cluster(machine, 4, procs_per_node=2)
+        cl.nodes[0].memory.allocate("x", mib(1))
+        cl.release_all()
+        assert cl.nodes[0].memory.in_use == 0

@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite.
+
+Small clusters/machines keep tests fast; anything performance-shaped
+(figure reproduction) lives in benchmarks/, not here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import scaled_testbed, testbed_640
+from repro.io import CollectiveHints, make_context
+from repro.util import mib
+
+
+@pytest.fixture
+def small_machine():
+    """A 4-node testbed clone with a small PFS (fast to simulate)."""
+    return scaled_testbed(4, cores_per_node=4)
+
+
+@pytest.fixture
+def small_ctx(small_machine):
+    """8 procs on 4 nodes, byte-accurate data tracking enabled."""
+    return make_context(
+        small_machine,
+        8,
+        procs_per_node=2,
+        track_data=True,
+        seed=123,
+        hints=CollectiveHints(cb_buffer_size=mib(1)),
+    )
+
+
+@pytest.fixture
+def testbed_ctx():
+    """The paper's platform at modest scale (no data tracking)."""
+    return make_context(testbed_640(), 24, procs_per_node=12, seed=123)

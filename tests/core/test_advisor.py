@@ -1,0 +1,87 @@
+"""Tests for the strategy advisor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import scaled_testbed
+from repro.core import MemoryConsciousConfig
+from repro.core.advisor import advise, profile_requests
+from repro.io import CollectiveHints, make_context
+from repro.mpi import AccessRequest
+from repro.util import ExtentList, kib, mib
+from repro.workloads import IORWorkload
+
+
+@pytest.fixture
+def ctx():
+    machine = scaled_testbed(4, cores_per_node=4)
+    return make_context(
+        machine, 8, procs_per_node=2, seed=1,
+        hints=CollectiveHints(cb_buffer_size=mib(4)),
+    )
+
+
+def contiguous_reqs(n=8, size=mib(16)):
+    return [AccessRequest(p, ExtentList.single(p * size, size)) for p in range(n)]
+
+
+class TestProfile:
+    def test_contiguous(self):
+        prof = profile_requests(contiguous_reqs())
+        assert prof.is_contiguous
+        assert prof.envelope_density == pytest.approx(1.0)
+        assert not prof.is_interleaved
+
+    def test_interleaved(self):
+        wl = IORWorkload(8, block_size=mib(1), transfer_size=kib(64))
+        prof = profile_requests(wl.requests())
+        assert not prof.is_contiguous
+        assert prof.is_interleaved
+        assert prof.segments_per_rank == 16
+
+    def test_empty(self):
+        prof = profile_requests([AccessRequest(0, ExtentList.empty())])
+        assert prof.n_ranks == 0
+
+
+class TestAdvise:
+    def test_large_contiguous_gets_independent(self, ctx):
+        rec = advise(ctx, contiguous_reqs())
+        assert rec.strategy_name == "independent"
+        assert rec.build().name == "independent"
+
+    def test_interleaved_with_plentiful_memory_two_phase(self, ctx):
+        ctx.cluster.set_uniform_available(mib(512))
+        wl = IORWorkload(8, block_size=mib(1), transfer_size=kib(64))
+        rec = advise(ctx, wl.requests())
+        assert rec.strategy_name == "two-phase"
+
+    def test_scarce_memory_memory_conscious(self, ctx):
+        ctx.cluster.set_uniform_available(mib(1))  # below cb=4 MiB
+        wl = IORWorkload(8, block_size=mib(1), transfer_size=kib(64))
+        rec = advise(ctx, wl.requests())
+        assert rec.strategy_name == "memory-conscious"
+        assert any("cannot back" in r for r in rec.reasons)
+
+    def test_uneven_memory_memory_conscious(self, ctx):
+        for i, node in enumerate(ctx.cluster.nodes):
+            cap = ctx.machine.node.mem_capacity
+            node.memory.set_reserved(cap - mib(8) * (1 + 3 * (i % 2)))
+        wl = IORWorkload(8, block_size=mib(1), transfer_size=kib(64))
+        rec = advise(ctx, wl.requests())
+        assert rec.strategy_name == "memory-conscious"
+
+    def test_build_with_config(self, ctx):
+        ctx.cluster.set_uniform_available(mib(1))
+        wl = IORWorkload(8, block_size=mib(1), transfer_size=kib(64))
+        rec = advise(ctx, wl.requests())
+        cfg = MemoryConsciousConfig(msg_ind=mib(2), mem_min=kib(256))
+        strategy = rec.build(cfg)
+        assert strategy.name == "memory-conscious"
+        assert strategy.config.msg_ind == mib(2)
+
+    def test_reasons_are_human_readable(self, ctx):
+        rec = advise(ctx, contiguous_reqs())
+        assert rec.reasons
+        assert all(isinstance(r, str) and r for r in rec.reasons)

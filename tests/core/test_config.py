@@ -1,0 +1,58 @@
+"""Tests for MemoryConsciousConfig validation and copying."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MemoryConsciousConfig
+from repro.util import mib
+
+
+class TestDefaults:
+    def test_defaults_are_consistent(self):
+        cfg = MemoryConsciousConfig()
+        assert cfg.buffer_floor <= cfg.msg_ind
+        assert cfg.group_mode == "auto"
+        assert cfg.enable_remerge
+        assert cfg.dynamic_placement
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"msg_ind": 0},
+            {"msg_group": 0},
+            {"nah": 0},
+            {"mem_min": 0},
+            {"buffer_floor": 0},
+        ],
+    )
+    def test_positive_fields(self, kwargs):
+        with pytest.raises(Exception):
+            MemoryConsciousConfig(**kwargs)
+
+    def test_group_mode_checked(self):
+        with pytest.raises(ValueError):
+            MemoryConsciousConfig(group_mode="sideways")
+
+    def test_floor_cannot_exceed_msg_ind(self):
+        with pytest.raises(ValueError):
+            MemoryConsciousConfig(msg_ind=mib(1), buffer_floor=mib(2))
+
+    def test_overlap_threshold_range(self):
+        with pytest.raises(ValueError):
+            MemoryConsciousConfig(serial_overlap_threshold=1.5)
+
+
+class TestReplace:
+    def test_replace_copies(self):
+        a = MemoryConsciousConfig()
+        b = a.replace(nah=7)
+        assert b.nah == 7
+        assert a.nah != 7 or a.nah == MemoryConsciousConfig().nah
+
+    def test_replace_revalidates(self):
+        a = MemoryConsciousConfig()
+        with pytest.raises(Exception):
+            a.replace(msg_ind=-1)

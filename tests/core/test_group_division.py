@@ -1,0 +1,127 @@
+"""Tests for aggregation group division (paper Section 3.1, Figure 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, NetworkModel, scaled_testbed
+from repro.core import MemoryConsciousConfig, detect_serial, divide_groups
+from repro.mpi import AccessRequest, SimComm
+from repro.util import ExtentList, mib
+from repro.workloads import IORWorkload
+
+
+def make_comm(n_procs=9, procs_per_node=3, n_nodes=3):
+    machine = scaled_testbed(n_nodes, cores_per_node=procs_per_node)
+    cluster = Cluster(machine, n_procs, procs_per_node=procs_per_node)
+    return SimComm(cluster, NetworkModel(machine))
+
+
+def serial_requests(n_procs, nbytes):
+    return [
+        AccessRequest(p, ExtentList.single(p * nbytes, nbytes))
+        for p in range(n_procs)
+    ]
+
+
+class TestDetectSerial:
+    def test_serial_distribution_detected(self):
+        comm = make_comm()
+        reqs = serial_requests(9, 100)
+        assert detect_serial(reqs, comm, overlap_threshold=0.25)
+
+    def test_interleaved_detected(self):
+        comm = make_comm()
+        wl = IORWorkload(9, block_size=1600, transfer_size=100)
+        reqs = wl.requests()
+        assert not detect_serial(reqs, comm, overlap_threshold=0.25)
+
+    def test_single_node_trivially_serial(self):
+        comm = make_comm(n_procs=3, procs_per_node=3, n_nodes=1)
+        wl = IORWorkload(3, block_size=400, transfer_size=100)
+        assert detect_serial(wl.requests(), comm, overlap_threshold=0.25)
+
+
+class TestFigure4Example:
+    def test_paper_figure4_node_aligned_cut(self):
+        """Figure 4: 9 processes on 3 nodes, serial distribution; the
+        first group's boundary extends to the ending offset of the data
+        accessed by the last process of node 1 — no node straddles two
+        groups."""
+        comm = make_comm(9, 3, 3)
+        per_proc = 100
+        reqs = serial_requests(9, per_proc)
+        config = MemoryConsciousConfig(
+            msg_group=250,  # less than one node's 300 B -> snap to node end
+            group_mode="serial",
+            msg_ind=100,
+            mem_min=1,
+            buffer_floor=1,
+        )
+        groups = divide_groups(reqs, comm, config)
+        # Each node's 3 processes hold 300 B; groups close at node ends.
+        assert [g.region.offset for g in groups] == [0, 300, 600]
+        assert [g.region.end for g in groups] == [300, 600, 900]
+        # Members: exactly one node's ranks per group.
+        assert groups[0].member_ranks == (0, 1, 2)
+        assert groups[1].member_ranks == (3, 4, 5)
+        assert groups[2].member_ranks == (6, 7, 8)
+
+
+class TestGroupInvariants:
+    @pytest.mark.parametrize("mode", ["serial", "interleaved", "off", "auto"])
+    def test_groups_partition_workload(self, mode):
+        comm = make_comm()
+        wl = IORWorkload(9, block_size=3200, transfer_size=100)
+        reqs = wl.requests()
+        config = MemoryConsciousConfig(
+            msg_group=4000, group_mode=mode, msg_ind=512, mem_min=1, buffer_floor=1
+        )
+        groups = divide_groups(reqs, comm, config)
+        total = ExtentList.union_all([r.extents for r in reqs])
+        union = ExtentList.union_all([g.coverage for g in groups])
+        assert union == total
+        assert sum(g.covered_bytes for g in groups) == total.total  # disjoint
+        # Regions ordered and non-overlapping.
+        for a, b in zip(groups, groups[1:]):
+            assert a.region.end <= b.region.offset
+
+    def test_off_mode_single_group(self):
+        comm = make_comm()
+        reqs = serial_requests(9, 100)
+        config = MemoryConsciousConfig(
+            msg_group=10, group_mode="off", msg_ind=64, mem_min=1, buffer_floor=1
+        )
+        groups = divide_groups(reqs, comm, config)
+        assert len(groups) == 1
+        assert groups[0].member_ranks == tuple(range(9))
+
+    def test_interleaved_quantile_cuts(self):
+        comm = make_comm()
+        wl = IORWorkload(9, block_size=3200, transfer_size=100)
+        config = MemoryConsciousConfig(
+            msg_group=9600, group_mode="interleaved", msg_ind=1024,
+            mem_min=1, buffer_floor=1,
+        )
+        groups = divide_groups(wl.requests(), comm, config)
+        assert len(groups) == 3  # 28800 bytes / 9600
+        sizes = [g.covered_bytes for g in groups]
+        assert all(s == 9600 for s in sizes)
+
+    def test_empty_requests(self):
+        comm = make_comm()
+        config = MemoryConsciousConfig(mem_min=1, buffer_floor=1)
+        assert divide_groups([AccessRequest(0, ExtentList.empty())], comm, config) == []
+
+    def test_members_only_ranks_with_data_in_region(self):
+        comm = make_comm()
+        reqs = serial_requests(9, 100)
+        config = MemoryConsciousConfig(
+            msg_group=450, group_mode="serial", msg_ind=100, mem_min=1, buffer_floor=1
+        )
+        groups = divide_groups(reqs, comm, config)
+        for g in groups:
+            for rank in g.member_ranks:
+                assert reqs[rank].extents.clip(
+                    g.region.offset, g.region.length
+                ).total > 0

@@ -1,0 +1,180 @@
+"""Tests for the binary partition tree (build, surgery, invariants)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PartitionTree, offset_at_rank
+from repro.core.partition_tree import PartitionNode
+from repro.util import Extent, ExtentList, PartitionError
+
+
+def dense(total):
+    return ExtentList.single(0, total)
+
+
+class TestOffsetAtRank:
+    def test_dense(self):
+        cov = ExtentList.from_pairs([(10, 10)])
+        assert offset_at_rank(cov, 0) == 10
+        assert offset_at_rank(cov, 9) == 19
+
+    def test_with_holes(self):
+        cov = ExtentList.from_pairs([(0, 5), (100, 5)])
+        assert offset_at_rank(cov, 4) == 4
+        assert offset_at_rank(cov, 5) == 100
+
+    def test_out_of_range(self):
+        cov = dense(10)
+        with pytest.raises(PartitionError):
+            offset_at_rank(cov, 10)
+        with pytest.raises(PartitionError):
+            offset_at_rank(ExtentList.empty(), 0)
+
+
+class TestBuild:
+    def test_small_workload_single_leaf(self):
+        tree = PartitionTree.build(dense(100), msg_ind=200)
+        assert tree.n_leaves == 1
+        tree.validate()
+
+    def test_bisection_until_msg_ind(self):
+        tree = PartitionTree.build(dense(1000), msg_ind=100)
+        tree.validate()
+        for leaf in tree.leaves():
+            assert leaf.covered_bytes <= 100
+
+    def test_leaves_partition_coverage(self):
+        cov = ExtentList.from_pairs([(0, 300), (500, 300), (1000, 424)])
+        tree = PartitionTree.build(cov, msg_ind=128)
+        tree.validate()
+        assert tree.total_coverage() == cov
+        assert sum(l.covered_bytes for l in tree.leaves()) == cov.total
+
+    def test_balanced_split_on_skewed_data(self):
+        # All data in the right half of the region: the median split must
+        # follow the data, not the midpoint of the region.
+        cov = ExtentList.single(900, 100)
+        tree = PartitionTree.build(cov, msg_ind=50, region=Extent(0, 1000))
+        tree.validate()
+        leaves = [l for l in tree.leaves() if l.covered_bytes > 0]
+        assert all(l.covered_bytes <= 50 for l in leaves)
+
+    def test_alignment_hook(self):
+        align = lambda off: (off // 64) * 64
+        tree = PartitionTree.build(dense(1024), msg_ind=256, align=align)
+        tree.validate()
+        # Snaps apply whenever they keep both halves non-empty; with a
+        # power-of-two region every cut is alignable.
+        for leaf in tree.leaves()[:-1]:
+            assert leaf.hi % 64 == 0
+
+    def test_alignment_discarded_when_it_would_empty_a_half(self):
+        # Data only in [60, 70): snapping the median (65) down to 64 is
+        # fine, but snapping to 0 would empty the left half and must be
+        # discarded rather than crash.
+        align = lambda off: (off // 1024) * 1024
+        cov = ExtentList.single(60, 10)
+        tree = PartitionTree.build(cov, msg_ind=5, align=align)
+        tree.validate()
+        assert tree.total_coverage() == cov
+
+    def test_empty_coverage_rejected(self):
+        with pytest.raises(PartitionError):
+            PartitionTree.build(ExtentList.empty(), msg_ind=10)
+
+    def test_coverage_outside_region_rejected(self):
+        with pytest.raises(PartitionError):
+            PartitionTree.build(dense(100), msg_ind=10, region=Extent(0, 50))
+
+
+class TestRemoveLeafFigure5:
+    """The two takeover cases from the paper's Figure 5."""
+
+    def test_figure5a_sibling_is_leaf(self):
+        # Region split once: A = left leaf, B = right leaf. A leaves; B
+        # takes over directly and their parent becomes the merged leaf.
+        tree = PartitionTree.build(dense(200), msg_ind=100)
+        assert tree.n_leaves == 2
+        a, b = tree.leaves()
+        survivor = tree.remove_leaf(a)
+        tree.validate()
+        assert tree.n_leaves == 1
+        assert survivor.lo == 0 and survivor.hi == 200
+        assert survivor.covered_bytes == 200
+
+    def test_figure5b_dfs_into_left_sibling_subtree(self):
+        # A is the right child of the root; sibling B is internal. The DFS
+        # must walk B's *rightmost* path so the taker is adjacent to A.
+        # Build by hand: left internal with two leaves; right a leaf.
+        root = PartitionNode(0, 400)
+        left = PartitionNode(0, 200, parent=root)
+        right = PartitionNode(200, 400, ExtentList.single(200, 200), parent=root)
+        ll = PartitionNode(0, 100, ExtentList.single(0, 100), parent=left)
+        lr = PartitionNode(100, 200, ExtentList.single(100, 100), parent=left)
+        left.left, left.right = ll, lr
+        root.left, root.right = left, right
+        tree = PartitionTree(root)
+        tree.validate()
+        # Remove `right` (A, the right sibling); B = left is internal.
+        survivor = tree.remove_leaf(right)
+        tree.validate()
+        # DFS right-first from B finds lr, which absorbs A's region.
+        assert survivor is lr
+        assert survivor.lo == 100 and survivor.hi == 400
+        assert survivor.covered_bytes == 300
+        # The untouched leaf keeps its region.
+        assert ll.lo == 0 and ll.hi == 100
+
+    def test_figure5b_left_removal_takes_leftmost(self):
+        root = PartitionNode(0, 400)
+        left = PartitionNode(0, 200, ExtentList.single(0, 200), parent=root)
+        right = PartitionNode(200, 400, parent=root)
+        rl = PartitionNode(200, 300, ExtentList.single(200, 100), parent=right)
+        rr = PartitionNode(300, 400, ExtentList.single(300, 100), parent=right)
+        right.left, right.right = rl, rr
+        root.left, root.right = left, right
+        tree = PartitionTree(root)
+        survivor = tree.remove_leaf(left)
+        tree.validate()
+        assert survivor is rl  # leftmost leaf of the right subtree
+        assert survivor.lo == 0 and survivor.hi == 300
+        assert rr.lo == 300 and rr.hi == 400
+
+    def test_cannot_remove_root(self):
+        tree = PartitionTree.build(dense(10), msg_ind=100)
+        with pytest.raises(PartitionError):
+            tree.remove_leaf(tree.root)
+
+    def test_remove_internal_rejected(self):
+        tree = PartitionTree.build(dense(400), msg_ind=100)
+        with pytest.raises(PartitionError):
+            tree.remove_leaf(tree.root)
+
+
+@settings(deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 5_000), st.integers(1, 400)),
+        min_size=1,
+        max_size=15,
+    ),
+    st.integers(16, 512),
+    st.lists(st.integers(0, 30), max_size=10),
+)
+def test_property_surgery_preserves_invariants(pairs, msg_ind, removals):
+    cov = ExtentList.from_pairs(pairs)
+    tree = PartitionTree.build(cov, msg_ind=msg_ind)
+    tree.validate()
+    assert tree.total_coverage() == cov
+    for pick in removals:
+        leaves = tree.leaves()
+        if len(leaves) <= 1:
+            break
+        tree.remove_leaf(leaves[pick % len(leaves)])
+        tree.validate()
+        # Surgery never loses or duplicates bytes.
+        assert tree.total_coverage() == cov
+        assert sum(l.covered_bytes for l in tree.leaves()) == cov.total

@@ -1,0 +1,216 @@
+"""Tests for slot planning, aggregator placement, remerging, rebalance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    MemoryConsciousConfig,
+    PartitionTree,
+    SlotPlan,
+    divide_groups,
+    place_group,
+    rebalance,
+)
+from repro.core.placement import Assignment, build_domains
+from repro.io import make_context
+from repro.cluster import scaled_testbed
+from repro.mpi import AccessRequest
+from repro.util import ExtentList, mib
+
+
+def make_ctx(n_nodes=4, procs_per_node=2, **kw):
+    machine = scaled_testbed(n_nodes, cores_per_node=procs_per_node)
+    return make_context(
+        machine, n_nodes * procs_per_node, procs_per_node=procs_per_node,
+        seed=3, **kw
+    )
+
+
+def serial_requests(n_procs, nbytes):
+    return [
+        AccessRequest(p, ExtentList.single(p * nbytes, nbytes))
+        for p in range(n_procs)
+    ]
+
+
+CFG = MemoryConsciousConfig(
+    msg_ind=mib(4), msg_group=mib(64), nah=2, mem_min=mib(1), buffer_floor=mib(1) // 16
+)
+
+
+class TestSlotPlan:
+    def test_slots_respect_nah_and_mem_min(self):
+        ctx = make_ctx()
+        ctx.cluster.set_uniform_available(mib(8))
+        plan = SlotPlan.build(ctx, CFG)
+        # 8 MiB / 1 MiB mem_min -> 8, capped at nah=2 -> 2 slots/node.
+        for node in ctx.cluster.nodes:
+            assert len(plan.by_node[node.node_id]) == 2
+            for slot in plan.by_node[node.node_id]:
+                assert slot.buffer_bytes == mib(4)
+
+    def test_starved_node_offers_no_slots(self):
+        ctx = make_ctx()
+        ctx.cluster.set_uniform_available(mib(8))
+        ctx.cluster.nodes[1].memory.set_reserved(
+            ctx.machine.node.mem_capacity
+        )  # node 1: zero available
+        plan = SlotPlan.build(ctx, CFG)
+        assert 1 not in plan.by_node
+        assert len(plan.slots) == 6
+
+    def test_fully_starved_cluster_degrades_gracefully(self):
+        ctx = make_ctx()
+        ctx.cluster.set_uniform_available(0)
+        plan = SlotPlan.build(ctx, CFG)
+        assert len(plan.slots) == ctx.cluster.n_nodes
+        assert all(s.buffer_bytes == CFG.mem_min for s in plan.slots)
+
+    def test_best_for_prefers_emptier_bigger_slots(self):
+        ctx = make_ctx()
+        ctx.cluster.set_uniform_available(mib(8))
+        plan = SlotPlan.build(ctx, CFG)
+        first = plan.best_for([0, 1], mib(2))
+        first.load += mib(2)
+        second = plan.best_for([0, 1], mib(2))
+        assert second is not first
+
+
+class TestPlaceGroup:
+    def _plan_one(self, ctx, reqs, cfg):
+        groups = divide_groups(reqs, ctx.comm, cfg)
+        plan = SlotPlan.build(ctx, cfg)
+        all_assts = []
+        for g in groups:
+            tree = PartitionTree.build(g.coverage, cfg.msg_ind, region=g.region)
+            assts, stats = place_group(
+                g, tree, {r.rank: r for r in reqs}, ctx, cfg, plan
+            )
+            all_assts.extend(assts)
+        return plan, all_assts, stats
+
+    def test_assignments_cover_workload(self):
+        ctx = make_ctx()
+        ctx.cluster.set_uniform_available(mib(8))
+        reqs = serial_requests(8, mib(2))
+        plan, assts, _ = self._plan_one(ctx, reqs, CFG)
+        union = ExtentList.union_all([a.coverage for a in assts])
+        assert union == ExtentList.union_all([r.extents for r in reqs])
+
+    def test_aggregator_on_intersecting_host(self):
+        ctx = make_ctx()
+        ctx.cluster.set_uniform_available(mib(8))
+        reqs = serial_requests(8, mib(2))
+        plan, assts, _ = self._plan_one(ctx, reqs, CFG)
+        slot_by_id = {s.slot_id: s for s in plan.slots}
+        for a in assts:
+            node = slot_by_id[a.slot_id].node_id
+            assert node in a.host_ranks  # locality preserved
+
+    def test_starved_host_triggers_remerge(self):
+        ctx = make_ctx()
+        ctx.cluster.set_uniform_available(mib(8))
+        # Node 1 (ranks 2,3) starved -> its domains must remerge/move.
+        ctx.cluster.nodes[1].memory.set_reserved(ctx.machine.node.mem_capacity)
+        reqs = serial_requests(8, mib(2))
+        plan, assts, stats = self._plan_one(ctx, reqs, CFG)
+        assert stats.n_remerges > 0
+        slot_by_id = {s.slot_id: s for s in plan.slots}
+        for a in assts:
+            assert slot_by_id[a.slot_id].node_id != 1
+        # still complete coverage
+        union = ExtentList.union_all([a.coverage for a in assts])
+        assert union.total == 8 * mib(2)
+
+    def test_dynamic_placement_picks_data_affine_rank(self):
+        ctx = make_ctx()
+        ctx.cluster.set_uniform_available(mib(64))
+        reqs = serial_requests(8, mib(2))
+        cfg = CFG.replace(msg_ind=mib(64), msg_group=mib(256), group_mode="off")
+        groups = divide_groups(reqs, ctx.comm, cfg)
+        plan = SlotPlan.build(ctx, cfg)
+        tree = PartitionTree.build(groups[0].coverage, cfg.msg_ind)
+        assts, _ = place_group(
+            groups[0], tree, {r.rank: r for r in reqs}, ctx, cfg, plan
+        )
+        domains = build_domains(plan, assts, ctx, cfg)
+        (domain,) = domains
+        # The aggregator holds data inside the domain...
+        assert reqs[domain.aggregator].extents.overlap_bytes(domain.coverage) > 0
+        # ...and is, among its host node's ranks, the one with the most
+        # bytes in the domain.
+        agg_node = ctx.comm.node_of(domain.aggregator)
+        best_on_node = max(
+            (int(r) for r in ctx.cluster.ranks_on_node(agg_node)),
+            key=lambda r: reqs[r].extents.overlap_bytes(domain.coverage),
+        )
+        assert domain.aggregator == best_on_node
+
+
+class TestRebalance:
+    def test_moves_load_off_overloaded_slot(self):
+        ctx = make_ctx()
+        ctx.cluster.set_uniform_available(mib(8))
+        plan = SlotPlan.build(ctx, CFG)
+        # Hand-build assignments: everything on slot 0.
+        assts = []
+        for i in range(8):
+            cov = ExtentList.single(i * mib(2), mib(2))
+            assts.append(
+                Assignment(
+                    slot_id=0,
+                    coverage=cov,
+                    group_id=0,
+                    host_ranks={n.node_id: ((0, 1),) for n in ctx.cluster.nodes},
+                )
+            )
+            plan.slots[0].load += mib(2)
+        before = plan.max_rounds()
+        out, moves = rebalance(plan, assts)
+        assert moves > 0
+        assert plan.max_rounds() < before
+        # Bytes conserved.
+        assert sum(a.nbytes for a in out) == 8 * mib(2)
+
+    def test_balanced_input_untouched(self):
+        ctx = make_ctx()
+        ctx.cluster.set_uniform_available(mib(8))
+        plan = SlotPlan.build(ctx, CFG)
+        assts = []
+        for i, slot in enumerate(plan.slots):
+            cov = ExtentList.single(i * mib(4), mib(4))
+            assts.append(
+                Assignment(slot.slot_id, cov, 0, {slot.node_id: ((0, 1),)})
+            )
+            slot.load += mib(4)
+        _, moves = rebalance(plan, assts)
+        assert moves == 0
+
+    def test_empty(self):
+        ctx = make_ctx()
+        plan = SlotPlan.build(ctx, CFG)
+        out, moves = rebalance(plan, [])
+        assert out == [] and moves == 0
+
+
+class TestBuildDomains:
+    def test_merges_per_slot_across_groups(self):
+        ctx = make_ctx()
+        ctx.cluster.set_uniform_available(mib(8))
+        plan = SlotPlan.build(ctx, CFG)
+        a1 = Assignment(0, ExtentList.single(0, 100), 0, {0: ((0, 100),)})
+        a2 = Assignment(0, ExtentList.single(200, 100), 1, {0: ((0, 100),)})
+        plan.slots[0].load += 200
+        domains = build_domains(plan, [a1, a2], ctx, CFG)
+        assert len(domains) == 1
+        assert domains[0].group_id == -1  # multi-group slot
+        assert domains[0].coverage.to_pairs() == [(0, 100), (200, 100)]
+
+    def test_buffer_capped_by_slot_and_coverage(self):
+        ctx = make_ctx()
+        ctx.cluster.set_uniform_available(mib(8))
+        plan = SlotPlan.build(ctx, CFG)
+        a = Assignment(0, ExtentList.single(0, 10), 0, {0: ((0, 10),)})
+        domains = build_domains(plan, [a], ctx, CFG)
+        assert domains[0].buffer_bytes == 10  # capped by tiny coverage

@@ -1,0 +1,87 @@
+"""Tests for the Nah/Msg_ind/Msg_group calibration procedures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import scaled_testbed, testbed_640
+from repro.core import MemoryConsciousConfig, auto_tune, tune_group, tune_node
+from repro.util import mib
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return scaled_testbed(8)
+
+
+class TestTuneNode:
+    def test_returns_feasible_point(self, machine):
+        nah, msg_ind, sweep = tune_node(machine)
+        assert nah >= 1
+        assert msg_ind >= mib(1)
+        assert nah <= machine.node.cores
+        assert (nah, msg_ind) in sweep
+
+    def test_near_peak(self, machine):
+        nah, msg_ind, sweep = tune_node(machine, knee_fraction=0.9)
+        best = max(sweep.values())
+        assert sweep[(nah, msg_ind)] >= 0.9 * best
+
+    def test_bandwidth_monotone_in_aggregator_count(self, machine):
+        _, _, sweep = tune_node(machine)
+        # At a fixed large message size, more aggregators never slows the
+        # node down (until some resource saturates).
+        msg = mib(16)
+        series = sorted(
+            (k, bw) for (k, s), bw in sweep.items() if s == msg
+        )
+        for (k1, bw1), (k2, bw2) in zip(series, series[1:]):
+            assert bw2 >= bw1 * 0.999
+
+    def test_single_stream_is_stream_capped(self, machine):
+        _, _, sweep = tune_node(machine)
+        bw = sweep[(1, mib(64))]
+        assert bw <= machine.storage.client_stream_bandwidth * 1.001
+
+
+class TestTuneGroup:
+    def test_group_size_is_positive_multiple_of_msg_ind(self, machine):
+        msg_group, sweep = tune_group(machine, mib(4), 4)
+        assert msg_group % mib(4) == 0
+        assert msg_group >= mib(4)
+        assert len(sweep) >= 2
+
+    def test_knee_at_saturation(self, machine):
+        msg_group, sweep = tune_group(machine, mib(4), 4, knee_fraction=0.95)
+        best = max(sweep.values())
+        knee_aggs = msg_group // mib(4)
+        assert sweep[knee_aggs] >= 0.95 * best
+        # No smaller measured count reaches the knee.
+        for k, bw in sweep.items():
+            if k < knee_aggs:
+                assert bw < 0.95 * best
+
+
+class TestAutoTune:
+    def test_packaged_config(self, machine):
+        result = auto_tune(machine)
+        cfg = result.as_config()
+        assert isinstance(cfg, MemoryConsciousConfig)
+        assert cfg.nah == result.nah
+        assert cfg.msg_ind == result.msg_ind
+        assert cfg.mem_min == result.msg_ind  # Mem_min = saturating size
+        assert cfg.msg_group == result.msg_group
+
+    def test_respects_base_config(self, machine):
+        base = MemoryConsciousConfig(group_mode="interleaved")
+        cfg = auto_tune(machine).as_config(base)
+        assert cfg.group_mode == "interleaved"
+
+    def test_testbed_calibration_is_sane(self):
+        result = auto_tune(testbed_640())
+        # One DDR-IB node: a handful of aggregators with MiB-scale
+        # messages saturate it; the group knee is well under the file's
+        # size but above one node's contribution.
+        assert 2 <= result.nah <= 12
+        assert mib(1) <= result.msg_ind <= mib(64)
+        assert result.msg_group >= result.nah * result.msg_ind

@@ -1,0 +1,116 @@
+"""Tests for the byte-accurate file image."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fs import FileImage
+from repro.util import ExtentList, FileSystemError
+
+
+class TestBasics:
+    def test_empty(self):
+        img = FileImage()
+        assert img.size == 0
+        assert img.snapshot() == b""
+
+    def test_initial_contents(self):
+        img = FileImage(b"hello")
+        assert img.size == 5
+        assert img.snapshot() == b"hello"
+
+    def test_write_read_roundtrip(self):
+        img = FileImage()
+        img.write_extent(10, b"abc")
+        assert img.size == 13
+        assert bytes(img.read_extent(10, 3)) == b"abc"
+
+    def test_sparse_holes_read_zero(self):
+        img = FileImage()
+        img.write_extent(100, b"x")
+        assert bytes(img.read_extent(0, 3)) == b"\x00\x00\x00"
+
+    def test_read_past_eof_zero_filled(self):
+        img = FileImage(b"ab")
+        out = img.read_extent(0, 5)
+        assert bytes(out) == b"ab\x00\x00\x00"
+
+    def test_overwrite(self):
+        img = FileImage(b"aaaa")
+        img.write_extent(1, b"bb")
+        assert img.snapshot() == b"abba"
+
+    def test_growth_across_capacity_doubling(self):
+        img = FileImage()
+        for i in range(10):
+            img.write_extent(i * 5000, b"z" * 5000)
+        assert img.size == 50_000
+        assert bytes(img.read_extent(45_000, 5)) == b"zzzzz"
+
+    def test_invalid_args(self):
+        img = FileImage()
+        with pytest.raises(FileSystemError):
+            img.write_extent(-1, b"x")
+        with pytest.raises(FileSystemError):
+            img.read_extent(0, -1)
+
+
+class TestExtentIO:
+    def test_scatter_gather(self):
+        img = FileImage()
+        el = ExtentList.from_pairs([(0, 3), (10, 2)])
+        img.write_extents(el, b"abcde")
+        assert bytes(img.read_extent(0, 3)) == b"abc"
+        assert bytes(img.read_extent(10, 2)) == b"de"
+        assert bytes(img.read_extents(el)) == b"abcde"
+
+    def test_payload_size_mismatch_rejected(self):
+        img = FileImage()
+        el = ExtentList.from_pairs([(0, 4)])
+        with pytest.raises(FileSystemError):
+            img.write_extents(el, b"toolong")
+
+    def test_equality(self):
+        a, b = FileImage(b"xy"), FileImage(b"xy")
+        assert a == b
+        assert a == b"xy"
+        b.write_extent(0, b"z")
+        assert a != b
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 2_000), st.binary(min_size=1, max_size=64)),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_property_last_write_wins(writes):
+    """The image behaves exactly like a plain buffer under random writes."""
+    img = FileImage()
+    reference = bytearray()
+    for offset, data in writes:
+        img.write_extent(offset, data)
+        if offset + len(data) > len(reference):
+            reference.extend(b"\x00" * (offset + len(data) - len(reference)))
+        reference[offset : offset + len(data)] = data
+    assert img.snapshot() == bytes(reference)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 1_000), st.integers(1, 50)),
+        min_size=1,
+        max_size=15,
+    ),
+    st.integers(0, 255),
+)
+def test_property_extentlist_roundtrip(pairs, fill):
+    el = ExtentList.from_pairs(pairs)
+    payload = np.full(el.total, fill, dtype=np.uint8)
+    img = FileImage()
+    img.write_extents(el, payload)
+    assert np.array_equal(img.read_extents(el), payload)

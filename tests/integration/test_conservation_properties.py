@@ -1,0 +1,94 @@
+"""Property tests on the engine's conservation invariants.
+
+For random workload shapes and memory situations, the engine must
+conserve bytes everywhere: shuffle totals equal requested bytes, OST
+accounting covers every byte exactly once, and the transfer phase's
+resource loads are consistent with the byte flow (network carries at
+least the inter-node shuffle, OSTs at least the file bytes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import scaled_testbed
+from repro.core import MemoryConsciousCollectiveIO, MemoryConsciousConfig
+from repro.io import CollectiveHints, TwoPhaseCollectiveIO, make_context
+from repro.mpi import AccessRequest
+from repro.util import ExtentList, kib, mib
+
+CFG = MemoryConsciousConfig(
+    msg_ind=kib(128), msg_group=kib(512), nah=2, mem_min=kib(32),
+    buffer_floor=kib(8),
+)
+
+
+def _ctx(seed, mem_kib):
+    machine = scaled_testbed(4, cores_per_node=4)
+    ctx = make_context(
+        machine, 8, procs_per_node=2, seed=seed,
+        hints=CollectiveHints(cb_buffer_size=kib(64)),
+    )
+    ctx.cluster.apply_memory_variance(
+        ctx.rng, mean_available=kib(mem_kib), std=mib(1)
+    )
+    return ctx
+
+
+def _requests(chunks):
+    claimed = ExtentList.empty()
+    reqs = []
+    for rank in range(8):
+        pairs = chunks[rank::8]
+        el = ExtentList.from_pairs(pairs).subtract(claimed)
+        claimed = claimed.union(el)
+        reqs.append(AccessRequest(rank, el))
+    return reqs, claimed
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    chunks=st.lists(
+        st.tuples(st.integers(0, 1 << 17), st.integers(1, 1 << 11)),
+        min_size=2,
+        max_size=24,
+    ),
+    seed=st.integers(0, 1 << 16),
+    mem_kib=st.integers(16, 1024),
+    strategy_kind=st.sampled_from(["two-phase", "mc"]),
+)
+def test_byte_conservation(chunks, seed, mem_kib, strategy_kind):
+    ctx = _ctx(seed, mem_kib)
+    reqs, claimed = _requests(chunks)
+    if claimed.is_empty:
+        return
+    strategy = (
+        TwoPhaseCollectiveIO()
+        if strategy_kind == "two-phase"
+        else MemoryConsciousCollectiveIO(CFG)
+    )
+    res = strategy.write(ctx, ctx.pfs.open("c"), reqs)
+    total = claimed.total
+
+    # 1. Every requested byte shuffled exactly once.
+    assert res.shuffle_bytes == total
+    # 2. OST accounting covers the workload exactly once.
+    assert int(ctx.pfs.ost_utilization().sum()) == total
+    # 3. The transfer phase's OST loads carry at least the file bytes
+    #    (inflated by request overhead, never deflated).
+    transfer = res.trace.phases("transfer")[0]
+    ost_load = sum(
+        v for k, v in transfer.resource_bytes.items()
+        if isinstance(k, tuple) and k[0] == "ost"
+    )
+    assert ost_load >= total - 1e-6
+    # 4. Memory fully released.
+    assert all(n.memory.in_use == 0 for n in ctx.cluster.nodes)
+    # 5. Simulated time is positive and finite.
+    assert 0 < res.elapsed < float("inf")

@@ -1,0 +1,183 @@
+"""Integration tests: every strategy moves exactly the right bytes.
+
+The decisive invariant of the whole system: whatever the planner decides
+(groups, trees, remerges, rebalances, aggregator placement), the file
+image after a collective write equals the image independent I/O would
+produce, and reads return exactly what was written — for arbitrary
+workloads and memory situations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import scaled_testbed
+from repro.core import MemoryConsciousCollectiveIO, MemoryConsciousConfig
+from repro.io import (
+    CollectiveHints,
+    DataSievingIO,
+    IndependentIO,
+    TwoPhaseCollectiveIO,
+    make_context,
+)
+from repro.mpi import AccessRequest, pattern_bytes
+from repro.util import ExtentList, kib, mib
+from repro.workloads import (
+    CollPerfWorkload,
+    IORWorkload,
+    ShuffledChunksWorkload,
+    SkewedWorkload,
+    StridedWorkload,
+)
+
+MC_CFG = MemoryConsciousConfig(
+    msg_ind=kib(256), msg_group=mib(2), nah=2, mem_min=kib(64),
+    buffer_floor=kib(16),
+)
+
+STRATEGIES = [
+    IndependentIO(),
+    DataSievingIO(),
+    TwoPhaseCollectiveIO(),
+    MemoryConsciousCollectiveIO(MC_CFG),
+]
+
+WORKLOADS = [
+    IORWorkload(8, block_size=kib(256), transfer_size=kib(32)),
+    IORWorkload(8, block_size=kib(256), segmented=True),
+    CollPerfWorkload(8, (16, 16, 16)),
+    StridedWorkload(8, block=kib(8), count=16),
+    ShuffledChunksWorkload(8, chunk=kib(64), chunks_per_proc=4, seed=2),
+    SkewedWorkload(8, base_bytes=kib(512), decay=0.6),
+]
+
+
+def make_ctx(**kw):
+    machine = scaled_testbed(4, cores_per_node=4)
+    kw.setdefault("hints", CollectiveHints(cb_buffer_size=kib(128)))
+    kw.setdefault("seed", 17)
+    return make_context(machine, 8, procs_per_node=2, track_data=True, **kw)
+
+
+@pytest.mark.parametrize(
+    "strategy", STRATEGIES, ids=lambda s: s.name
+)
+@pytest.mark.parametrize(
+    "workload", WORKLOADS, ids=lambda w: w.name
+)
+class TestWriteCorrectness:
+    def test_file_image_matches_expected(self, strategy, workload):
+        ctx = make_ctx()
+        ctx.cluster.set_uniform_available(mib(1))
+        reqs = workload.requests(with_data=True)
+        f = ctx.pfs.open("out")
+        res = strategy.write(ctx, f, reqs)
+        full = ExtentList.union_all([r.extents for r in reqs])
+        assert np.array_equal(f.apply_read(full), pattern_bytes(full)), (
+            f"{strategy.name} corrupted {workload.name}"
+        )
+        assert res.elapsed > 0
+        assert res.nbytes == sum(r.nbytes for r in reqs)
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES, ids=lambda s: s.name)
+class TestReadCorrectness:
+    def test_read_returns_written_bytes(self, strategy):
+        workload = IORWorkload(8, block_size=kib(128), transfer_size=kib(16))
+        ctx = make_ctx()
+        ctx.cluster.set_uniform_available(mib(1))
+        reqs = workload.requests(with_data=True)
+        f = ctx.pfs.open("out")
+        IndependentIO().write(ctx, f, reqs)  # seed the file
+        read_reqs = [AccessRequest(r.rank, r.extents) for r in reqs]
+        strategy.read(ctx, f, read_reqs)
+        for wr, rd in zip(reqs, read_reqs):
+            assert np.array_equal(rd.data, wr.data), strategy.name
+
+
+class TestMemoryStressScenarios:
+    """Failure injection: extreme memory situations must not corrupt data
+    or deadlock the planner."""
+
+    def _verify(self, ctx, workload):
+        reqs = workload.requests(with_data=True)
+        f = ctx.pfs.open("out")
+        res = MemoryConsciousCollectiveIO(MC_CFG).write(ctx, f, reqs)
+        full = ExtentList.union_all([r.extents for r in reqs])
+        assert np.array_equal(f.apply_read(full), pattern_bytes(full))
+        return res
+
+    def test_all_nodes_starved(self):
+        ctx = make_ctx()
+        ctx.cluster.set_uniform_available(0)
+        res = self._verify(ctx, IORWorkload(8, block_size=kib(128), transfer_size=kib(16)))
+        assert res.elapsed > 0
+
+    def test_single_rich_node(self):
+        ctx = make_ctx()
+        ctx.cluster.set_uniform_available(0)
+        cap = ctx.machine.node.mem_capacity
+        ctx.cluster.nodes[2].memory.set_reserved(cap - mib(8))
+        res = self._verify(ctx, IORWorkload(8, block_size=kib(128), transfer_size=kib(16)))
+        # Every aggregator should sit on the only viable node.
+        assert all(a.node_id == 2 for a in res.aggregators)
+
+    def test_extreme_variance(self):
+        ctx = make_ctx()
+        ctx.cluster.apply_memory_variance(
+            ctx.rng, mean_available=kib(256), std=mib(16)
+        )
+        self._verify(ctx, CollPerfWorkload(8, (16, 16, 16)))
+
+    def test_one_rank_owns_everything(self):
+        ctx = make_ctx()
+        ctx.cluster.set_uniform_available(mib(1))
+        el = ExtentList.single(0, mib(2))
+        reqs = [AccessRequest(0, el, pattern_bytes(el))] + [
+            AccessRequest(p, ExtentList.empty()) for p in range(1, 8)
+        ]
+        f = ctx.pfs.open("out")
+        MemoryConsciousCollectiveIO(MC_CFG).write(ctx, f, reqs)
+        assert np.array_equal(f.apply_read(el), pattern_bytes(el))
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    blocks=st.lists(
+        st.tuples(st.integers(0, 1 << 18), st.integers(1, 1 << 12)),
+        min_size=1,
+        max_size=24,
+    ),
+    seed=st.integers(0, 2**16),
+)
+def test_property_mc_cio_writes_arbitrary_patterns(blocks, seed):
+    """Random (possibly overlapping across ranks!) extents, random memory:
+    the union of what was requested is exactly what lands on disk."""
+    ctx = make_ctx(seed=seed)
+    ctx.cluster.apply_memory_variance(
+        ctx.rng, mean_available=kib(512), std=mib(1)
+    )
+    # Deal blocks to ranks round-robin; dedupe overlaps rank-internally.
+    per_rank: list[list[tuple[int, int]]] = [[] for _ in range(8)]
+    for i, pair in enumerate(blocks):
+        per_rank[i % 8].append(pair)
+    reqs = []
+    claimed = ExtentList.empty()
+    for rank, pairs in enumerate(per_rank):
+        el = ExtentList.from_pairs(pairs).subtract(claimed)
+        claimed = claimed.union(el)
+        reqs.append(
+            AccessRequest(rank, el, pattern_bytes(el) if not el.is_empty else None)
+        )
+    if claimed.is_empty:
+        return
+    f = ctx.pfs.open("fuzz")
+    MemoryConsciousCollectiveIO(MC_CFG).write(ctx, f, reqs)
+    assert np.array_equal(f.apply_read(claimed), pattern_bytes(claimed))

@@ -1,0 +1,61 @@
+"""Tests for IOContext construction and hints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import BISECTION, scaled_testbed
+from repro.fs import PFS_BACKPLANE
+from repro.io import CollectiveHints, make_context
+from repro.util import ConfigurationError, mib
+
+
+class TestCollectiveHints:
+    def test_defaults(self):
+        hints = CollectiveHints()
+        assert hints.cb_buffer_size == mib(16)  # ROMIO default
+        assert hints.cb_nodes_per_node == 1
+        assert hints.align_domains_to_stripes
+
+    def test_with_buffer(self):
+        hints = CollectiveHints().with_buffer(mib(2))
+        assert hints.cb_buffer_size == mib(2)
+        assert CollectiveHints().cb_buffer_size == mib(16)  # frozen
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CollectiveHints(cb_buffer_size=0)
+        with pytest.raises(ValueError):
+            CollectiveHints(solver_mode="magic")
+
+
+class TestMakeContext:
+    def test_builds_consistent_bundle(self):
+        machine = scaled_testbed(4, cores_per_node=4)
+        ctx = make_context(machine, 8, procs_per_node=2, seed=1)
+        assert ctx.n_procs == 8
+        assert ctx.machine is machine
+        assert ctx.comm.size == 8
+        assert ctx.cluster.n_nodes == 4
+        assert not ctx.pfs.track_data
+
+    def test_capacity_map_merges_network_and_storage(self):
+        machine = scaled_testbed(4, cores_per_node=4)
+        ctx = make_context(machine, 8, procs_per_node=2)
+        caps = ctx.capacity_map("write")
+        assert BISECTION in caps
+        assert PFS_BACKPLANE in caps
+        read_caps = ctx.capacity_map("read")
+        assert read_caps[PFS_BACKPLANE] > caps[PFS_BACKPLANE]
+
+    def test_track_data(self):
+        machine = scaled_testbed(2, cores_per_node=4)
+        ctx = make_context(machine, 4, procs_per_node=2, track_data=True)
+        assert ctx.pfs.track_data
+        assert ctx.pfs.open("x").image is not None
+
+    def test_seeded_rng(self):
+        machine = scaled_testbed(2, cores_per_node=4)
+        a = make_context(machine, 4, procs_per_node=2, seed=9).rng.random(3)
+        b = make_context(machine, 4, procs_per_node=2, seed=9).rng.random(3)
+        assert (a == b).all()

@@ -1,0 +1,109 @@
+"""Tests for file domains and ROMIO-style even division."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fs import StripingLayout
+from repro.io import aggregate_access, even_domains
+from repro.io.domains import FileDomain
+from repro.mpi import AccessRequest
+from repro.util import Extent, ExtentList, PartitionError
+
+
+def _req(rank, pairs):
+    return AccessRequest(rank, ExtentList.from_pairs(pairs))
+
+
+class TestFileDomain:
+    def test_coverage_must_fit_region(self):
+        with pytest.raises(PartitionError):
+            FileDomain(
+                region=Extent(0, 10),
+                coverage=ExtentList.from_pairs([(5, 10)]),
+                aggregator=0,
+                buffer_bytes=10,
+            )
+
+    def test_rounds(self):
+        d = FileDomain(
+            region=Extent(0, 100),
+            coverage=ExtentList.from_pairs([(0, 100)]),
+            aggregator=0,
+            buffer_bytes=30,
+        )
+        assert d.rounds() == 4
+
+    def test_rounds_zero_when_empty(self):
+        d = FileDomain(Extent(0, 10), ExtentList.empty(), 0, 10)
+        assert d.rounds() == 0
+
+    def test_windows_tile_coverage(self):
+        cov = ExtentList.from_pairs([(0, 25), (40, 35)])
+        d = FileDomain(Extent(0, 80), cov, 0, 16)
+        windows = [d.window(r) for r in range(d.rounds())]
+        assert ExtentList.union_all(windows) == cov
+        assert all(w.total <= 16 for w in windows)
+        assert sum(w.total for w in windows) == cov.total
+
+    def test_zero_buffer_with_data_rejected(self):
+        d = FileDomain(Extent(0, 10), ExtentList.from_pairs([(0, 10)]), 0, 0)
+        with pytest.raises(PartitionError):
+            d.rounds()
+
+
+class TestAggregateAccess:
+    def test_union(self):
+        reqs = [_req(0, [(0, 10)]), _req(1, [(5, 10)]), _req(2, [(30, 5)])]
+        assert aggregate_access(reqs).to_pairs() == [(0, 15), (30, 5)]
+
+
+class TestEvenDomains:
+    def test_even_split(self):
+        reqs = [_req(r, [(r * 100, 100)]) for r in range(4)]
+        domains = even_domains(
+            reqs, [0, 1], buffer_bytes=100, align_to_stripes=False
+        )
+        assert len(domains) == 2
+        assert domains[0].region == Extent(0, 200)
+        assert domains[1].region == Extent(200, 200)
+        assert domains[0].aggregator == 0
+        assert domains[1].aggregator == 1
+
+    def test_covers_everything_exactly_once(self):
+        reqs = [_req(r, [(r * 64, 40)]) for r in range(10)]
+        domains = even_domains(
+            reqs, [0, 3, 7], buffer_bytes=1000, align_to_stripes=False
+        )
+        union = ExtentList.union_all([d.coverage for d in domains])
+        assert union == aggregate_access(reqs)
+        total = sum(d.covered_bytes for d in domains)
+        assert total == aggregate_access(reqs).total  # no double coverage
+
+    def test_stripe_alignment(self):
+        layout = StripingLayout(stripe_unit=64, stripe_count=4)
+        reqs = [_req(r, [(r * 100, 100)]) for r in range(4)]
+        domains = even_domains(
+            reqs, [0, 1, 2], buffer_bytes=1000, layout=layout,
+            align_to_stripes=True,
+        )
+        for d in domains[:-1]:
+            assert d.region.end % 64 == 0
+
+    def test_data_oblivious_assignment(self):
+        # All data lives at the start; the last aggregators get nothing —
+        # exactly the baseline behaviour the paper criticizes.
+        reqs = [_req(0, [(0, 100)])]
+        domains = even_domains(
+            reqs, [0, 1, 2, 3], buffer_bytes=10, align_to_stripes=False
+        )
+        # Each domain that survives carries data; aggregator list order kept.
+        assert all(not d.coverage.is_empty for d in domains)
+        assert sum(d.covered_bytes for d in domains) == 100
+
+    def test_empty_requests(self):
+        assert even_domains([_req(0, [])], [0], buffer_bytes=10) == []
+
+    def test_no_aggregators_rejected(self):
+        with pytest.raises(PartitionError):
+            even_domains([_req(0, [(0, 10)])], [], buffer_bytes=10)

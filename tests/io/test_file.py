@@ -1,0 +1,122 @@
+"""Tests for the CollectiveFile MPI-IO facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import scaled_testbed
+from repro.core import MemoryConsciousCollectiveIO, MemoryConsciousConfig
+from repro.io import CollectiveHints, make_context
+from repro.io import CollectiveFile
+from repro.mpi import BYTE, vector
+from repro.util import CommunicatorError, FileViewError, kib
+
+N = 8
+
+
+@pytest.fixture
+def ctx():
+    machine = scaled_testbed(4, cores_per_node=4)
+    return make_context(
+        machine, N, procs_per_node=2, track_data=True, seed=2,
+        hints=CollectiveHints(cb_buffer_size=kib(64)),
+    )
+
+
+class TestViews:
+    def test_default_view_contiguous(self, ctx):
+        f = CollectiveFile.open(ctx, "x")
+        assert f.view_of(0).extents_for(0, 10).to_pairs() == [(0, 10)]
+
+    def test_set_view_resets_position(self, ctx):
+        f = CollectiveFile.open(ctx, "x")
+        f.seek(1, 100)
+        f.set_view(1, displacement=64)
+        assert f.tell(1) == 0
+
+    def test_seek_tell(self, ctx):
+        f = CollectiveFile.open(ctx, "x")
+        f.seek(0, 123)
+        assert f.tell(0) == 123
+        with pytest.raises(FileViewError):
+            f.seek(0, -1)
+
+    def test_bad_rank(self, ctx):
+        f = CollectiveFile.open(ctx, "x")
+        with pytest.raises(CommunicatorError):
+            f.set_view(99)
+
+
+class TestWriteReadAll:
+    def test_segmented_roundtrip(self, ctx):
+        f = CollectiveFile.open(ctx, "x")
+        size = kib(4)
+        for rank in range(N):
+            f.set_view(rank, displacement=rank * size)
+        payloads = {
+            rank: np.full(size, rank + 1, dtype=np.uint8) for rank in range(N)
+        }
+        res = f.write_all(payloads)
+        assert res.nbytes == N * size
+        # Positions advanced.
+        assert all(f.tell(r) == size for r in range(N))
+        # Read back from position 0.
+        for rank in range(N):
+            f.seek(rank, 0)
+        _, data = f.read_all({rank: size for rank in range(N)})
+        for rank in range(N):
+            assert np.array_equal(data[rank], payloads[rank])
+
+    def test_interleaved_views_roundtrip(self, ctx):
+        # Classic alternating-block layout via vector filetypes.
+        f = CollectiveFile.open(
+            ctx, "x",
+            strategy=MemoryConsciousCollectiveIO(
+                MemoryConsciousConfig(
+                    msg_ind=kib(64), msg_group=kib(256), nah=2,
+                    mem_min=kib(16), buffer_floor=kib(4),
+                )
+            ),
+        )
+        ctx.cluster.set_uniform_available(kib(256))
+        blk = kib(1)
+        ft = vector(16, blk, blk * N, BYTE)
+        for rank in range(N):
+            f.set_view(rank, displacement=rank * blk, filetype=ft)
+        payloads = {
+            rank: np.full(16 * blk, rank + 10, dtype=np.uint8)
+            for rank in range(N)
+        }
+        f.write_all(payloads)
+        for rank in range(N):
+            f.seek(rank, 0)
+        _, data = f.read_all({rank: 16 * blk for rank in range(N)})
+        for rank in range(N):
+            assert np.array_equal(data[rank], payloads[rank])
+        # The file is fully dense: N ranks x 16 blocks interleaved.
+        assert f.sim_file.size == N * 16 * blk
+
+    def test_amounts_only_mode(self, ctx):
+        f = CollectiveFile.open(ctx, "x")
+        res = f.write_all(amounts={r: kib(1) for r in range(N)})
+        assert res.nbytes == N * kib(1)
+
+    def test_payload_size_mismatch(self, ctx):
+        f = CollectiveFile.open(ctx, "x")
+        with pytest.raises(CommunicatorError):
+            f.write_all({0: b"abc"}, amounts={0: 5})
+
+    def test_history_accumulates(self, ctx):
+        f = CollectiveFile.open(ctx, "x")
+        f.write_all(amounts={r: kib(1) for r in range(N)})
+        f.write_all(amounts={r: kib(1) for r in range(N)})
+        assert len(f.history) == 2
+        assert f.total_bytes_moved == 2 * N * kib(1)
+
+    def test_sequential_appends_via_position(self, ctx):
+        f = CollectiveFile.open(ctx, "x")
+        f.set_view(0, displacement=0)
+        f.write_all({0: b"aaaa"})
+        f.write_all({0: b"bbbb"})
+        assert bytes(f.sim_file.image.read_extent(0, 8)) == b"aaaabbbb"

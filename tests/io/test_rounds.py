@@ -1,0 +1,170 @@
+"""Tests for the round engine (timing model, paging, conservation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import scaled_testbed
+from repro.io import CollectiveHints, make_context
+from repro.io.domains import FileDomain
+from repro.io.rounds import execute_collective
+from repro.mpi import AccessRequest, pattern_bytes
+from repro.util import CollectiveIOError, Extent, ExtentList, mib
+
+
+def make_ctx(**kw):
+    machine = scaled_testbed(4, cores_per_node=4)
+    kw.setdefault("track_data", True)
+    return make_context(machine, 8, procs_per_node=2, seed=5, **kw)
+
+
+def serial_reqs(n, size):
+    out = []
+    for p in range(n):
+        el = ExtentList.single(p * size, size)
+        out.append(AccessRequest(p, el, pattern_bytes(el)))
+    return out
+
+
+def simple_domains(reqs, aggs, buffer_bytes):
+    total = sum(r.nbytes for r in reqs)
+    per = total // len(aggs)
+    domains = []
+    coverage = ExtentList.union_all([r.extents for r in reqs])
+    for i, agg in enumerate(aggs):
+        lo = i * per
+        hi = (i + 1) * per if i < len(aggs) - 1 else total
+        cov = coverage.clip(lo, hi - lo)
+        domains.append(
+            FileDomain(Extent(lo, hi - lo), cov, agg, buffer_bytes)
+        )
+    return domains
+
+
+class TestExecuteCollective:
+    def test_trace_structure(self):
+        ctx = make_ctx()
+        reqs = serial_reqs(8, mib(1))
+        domains = simple_domains(reqs, [0, 2, 4, 6], mib(1))
+        res = execute_collective(
+            ctx, ctx.pfs.open("f"), reqs, domains, kind="write", strategy="t"
+        )
+        names = [p.name for p in res.trace]
+        assert names[0] == "request_exchange"
+        assert "transfer" in names
+        transfer = res.trace.phases("transfer")[0]
+        assert transfer.meta["rounds"] == res.n_rounds
+        assert transfer.meta["resource_bound"] <= transfer.duration
+
+    def test_planning_time_charged(self):
+        ctx = make_ctx()
+        reqs = serial_reqs(8, mib(1))
+        domains = simple_domains(reqs, [0, 2, 4, 6], mib(1))
+        res = execute_collective(
+            ctx, ctx.pfs.open("f"), reqs, domains, kind="write",
+            strategy="t", planning_time=1.0,
+        )
+        assert res.trace.total_time("planning") == pytest.approx(1.0)
+
+    def test_bytes_conserved_in_resource_loads(self):
+        ctx = make_ctx()
+        reqs = serial_reqs(8, mib(1))
+        domains = simple_domains(reqs, [0, 2, 4, 6], mib(1))
+        res = execute_collective(
+            ctx, ctx.pfs.open("f"), reqs, domains, kind="write", strategy="t"
+        )
+        transfer = res.trace.phases("transfer")[0]
+        # Every OST byte equals the workload (plus overhead inflation).
+        ost_bytes = sum(
+            b for k, b in transfer.resource_bytes.items()
+            if isinstance(k, tuple) and k[0] == "ost"
+        )
+        assert ost_bytes >= 8 * mib(1)
+
+    def test_zero_buffer_rejected(self):
+        ctx = make_ctx()
+        reqs = serial_reqs(2, mib(1))
+        bad = [
+            FileDomain(
+                Extent(0, 2 * mib(1)),
+                ExtentList.single(0, 2 * mib(1)),
+                0,
+                0,
+            )
+        ]
+        with pytest.raises(CollectiveIOError):
+            execute_collective(
+                ctx, ctx.pfs.open("f"), reqs, bad, kind="write", strategy="t"
+            )
+
+    def test_paging_slows_oversubscribed_node(self):
+        reqs = serial_reqs(8, mib(1))
+        fast = make_ctx()
+        fast.cluster.set_uniform_available(mib(64))
+        slow = make_ctx()
+        slow.cluster.set_uniform_available(mib(1) // 2)  # every buffer pages
+        domains = simple_domains(reqs, [0, 2, 4, 6], mib(2))
+        t_fast = execute_collective(
+            fast, fast.pfs.open("f"), reqs, domains, kind="write", strategy="t"
+        ).elapsed
+        t_slow = execute_collective(
+            slow, slow.pfs.open("f"), reqs, domains, kind="write", strategy="t"
+        ).elapsed
+        assert t_slow >= t_fast
+
+    def test_write_then_read_same_time_shape(self):
+        ctx = make_ctx()
+        reqs = serial_reqs(8, mib(1))
+        domains = simple_domains(reqs, [0, 2, 4, 6], mib(1))
+        w = execute_collective(
+            ctx, ctx.pfs.open("f"), reqs, domains, kind="write", strategy="t"
+        )
+        read_reqs = [AccessRequest(r.rank, r.extents) for r in reqs]
+        r = execute_collective(
+            ctx, ctx.pfs.open("f"), read_reqs, domains, kind="read", strategy="t"
+        )
+        # Reads are faster (read_factor) but not wildly different.
+        assert 0.3 * w.elapsed < r.elapsed <= w.elapsed * 1.01
+        for wr, rd in zip(reqs, read_reqs):
+            assert np.array_equal(rd.data, wr.data)
+
+    def test_group_sizes_used_for_sync(self):
+        ctx = make_ctx()
+        reqs = serial_reqs(8, mib(1))
+        domains = [
+            d if i % 2 == 0 else FileDomain(
+                d.region, d.coverage, d.aggregator, d.buffer_bytes, group_id=1
+            )
+            for i, d in enumerate(simple_domains(reqs, [0, 2, 4, 6], mib(1)))
+        ]
+        res = execute_collective(
+            ctx, ctx.pfs.open("f"), reqs, domains, kind="write",
+            strategy="t", group_sizes={0: 4, 1: 4},
+        )
+        assert res.elapsed > 0
+
+    def test_more_bandwidth_never_slower(self):
+        reqs = serial_reqs(8, mib(1))
+        base = make_ctx()
+        boosted = make_context(
+            scaled_testbed(4, cores_per_node=4).with_storage(
+                ost_bandwidth=base.machine.storage.ost_bandwidth * 4,
+                backplane=base.machine.storage.backplane * 4,
+                client_stream_bandwidth=(
+                    base.machine.storage.client_stream_bandwidth * 4
+                ),
+            ),
+            8,
+            procs_per_node=2,
+            track_data=True,
+            seed=5,
+        )
+        domains = simple_domains(reqs, [0, 2, 4, 6], mib(1))
+        t1 = execute_collective(
+            base, base.pfs.open("f"), reqs, domains, kind="write", strategy="t"
+        ).elapsed
+        t2 = execute_collective(
+            boosted, boosted.pfs.open("f"), reqs, domains, kind="write", strategy="t"
+        ).elapsed
+        assert t2 <= t1

@@ -1,0 +1,96 @@
+"""Tests for the shuffle exchange planner and flow builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import BISECTION, Cluster, NetworkModel, membw, nic_in, nic_out, scaled_testbed
+from repro.io.domains import FileDomain
+from repro.io.shuffle import plan_exchange, shuffle_flows
+from repro.mpi import AccessRequest, SimComm
+from repro.util import Extent, ExtentList
+
+
+@pytest.fixture
+def comm():
+    machine = scaled_testbed(4, cores_per_node=4)
+    return SimComm(Cluster(machine, 8, procs_per_node=2), NetworkModel(machine))
+
+
+def _domain(lo, hi, agg):
+    cov = ExtentList.single(lo, hi - lo)
+    return FileDomain(Extent(lo, hi - lo), cov, agg, hi - lo)
+
+
+class TestPlanExchange:
+    def test_pieces_match_intersections(self, comm):
+        reqs = [
+            AccessRequest(0, ExtentList.from_pairs([(0, 100)])),
+            AccessRequest(1, ExtentList.from_pairs([(50, 100)])),
+        ]
+        domains = [_domain(0, 80, 0), _domain(80, 160, 2)]
+        windows = [d.coverage for d in domains]
+        cands = [
+            [(r, r.extents.intersect(d.coverage)) for r in reqs]
+            for d in domains
+        ]
+        pieces = plan_exchange(cands, windows, domains)
+        got = {(p.src_rank, p.agg_rank): p.piece.to_pairs() for p in pieces}
+        assert got[(0, 0)] == [(0, 80)]
+        assert got[(1, 0)] == [(50, 30)]
+        assert got[(0, 2)] == [(80, 20)]
+        assert got[(1, 2)] == [(80, 70)]
+
+    def test_empty_window_skipped(self, comm):
+        reqs = [AccessRequest(0, ExtentList.from_pairs([(0, 10)]))]
+        domains = [_domain(0, 10, 0)]
+        cands = [[(r, r.extents) for r in reqs]]
+        pieces = plan_exchange(cands, [ExtentList.empty()], domains)
+        assert pieces == []
+
+    def test_bytes_conserved(self, comm):
+        reqs = [AccessRequest(r, ExtentList.single(r * 50, 50)) for r in range(4)]
+        domains = [_domain(0, 100, 0), _domain(100, 200, 2)]
+        windows = [d.coverage for d in domains]
+        cands = [
+            [(r, r.extents.intersect(d.coverage)) for r in reqs]
+            for d in domains
+        ]
+        pieces = plan_exchange(cands, windows, domains)
+        assert sum(p.nbytes for p in pieces) == 200
+
+
+class TestShuffleFlows:
+    def test_intra_node_charges_membw_twice(self, comm):
+        reqs = [AccessRequest(0, ExtentList.single(0, 100))]
+        domains = [_domain(0, 100, 1)]  # ranks 0,1 share node 0
+        cands = [[(r, r.extents) for r in reqs]]
+        pieces = plan_exchange(cands, [domains[0].coverage], domains)
+        flows, intra, inter = shuffle_flows(pieces, comm, "write")
+        assert intra == 100 and inter == 0
+        (flow,) = flows
+        assert flow.resources == (membw(0),)
+        assert flow.charge_on(membw(0)) == 200.0
+
+    def test_inter_node_path(self, comm):
+        reqs = [AccessRequest(0, ExtentList.single(0, 100))]
+        domains = [_domain(0, 100, 6)]  # rank 6 on node 3
+        cands = [[(r, r.extents) for r in reqs]]
+        pieces = plan_exchange(cands, [domains[0].coverage], domains)
+        flows, intra, inter = shuffle_flows(pieces, comm, "write")
+        assert inter == 100 and intra == 0
+        (flow,) = flows
+        assert flow.resources == (
+            membw(0), nic_out(0), BISECTION, nic_in(3), membw(3)
+        )
+
+    def test_read_reverses_direction(self, comm):
+        reqs = [AccessRequest(0, ExtentList.single(0, 100))]
+        domains = [_domain(0, 100, 6)]
+        cands = [[(r, r.extents) for r in reqs]]
+        pieces = plan_exchange(cands, [domains[0].coverage], domains)
+        flows, _, _ = shuffle_flows(pieces, comm, "read")
+        (flow,) = flows
+        # data moves aggregator (node 3) -> requester (node 0)
+        assert nic_out(3) in flow.resources
+        assert nic_in(0) in flow.resources

@@ -1,0 +1,45 @@
+"""Tests for result/trace JSON serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import scaled_testbed
+from repro.io import CollectiveHints, TwoPhaseCollectiveIO, make_context
+from repro.metrics.export import dump_results, load_results, result_to_dict
+from repro.util import kib
+from repro.workloads import IORWorkload
+
+
+@pytest.fixture
+def result():
+    machine = scaled_testbed(2, cores_per_node=4)
+    ctx = make_context(
+        machine, 4, procs_per_node=2, seed=1,
+        hints=CollectiveHints(cb_buffer_size=kib(64)),
+    )
+    wl = IORWorkload(4, block_size=kib(64), transfer_size=kib(16))
+    return TwoPhaseCollectiveIO().write(ctx, ctx.pfs.open("f"), wl.requests())
+
+
+class TestResultToDict:
+    def test_fields(self, result):
+        d = result_to_dict(result)
+        assert d["strategy"] == "two-phase"
+        assert d["nbytes"] == 4 * kib(64)
+        assert d["bandwidth_Bps"] == pytest.approx(result.bandwidth)
+        assert len(d["aggregators"]) == result.n_aggregators
+        assert any(p["name"] == "transfer" for p in d["trace"])
+
+    def test_resource_keys_stringified(self, result):
+        d = result_to_dict(result)
+        transfer = next(p for p in d["trace"] if p["name"] == "transfer")
+        assert all(isinstance(k, str) for k in transfer["resource_bytes"])
+        assert any(k.startswith("ost:") for k in transfer["resource_bytes"])
+
+    def test_json_round_trip(self, result, tmp_path):
+        path = dump_results(tmp_path / "out.json", [result], seed=1, note="x")
+        doc = load_results(path)
+        assert doc["metadata"] == {"seed": 1, "note": "x"}
+        assert len(doc["results"]) == 1
+        assert doc["results"][0]["n_rounds"] == result.n_rounds

@@ -1,0 +1,132 @@
+"""Tests for metrics: comparisons, memory summaries, reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.io.result import AggregatorInfo, CollectiveResult
+from repro.metrics import (
+    RunComparison,
+    bandwidth_table,
+    improvement,
+    memory_summary,
+    render_table,
+)
+from repro.util import MiB
+
+
+def result(bw_mib, nbytes=100 * MiB, n_aggs=4, buffers=None):
+    elapsed = nbytes / (bw_mib * MiB)
+    aggs = [
+        AggregatorInfo(
+            rank=i,
+            node_id=i,
+            domain_bytes=nbytes // n_aggs,
+            buffer_bytes=(buffers[i] if buffers else 4 * MiB),
+            rounds=2,
+        )
+        for i in range(n_aggs)
+    ]
+    return CollectiveResult(
+        kind="write",
+        strategy="x",
+        elapsed=elapsed,
+        nbytes=nbytes,
+        n_rounds=2,
+        aggregators=aggs,
+    )
+
+
+class TestImprovement:
+    def test_positive(self):
+        assert improvement(result(134.2), result(100)) == pytest.approx(
+            0.342, rel=1e-3
+        )
+
+    def test_zero_baseline(self):
+        zero = CollectiveResult("write", "x", 0.0, 0, 0)
+        assert improvement(result(100), zero) == float("inf")
+
+
+class TestMemorySummary:
+    def test_summary_fields(self):
+        res = result(100, buffers=[MiB, 2 * MiB, 3 * MiB, 2 * MiB])
+        summ = memory_summary(res)
+        assert summ.total_buffer_bytes == 8 * MiB
+        assert summ.max_buffer_bytes == 3 * MiB
+        assert summ.mean_buffer_bytes == pytest.approx(2 * MiB)
+        assert summ.n_aggregators == 4
+        assert summ.std_buffer_bytes > 0
+
+    def test_empty(self):
+        res = CollectiveResult("write", "x", 1.0, 100, 1)
+        summ = memory_summary(res)
+        assert summ.total_buffer_bytes == 0
+        assert summ.n_aggregators == 0
+
+
+class TestCollectiveResultProps:
+    def test_bandwidth(self):
+        res = result(250)
+        assert res.bandwidth == pytest.approx(250 * MiB)
+
+    def test_buffer_statistics(self):
+        res = result(100, buffers=[MiB, 3 * MiB, MiB, 3 * MiB])
+        assert res.buffer_mean == pytest.approx(2 * MiB)
+        assert res.buffer_max == 3 * MiB
+        assert res.buffer_std == pytest.approx(MiB)
+
+    def test_inter_node_fraction(self):
+        res = CollectiveResult(
+            "write", "x", 1.0, 100, 1,
+            shuffle_intra_bytes=30, shuffle_inter_bytes=70,
+        )
+        assert res.inter_node_fraction == pytest.approx(0.7)
+        assert res.shuffle_bytes == 100
+
+    def test_summary_string(self):
+        text = result(100).summary()
+        assert "MiB/s" in text
+        assert "aggregators" in text
+
+
+class TestRunComparison:
+    def test_average_improvement(self):
+        cmp = RunComparison(
+            axis_name="mem",
+            axis_values=[2, 4],
+            baseline=[result(100), result(200)],
+            mc=[result(150), result(260)],
+        )
+        assert cmp.average_improvement == pytest.approx((0.5 + 0.3) / 2)
+        best, axis = cmp.best_improvement
+        assert best == pytest.approx(0.5)
+        assert axis == 2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            RunComparison("m", [1], [result(1)], [])
+
+    def test_bandwidth_rows(self):
+        cmp = RunComparison("m", [2], [result(100)], [result(120)])
+        ((axis, base, mc, imp),) = cmp.bandwidth_rows()
+        assert axis == 2
+        assert imp == pytest.approx(0.2)
+
+
+class TestRendering:
+    def test_render_table_aligns(self):
+        out = render_table(
+            ["a", "bb"], [[1, 2], [333, 4]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_bandwidth_table(self):
+        cmp = RunComparison("mem", [2 * MiB], [result(100)], [result(150)])
+        out = bandwidth_table("mem", cmp.bandwidth_rows(), title="Fig")
+        assert "Fig" in out
+        assert "+50.0%" in out
+        assert "2 MiB" in out

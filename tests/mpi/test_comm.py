@@ -1,0 +1,56 @@
+"""Tests for the simulated communicator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, NetworkModel, scaled_testbed
+from repro.mpi import SimComm
+from repro.util import CommunicatorError
+
+
+@pytest.fixture
+def comm():
+    machine = scaled_testbed(4, cores_per_node=4)
+    cluster = Cluster(machine, 8, procs_per_node=2)
+    return SimComm(cluster, NetworkModel(machine))
+
+
+class TestTopologyQueries:
+    def test_size(self, comm):
+        assert comm.size == 8
+
+    def test_node_of(self, comm):
+        assert comm.node_of(0) == 0
+        assert comm.node_of(7) == 3
+
+    def test_bad_rank(self, comm):
+        with pytest.raises(CommunicatorError):
+            comm.node_of(8)
+        with pytest.raises(CommunicatorError):
+            comm.check_rank(-1)
+
+    def test_nodes_of_vectorized(self, comm):
+        assert comm.nodes_of([0, 2, 7]).tolist() == [0, 1, 3]
+        with pytest.raises(CommunicatorError):
+            comm.nodes_of([0, 99])
+
+    def test_ranks_by_node(self, comm):
+        by_node = comm.ranks_by_node()
+        assert by_node[0].tolist() == [0, 1]
+        assert by_node[3].tolist() == [6, 7]
+
+
+class TestCostModels:
+    def test_offsets_exchange_scales_with_size(self, comm):
+        assert comm.offsets_exchange_time(1) == 0.0
+        t_all = comm.offsets_exchange_time()
+        t_group = comm.offsets_exchange_time(4)
+        assert 0 < t_group < t_all
+
+    def test_allgather_time_increases_with_bytes(self, comm):
+        assert comm.allgather_time(8) < comm.allgather_time(8000)
+
+    def test_barrier(self, comm):
+        assert comm.barrier_time(1) == 0.0
+        assert comm.barrier_time() > 0

@@ -1,0 +1,175 @@
+"""Tests for MPI derived datatypes and flattening."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mpi import (
+    BYTE,
+    DOUBLE,
+    INT,
+    BasicType,
+    contiguous,
+    hindexed,
+    indexed,
+    subarray,
+    vector,
+)
+from repro.util import DatatypeError
+
+
+class TestBasicTypes:
+    def test_sizes(self):
+        assert BYTE.size == 1
+        assert INT.size == 4
+        assert DOUBLE.size == 8
+
+    def test_flatten(self):
+        assert DOUBLE.flattened.to_pairs() == [(0, 8)]
+        assert DOUBLE.is_contiguous
+
+    def test_invalid_size(self):
+        with pytest.raises(DatatypeError):
+            BasicType("BAD", 0)
+
+
+class TestContiguous:
+    def test_size_and_extent(self):
+        t = contiguous(10, INT)
+        assert t.size == 40
+        assert t.extent == 40
+        assert t.is_contiguous
+        assert t.flattened.to_pairs() == [(0, 40)]
+
+    def test_nested(self):
+        t = contiguous(3, contiguous(2, BYTE))
+        assert t.size == 6
+        assert t.flattened.to_pairs() == [(0, 6)]
+
+    def test_zero_count(self):
+        t = contiguous(0, INT)
+        assert t.size == 0
+        assert t.flattened.is_empty
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(DatatypeError):
+            contiguous(-1, INT)
+
+
+class TestVector:
+    def test_basic(self):
+        t = vector(3, 2, 4, BYTE)
+        assert t.size == 6
+        assert t.extent == 10  # (3-1)*4 + 2
+        assert t.flattened.to_pairs() == [(0, 2), (4, 2), (8, 2)]
+
+    def test_element_granularity(self):
+        t = vector(2, 1, 3, INT)
+        assert t.flattened.to_pairs() == [(0, 4), (12, 4)]
+        assert t.extent == 16
+
+    def test_dense_vector_is_contiguous(self):
+        t = vector(4, 2, 2, BYTE)
+        assert t.flattened.to_pairs() == [(0, 8)]
+
+    def test_overlapping_stride_rejected(self):
+        with pytest.raises(DatatypeError):
+            vector(3, 4, 2, BYTE)
+
+    def test_flatten_count_tiles_by_extent(self):
+        t = vector(2, 1, 2, BYTE)  # bytes at 0 and 2, extent 3
+        el = t.flatten_count(2)
+        assert el.to_pairs() == [(0, 1), (2, 2), (5, 1)]
+
+
+class TestIndexed:
+    def test_basic(self):
+        t = indexed([2, 1], [0, 4], BYTE)
+        assert t.size == 3
+        assert t.flattened.to_pairs() == [(0, 2), (4, 1)]
+
+    def test_element_granularity(self):
+        t = indexed([1, 1], [0, 2], INT)
+        assert t.flattened.to_pairs() == [(0, 4), (8, 4)]
+        assert t.extent == 12
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(DatatypeError):
+            indexed([1, 2], [0], BYTE)
+
+    def test_hindexed_byte_displacements(self):
+        t = hindexed([2, 2], [0, 9], INT)
+        assert t.flattened.to_pairs() == [(0, 8), (9, 8)]
+        assert t.size == 16
+
+    def test_hindexed_overlap_detected(self):
+        t = hindexed([2, 2], [0, 7], INT)  # 8 B at 0 and 8 B at 7 overlap
+        with pytest.raises(DatatypeError):
+            _ = t.flattened
+
+
+class TestSubarray:
+    def test_2d_block(self):
+        # 4x4 ints, 2x2 block at (1, 1).
+        t = subarray([4, 4], [2, 2], [1, 1], INT)
+        assert t.size == 16
+        assert t.extent == 64
+        # rows 1..2, cols 1..2 -> offsets (1*4+1)*4=20 and (2*4+1)*4=36
+        assert t.flattened.to_pairs() == [(20, 8), (36, 8)]
+
+    def test_3d_block_structure(self):
+        t = subarray([4, 4, 4], [2, 2, 2], [0, 0, 0], DOUBLE)
+        # 2*2 = 4 contiguous pencils of 2 doubles
+        assert len(t.flattened) == 4
+        assert t.size == 64
+        assert all(length == 16 for _, length in t.flattened.to_pairs())
+
+    def test_full_array_is_contiguous(self):
+        t = subarray([4, 4], [4, 4], [0, 0], INT)
+        assert t.flattened.to_pairs() == [(0, 64)]
+
+    def test_fortran_order_transposes(self):
+        c = subarray([4, 8], [1, 8], [2, 0], BYTE)  # full row in C
+        f = subarray([8, 4], [8, 1], [0, 2], BYTE, order="F")
+        assert c.flattened == f.flattened
+
+    def test_validation(self):
+        with pytest.raises(DatatypeError):
+            subarray([4], [5], [0], BYTE)  # subsize > size
+        with pytest.raises(DatatypeError):
+            subarray([4], [2], [3], BYTE)  # start + sub > size
+        with pytest.raises(DatatypeError):
+            subarray([4, 4], [2], [0], BYTE)  # rank mismatch
+
+    def test_noncontiguous_base_rejected(self):
+        holey = vector(2, 1, 2, BYTE)
+        with pytest.raises(DatatypeError):
+            subarray([4], [2], [0], holey)
+
+
+class TestFlattenCountGeneric:
+    @given(st.integers(0, 5), st.integers(1, 4), st.integers(1, 4))
+    def test_count_scales_size(self, count, blocklength, gap):
+        t = vector(3, blocklength, blocklength + gap, BYTE)
+        el = t.flatten_count(count)
+        assert el.total == count * t.size
+
+    def test_blocks_against_numpy_reference(self):
+        # Cross-check subarray flattening against a numpy mask.
+        sizes, subsizes, starts = (5, 6, 7), (2, 3, 4), (1, 2, 3)
+        t = subarray(sizes, subsizes, starts, BYTE)
+        mask = np.zeros(sizes, dtype=bool)
+        mask[
+            starts[0] : starts[0] + subsizes[0],
+            starts[1] : starts[1] + subsizes[1],
+            starts[2] : starts[2] + subsizes[2],
+        ] = True
+        offsets = np.flatnonzero(mask.ravel(order="C"))
+        expected = set(offsets.tolist())
+        got = set()
+        for off, length in t.flattened.to_pairs():
+            got.update(range(off, off + length))
+        assert got == expected

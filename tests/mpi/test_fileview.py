@@ -1,0 +1,115 @@
+"""Tests for MPI file views (displacement + etype + filetype tiling)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mpi import BYTE, INT, FileView, contiguous, contiguous_view, vector
+from repro.util import FileViewError
+
+
+class TestContiguousView:
+    def test_identity_mapping(self):
+        view = contiguous_view()
+        assert view.extents_for(0, 100).to_pairs() == [(0, 100)]
+
+    def test_displacement_shifts(self):
+        view = contiguous_view(displacement=1000)
+        assert view.extents_for(5, 10).to_pairs() == [(1005, 10)]
+
+    def test_zero_bytes(self):
+        assert contiguous_view().extents_for(50, 0).is_empty
+
+
+class TestStridedView:
+    @pytest.fixture
+    def view(self):
+        # filetype: 2 data bytes every 4 bytes, 3 blocks per tile
+        # (tile: data at 0-1, 4-5, 8-9; extent 10; 6 data bytes/tile)
+        return FileView(displacement=100, etype=BYTE, filetype=vector(3, 2, 4, BYTE))
+
+    def test_tile_constants(self, view):
+        assert view.bytes_per_tile == 6
+        assert view.tile_extent == 10
+
+    def test_within_one_tile(self, view):
+        assert view.extents_for(0, 4).to_pairs() == [(100, 2), (104, 2)]
+
+    def test_offset_within_tile(self, view):
+        assert view.extents_for(1, 2).to_pairs() == [(101, 1), (104, 1)]
+
+    def test_spanning_tiles(self, view):
+        el = view.extents_for(0, 10)
+        # tile 0 fully (6 B) + 4 B of tile 1 (at displacement+10)
+        assert el.total == 10
+        assert el.to_pairs() == [(100, 2), (104, 2), (108, 4), (114, 2)]
+
+    def test_many_full_tiles_vectorized(self, view):
+        el = view.extents_for(0, 6 * 100)
+        assert el.total == 600
+        assert el.envelope().offset == 100
+        # last tile ends at displacement + 99*10 + 10 = 1100
+        assert el.envelope().end == 100 + 99 * 10 + 10
+
+    def test_mid_tile_to_mid_tile(self, view):
+        el = view.extents_for(3, 6)
+        assert el.total == 6
+        # skips first 3 data bytes: starts inside block 1 of tile 0
+        assert el.to_pairs()[0] == (105, 1)
+
+
+class TestEtypeGranularity:
+    def test_etype_offsets(self):
+        view = FileView(displacement=0, etype=INT, filetype=contiguous(4, INT))
+        el = view.extents_for_etypes(2, 4)
+        assert el.to_pairs() == [(8, 16)]
+
+
+class TestValidation:
+    def test_negative_displacement(self):
+        with pytest.raises(FileViewError):
+            FileView(displacement=-1)
+
+    def test_filetype_not_multiple_of_etype(self):
+        with pytest.raises(FileViewError):
+            FileView(etype=INT, filetype=contiguous(3, BYTE))
+
+    def test_negative_access(self):
+        view = contiguous_view()
+        with pytest.raises(FileViewError):
+            view.extents_for(-1, 10)
+        with pytest.raises(FileViewError):
+            view.extents_for(0, -10)
+
+
+@given(
+    st.integers(1, 4),  # blocklength
+    st.integers(0, 4),  # gap between blocks
+    st.integers(1, 5),  # blocks per tile
+    st.integers(0, 200),  # view offset
+    st.integers(0, 300),  # nbytes
+)
+def test_property_view_mapping_conserves_bytes(blocklength, gap, count, offset, nbytes):
+    ft = vector(count, blocklength, blocklength + gap, BYTE)
+    view = FileView(displacement=10, etype=BYTE, filetype=ft)
+    el = view.extents_for(offset, nbytes)
+    assert el.total == nbytes
+
+
+@given(st.integers(0, 100), st.integers(0, 100), st.integers(0, 100))
+def test_property_view_slices_compose(a, b, c):
+    """Mapping [0,a), [a,a+b), [a+b,a+b+c) tiles the mapping of [0,a+b+c)."""
+    ft = vector(3, 2, 5, BYTE)
+    view = FileView(displacement=7, etype=BYTE, filetype=ft)
+    whole = view.extents_for(0, a + b + c)
+    parts = [
+        view.extents_for(0, a),
+        view.extents_for(a, b),
+        view.extents_for(a + b, c),
+    ]
+    from repro.util import ExtentList
+
+    assert ExtentList.union_all(parts) == whole
+    assert sum(p.total for p in parts) == whole.total

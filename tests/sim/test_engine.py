@@ -1,0 +1,171 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Delay, Simulator
+from repro.util import SimulationError
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_callbacks_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_same_time_fifo(self):
+        sim = Simulator()
+        fired = []
+        for tag in range(5):
+            sim.schedule(1.0, lambda t=tag: fired.append(t))
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        token = sim.schedule(1.0, lambda: fired.append("x"))
+        sim.cancel(token)
+        sim.run()
+        assert fired == []
+
+    def test_run_until_bounds_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(2))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            fired.append(("outer", sim.now))
+            sim.schedule(2.0, lambda: fired.append(("inner", sim.now)))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert fired == [("outer", 1.0), ("inner", 3.0)]
+
+    def test_runaway_guard(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(0.0, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(SimulationError, match="runaway"):
+            sim.run(max_events=1000)
+
+
+class TestProcesses:
+    def test_delay_sequence(self):
+        sim = Simulator()
+        trace = []
+
+        def proc():
+            trace.append(sim.now)
+            yield Delay(1.5)
+            trace.append(sim.now)
+            yield Delay(0.5)
+            trace.append(sim.now)
+            return "done"
+
+        result = sim.run_process(proc())
+        assert result == "done"
+        assert trace == [0.0, 1.5, 2.0]
+
+    def test_event_wait_and_trigger(self):
+        sim = Simulator()
+        ev = sim.event("gate")
+        got = []
+
+        def waiter():
+            value = yield ev
+            got.append((value, sim.now))
+
+        def firer():
+            yield Delay(2.0)
+            ev.trigger(42)
+
+        sim.process(waiter(), "waiter")
+        sim.process(firer(), "firer")
+        sim.run()
+        assert got == [(42, 2.0)]
+
+    def test_event_triggered_before_wait(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.trigger("early")
+        got = []
+
+        def waiter():
+            value = yield ev
+            got.append(value)
+
+        sim.process(waiter())
+        sim.run()
+        assert got == ["early"]
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.trigger()
+        with pytest.raises(SimulationError):
+            ev.trigger()
+
+    def test_process_waits_for_process(self):
+        sim = Simulator()
+        order = []
+
+        def child():
+            yield Delay(3.0)
+            order.append("child")
+            return 7
+
+        def parent():
+            proc = sim.process(child(), "child")
+            value = yield proc
+            order.append(("parent", value, sim.now))
+
+        sim.process(parent(), "parent")
+        sim.run()
+        assert order == ["child", ("parent", 7, 3.0)]
+
+    def test_bad_yield_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield "not a delay"
+
+        sim.process(proc(), "bad")
+        with pytest.raises(SimulationError, match="unsupported"):
+            sim.run()
+
+    def test_all_of_waits_for_every_process(self):
+        sim = Simulator()
+
+        def worker(t):
+            yield Delay(t)
+            return t
+
+        procs = [sim.process(worker(t), f"w{t}") for t in (1.0, 3.0, 2.0)]
+        sim.run_process(Simulator.all_of(sim, procs))
+        assert sim.now == 3.0
+        assert all(p.done for p in procs)

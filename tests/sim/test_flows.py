@@ -1,0 +1,169 @@
+"""Tests for the fluid flow solver (max-min fairness, bottleneck mode)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import Flow, FluidSimulation, bottleneck_time, max_min_rates, solve_phase
+from repro.util import SimulationError
+
+
+class TestFlowValidation:
+    def test_negative_size_rejected(self):
+        with pytest.raises(SimulationError):
+            Flow(-1, ("r",))
+
+    def test_no_resources_rejected(self):
+        with pytest.raises(SimulationError):
+            Flow(1, ())
+
+    def test_override_must_reference_member_resource(self):
+        with pytest.raises(SimulationError):
+            Flow(1, ("a",), resource_sizes={"b": 2})
+
+    def test_charge_on(self):
+        f = Flow(10, ("a", "b"), resource_sizes={"b": 25})
+        assert f.charge_on("a") == 10
+        assert f.charge_on("b") == 25
+
+
+class TestMaxMinRates:
+    def test_single_flow_gets_capacity(self):
+        rates = max_min_rates([Flow(100, ("r",))], {"r": 50.0})
+        assert rates[0] == pytest.approx(50.0)
+
+    def test_equal_sharing(self):
+        flows = [Flow(1, ("r",)) for _ in range(4)]
+        rates = max_min_rates(flows, {"r": 100.0})
+        assert np.allclose(rates, 25.0)
+
+    def test_classic_three_flow_example(self):
+        # f0 crosses A and B; f1 crosses A; f2 crosses B.
+        # A: cap 10, B: cap 20 -> f0 and f1 share A at 5 each; f2 gets
+        # the rest of B = 15.
+        flows = [Flow(1, ("A", "B")), Flow(1, ("A",)), Flow(1, ("B",))]
+        rates = max_min_rates(flows, {"A": 10.0, "B": 20.0})
+        assert rates[0] == pytest.approx(5.0)
+        assert rates[1] == pytest.approx(5.0)
+        assert rates[2] == pytest.approx(15.0)
+
+    def test_capacity_conservation(self):
+        flows = [
+            Flow(1, ("A", "B")),
+            Flow(1, ("A",)),
+            Flow(1, ("B", "C")),
+            Flow(1, ("C",)),
+        ]
+        caps = {"A": 8.0, "B": 12.0, "C": 4.0}
+        rates = max_min_rates(flows, caps)
+        for key, cap in caps.items():
+            load = sum(
+                r for r, f in zip(rates, flows) if key in f.resources
+            )
+            assert load <= cap + 1e-9
+
+    def test_unknown_resource_rejected(self):
+        with pytest.raises(SimulationError):
+            max_min_rates([Flow(1, ("ghost",))], {"r": 1.0})
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            max_min_rates([Flow(1, ("r",))], {"r": 0.0})
+
+
+class TestBottleneck:
+    def test_single_resource(self):
+        out = bottleneck_time([Flow(100, ("r",)), Flow(50, ("r",))], {"r": 50.0})
+        assert out.duration == pytest.approx(3.0)
+        assert out.resource_bytes["r"] == 150
+
+    def test_max_over_resources(self):
+        flows = [Flow(100, ("a", "b"))]
+        out = bottleneck_time(flows, {"a": 10.0, "b": 100.0})
+        assert out.duration == pytest.approx(10.0)
+
+    def test_resource_size_override(self):
+        flows = [Flow(100, ("net", "disk"), resource_sizes={"disk": 200})]
+        out = bottleneck_time(flows, {"net": 100.0, "disk": 100.0})
+        assert out.duration == pytest.approx(2.0)
+        assert out.resource_bytes["disk"] == pytest.approx(200)
+        assert out.resource_bytes["net"] == pytest.approx(100)
+
+    def test_empty(self):
+        assert bottleneck_time([], {}).duration == 0.0
+
+
+class TestFluid:
+    def test_single_flow(self):
+        out = FluidSimulation({"r": 10.0}).run([Flow(100, ("r",))])
+        assert out.duration == pytest.approx(10.0)
+
+    def test_rate_reallocation_after_finish(self):
+        # Two flows share r (cap 10): both run at 5. The small one (25 B)
+        # finishes at t = 25/5 = 5; the big one (75 B) has 50 B left and
+        # then gets the full 10 -> 5 s more. Total 10 s.
+        out = FluidSimulation({"r": 10.0}).run(
+            [Flow(25, ("r",)), Flow(75, ("r",))]
+        )
+        assert out.finish_times[0] == pytest.approx(5.0)
+        assert out.finish_times[1] == pytest.approx(10.0)
+
+    def test_zero_size_flows_finish_immediately(self):
+        out = FluidSimulation({"r": 1.0}).run([Flow(0, ("r",)), Flow(10, ("r",))])
+        assert out.finish_times[0] == 0.0
+        assert out.finish_times[1] == pytest.approx(10.0)
+
+    def test_fluid_never_beats_bottleneck(self):
+        flows = [Flow(30, ("a",)), Flow(70, ("a", "b")), Flow(50, ("b",))]
+        caps = {"a": 10.0, "b": 20.0}
+        fl = FluidSimulation(caps).run(flows)
+        bn = bottleneck_time(flows, caps)
+        # The bottleneck estimate is a lower bound on the fluid makespan.
+        assert fl.duration >= bn.duration - 1e-9
+
+
+class TestSolvePhase:
+    def test_dispatch(self):
+        flows = [Flow(10, ("r",))]
+        caps = {"r": 10.0}
+        assert solve_phase(flows, caps, mode="bottleneck").mode == "bottleneck"
+        assert solve_phase(flows, caps, mode="fluid").mode == "fluid"
+
+    def test_unknown_mode(self):
+        with pytest.raises(SimulationError):
+            solve_phase([], {}, mode="quantum")
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(0.0, 1e6),
+            st.sets(st.sampled_from(["a", "b", "c", "d"]), min_size=1),
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_property_rates_feasible_and_maximal(flow_specs):
+    caps = {"a": 100.0, "b": 37.0, "c": 290.0, "d": 55.0}
+    flows = [Flow(size, tuple(sorted(res))) for size, res in flow_specs]
+    rates = max_min_rates(flows, caps)
+    assert np.all(rates > 0)
+    # Feasibility on every resource.
+    for key, cap in caps.items():
+        load = sum(r for r, f in zip(rates, flows) if key in f.resources)
+        assert load <= cap * (1 + 1e-9)
+    # Max-min property (weak form): every flow is bottlenecked somewhere —
+    # some resource it crosses is (nearly) fully allocated.
+    for rate, flow in zip(rates, flows):
+        saturated = False
+        for key in flow.resources:
+            load = sum(
+                r for r, f in zip(rates, flows) if key in f.resources
+            )
+            if load >= caps[key] * (1 - 1e-6):
+                saturated = True
+        assert saturated

@@ -1,0 +1,187 @@
+"""Tests for DES resource primitives (semaphore, store, bandwidth pipe)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import BandwidthPipe, Delay, Semaphore, Simulator, Store
+from repro.util import ResourceError
+
+
+class TestSemaphore:
+    def test_serializes_beyond_capacity(self):
+        sim = Simulator()
+        sem = Semaphore(sim, 2)
+        log = []
+
+        def worker(tag):
+            yield from sem.acquire()
+            log.append((tag, "in", sim.now))
+            yield Delay(1.0)
+            sem.release()
+            log.append((tag, "out", sim.now))
+
+        for t in range(4):
+            sim.process(worker(t), f"w{t}")
+        sim.run()
+        ins = {tag: t for tag, what, t in log if what == "in"}
+        # First two enter at 0, the next two at 1 (FIFO).
+        assert ins[0] == 0.0 and ins[1] == 0.0
+        assert ins[2] == 1.0 and ins[3] == 1.0
+
+    def test_release_without_acquire(self):
+        sim = Simulator()
+        sem = Semaphore(sim, 1)
+        with pytest.raises(ResourceError):
+            sem.release()
+
+    def test_capacity_validated(self):
+        with pytest.raises(ResourceError):
+            Semaphore(Simulator(), 0)
+
+    def test_locked_and_available(self):
+        sim = Simulator()
+        sem = Semaphore(sim, 1)
+
+        def taker():
+            yield from sem.acquire()
+
+        sim.run_process(taker())
+        assert sem.locked()
+        assert sem.available == 0
+
+
+class TestStore:
+    def test_fifo_order(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def producer():
+            for i in range(3):
+                yield from store.put(i)
+                yield Delay(1.0)
+
+        def consumer():
+            for _ in range(3):
+                item = yield from store.get()
+                got.append((item, sim.now))
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert [g[0] for g in got] == [0, 1, 2]
+
+    def test_consumer_blocks_until_item(self):
+        sim = Simulator()
+        store = Store(sim)
+        times = []
+
+        def consumer():
+            item = yield from store.get()
+            times.append((item, sim.now))
+
+        def late_producer():
+            yield Delay(5.0)
+            yield from store.put("x")
+
+        sim.process(consumer())
+        sim.process(late_producer())
+        sim.run()
+        assert times == [("x", 5.0)]
+
+    def test_bounded_put_blocks(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        events = []
+
+        def producer():
+            yield from store.put("a")
+            events.append(("put-a", sim.now))
+            yield from store.put("b")  # blocks until consumer takes "a"
+            events.append(("put-b", sim.now))
+
+        def consumer():
+            yield Delay(3.0)
+            item = yield from store.get()
+            events.append(("got", item, sim.now))
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert ("put-a", 0.0) in events
+        put_b = next(e for e in events if e[0] == "put-b")
+        assert put_b[1] >= 3.0
+
+
+class TestBandwidthPipe:
+    def test_single_transfer_exact(self):
+        sim = Simulator()
+        pipe = BandwidthPipe(sim, capacity=100.0)
+
+        def xfer():
+            end = yield from pipe.transfer(250.0)
+            return end
+
+        end = sim.run_process(xfer())
+        assert end == pytest.approx(2.5)
+        assert pipe.bytes_served == pytest.approx(250.0)
+
+    def test_equal_sharing_two_transfers(self):
+        sim = Simulator()
+        pipe = BandwidthPipe(sim, capacity=100.0)
+        ends = {}
+
+        def xfer(tag, nbytes):
+            ends[tag] = yield from pipe.transfer(nbytes)
+
+        sim.process(xfer("a", 100.0))
+        sim.process(xfer("b", 100.0))
+        sim.run()
+        # both at 50 B/s -> 2 s each
+        assert ends["a"] == pytest.approx(2.0)
+        assert ends["b"] == pytest.approx(2.0)
+
+    def test_late_joiner_slows_first(self):
+        sim = Simulator()
+        pipe = BandwidthPipe(sim, capacity=100.0)
+        ends = {}
+
+        def first():
+            ends["first"] = yield from pipe.transfer(150.0)
+
+        def second():
+            yield Delay(1.0)
+            ends["second"] = yield from pipe.transfer(50.0)
+
+        sim.process(first())
+        sim.process(second())
+        sim.run()
+        # first: 100 B in 1 s alone, then 50 B at 50 B/s -> ends at 2.0
+        assert ends["first"] == pytest.approx(2.0)
+        # second: 50 B at 50 B/s from t=1 -> 2.0
+        assert ends["second"] == pytest.approx(2.0)
+        assert pipe.n_active == 0
+        assert pipe.bytes_served == pytest.approx(200.0)
+
+    def test_zero_byte_transfer(self):
+        sim = Simulator()
+        pipe = BandwidthPipe(sim, capacity=10.0)
+
+        def xfer():
+            return (yield from pipe.transfer(0.0))
+
+        assert sim.run_process(xfer()) == 0.0
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ResourceError):
+            BandwidthPipe(sim, 0.0)
+        pipe = BandwidthPipe(sim, 1.0)
+
+        def bad():
+            yield from pipe.transfer(-1.0)
+
+        sim.process(bad())
+        with pytest.raises(ResourceError):
+            sim.run()

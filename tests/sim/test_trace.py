@@ -1,0 +1,48 @@
+"""Tests for the phase trace recorder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_clock_advances(self):
+        tr = TraceRecorder()
+        tr.record("a", 1.5)
+        tr.record("b", 0.5)
+        assert tr.now == pytest.approx(2.0)
+
+    def test_phase_start_times_chain(self):
+        tr = TraceRecorder()
+        p1 = tr.record("a", 1.0)
+        p2 = tr.record("b", 2.0)
+        assert p1.start == 0.0
+        assert p1.end == 1.0
+        assert p2.start == 1.0
+        assert p2.end == 3.0
+
+    def test_filtering_and_totals(self):
+        tr = TraceRecorder()
+        tr.record("shuffle", 1.0, bytes_moved=100)
+        tr.record("io", 2.0, bytes_moved=300)
+        tr.record("shuffle", 0.5, bytes_moved=50)
+        assert len(tr.phases("shuffle")) == 2
+        assert tr.total_time("shuffle") == pytest.approx(1.5)
+        assert tr.total_bytes("io") == 300
+        assert tr.total_bytes() == 450
+        assert len(tr) == 3
+
+    def test_resource_totals(self):
+        tr = TraceRecorder()
+        tr.record("a", 1.0, resource_bytes={"x": 10.0, "y": 5.0})
+        tr.record("b", 1.0, resource_bytes={"x": 7.0})
+        totals = tr.resource_totals()
+        assert totals["x"] == pytest.approx(17.0)
+        assert totals["y"] == pytest.approx(5.0)
+
+    def test_meta_kwargs(self):
+        tr = TraceRecorder()
+        rec = tr.record("plan", 0.1, n_domains=5)
+        assert rec.meta == {"n_domains": 5}

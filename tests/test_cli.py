@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestProject:
+    def test_prints_table1(self, capsys):
+        assert main(["project"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Total Concurrency" in out
+        assert "memory per core" in out
+
+
+class TestTune:
+    def test_prints_parameters(self, capsys):
+        assert main(["tune", "--machine", "testbed-4"]) == 0
+        out = capsys.readouterr().out
+        assert "Nah" in out
+        assert "Msg_group" in out
+
+    def test_verbose_curves(self, capsys):
+        assert main(["tune", "--machine", "testbed-4", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "node sweep" in out
+        assert "system sweep" in out
+
+    def test_unknown_machine(self):
+        with pytest.raises(SystemExit):
+            main(["tune", "--machine", "cray-1"])
+
+
+class TestRun:
+    def test_mc_run_summary(self, capsys):
+        code = main(
+            [
+                "run", "--machine", "testbed-4", "--procs", "8",
+                "--procs-per-node", "2", "--block-mib", "1",
+                "--transfer-mib", "1", "--memory-mib", "1",
+                "--strategy", "mc",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "memory-conscious write" in out
+        assert "MiB/s" in out or "GiB/s" in out
+
+    def test_trace_output(self, capsys):
+        main(
+            [
+                "run", "--machine", "testbed-4", "--procs", "8",
+                "--procs-per-node", "2", "--block-mib", "1",
+                "--transfer-mib", "1", "--strategy", "two-phase", "--trace",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "request_exchange" in out
+        assert "transfer" in out
+
+    @pytest.mark.parametrize("strategy", ["independent", "sieving", "two-phase"])
+    def test_all_strategies(self, strategy, capsys):
+        code = main(
+            [
+                "run", "--machine", "testbed-4", "--procs", "8",
+                "--procs-per-node", "2", "--block-mib", "1",
+                "--transfer-mib", "1", "--strategy", strategy,
+            ]
+        )
+        assert code == 0
+
+
+class TestSweep:
+    def test_sweep_table(self, capsys):
+        code = main(
+            [
+                "sweep", "--machine", "testbed-4", "--procs", "8",
+                "--procs-per-node", "2", "--block-mib", "2",
+                "--transfer-mib", "1", "--memory-mib", "1", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "two-phase" in out
+        assert "improvement" in out
+        assert "1 MiB" in out and "4 MiB" in out

@@ -1,0 +1,70 @@
+"""Tests for deterministic RNG utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util import child_rng, make_rng, truncated_normal
+
+
+class TestMakeRng:
+    def test_default_seed_reproducible(self):
+        a = make_rng().random(5)
+        b = make_rng().random(5)
+        assert np.array_equal(a, b)
+
+    def test_explicit_seed(self):
+        a = make_rng(42).random(5)
+        b = make_rng(42).random(5)
+        c = make_rng(43).random(5)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+
+class TestChildRng:
+    def test_same_tag_same_stream(self):
+        root = make_rng(1)
+        a = child_rng(root, "memory").random(4)
+        b = child_rng(make_rng(1), "memory").random(4)
+        assert np.array_equal(a, b)
+
+    def test_different_tags_differ(self):
+        root = make_rng(1)
+        a = child_rng(root, "memory").random(4)
+        b = child_rng(root, "workload").random(4)
+        assert not np.array_equal(a, b)
+
+    def test_independent_of_parent_draws(self):
+        r1 = make_rng(9)
+        r1.random(100)  # consume parent state
+        a = child_rng(r1, "x").random(4)
+        b = child_rng(make_rng(9), "x").random(4)
+        assert np.array_equal(a, b)
+
+
+class TestTruncatedNormal:
+    def test_respects_bounds(self):
+        rng = make_rng(5)
+        samples = truncated_normal(rng, mean=10, std=50, low=0, high=100, size=1000)
+        assert samples.min() >= 0
+        assert samples.max() <= 100
+
+    def test_degenerate_std_zero(self):
+        rng = make_rng(5)
+        samples = truncated_normal(rng, mean=7, std=0, low=0, high=10, size=10)
+        assert np.allclose(samples, 7)
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(ValueError):
+            truncated_normal(make_rng(), 0, -1, 0, 1, 1)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            truncated_normal(make_rng(), 0, 1, 5, 4, 1)
+
+    def test_clipping_shifts_mass_to_bounds(self):
+        rng = make_rng(5)
+        samples = truncated_normal(rng, mean=0, std=50, low=0, high=1000, size=2000)
+        # Roughly half the normal mass is below 0 and lands exactly at 0.
+        assert (samples == 0).mean() > 0.3

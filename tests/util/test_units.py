@@ -1,0 +1,58 @@
+"""Tests for byte/bandwidth unit helpers."""
+
+from __future__ import annotations
+
+from repro.util import (
+    GiB,
+    KiB,
+    MiB,
+    TiB,
+    GB_per_s,
+    MB_per_s,
+    TB_per_s,
+    fmt_bytes,
+    fmt_rate,
+    gib,
+    kib,
+    mib,
+    tib,
+)
+
+
+class TestConstants:
+    def test_powers_of_two(self):
+        assert KiB == 2**10
+        assert MiB == 2**20
+        assert GiB == 2**30
+        assert TiB == 2**40
+
+
+class TestConverters:
+    def test_integer_results(self):
+        assert kib(4) == 4096
+        assert mib(2) == 2 * MiB
+        assert gib(1) == GiB
+        assert tib(1) == TiB
+
+    def test_fractional_inputs_truncate(self):
+        assert kib(1.5) == 1536
+        assert mib(0.5) == MiB // 2
+
+    def test_rates(self):
+        assert MB_per_s(1) == float(MiB)
+        assert GB_per_s(2) == 2.0 * GiB
+        assert TB_per_s(1) == float(TiB)
+
+
+class TestFormatting:
+    def test_fmt_bytes_small(self):
+        assert fmt_bytes(512) == "512 B"
+
+    def test_fmt_bytes_scales(self):
+        assert fmt_bytes(1536) == "1.50 KiB"
+        assert fmt_bytes(3 * MiB) == "3.00 MiB"
+        assert fmt_bytes(5 * GiB) == "5.00 GiB"
+
+    def test_fmt_rate(self):
+        assert fmt_rate(MB_per_s(100)) == "100.00 MiB/s"
+        assert fmt_rate(GB_per_s(2)) == "2.00 GiB/s"

@@ -1,0 +1,52 @@
+"""Tests for argument-validation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util import (
+    ConfigurationError,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    require,
+)
+
+
+class TestRequire:
+    def test_passes(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ConfigurationError, match="broken"):
+            require(False, "broken")
+
+
+class TestCheckPositive:
+    def test_returns_value(self):
+        assert check_positive("x", 3) == 3
+        assert check_positive("x", 0.5) == 0.5
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError, match="x"):
+            check_positive("x", bad)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("y", 0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError, match="y"):
+            check_non_negative("y", -1)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range("z", 1, 1, 5) == 1
+        assert check_in_range("z", 5, 1, 5) == 5
+
+    def test_rejects_outside(self):
+        with pytest.raises(ConfigurationError, match="z"):
+            check_in_range("z", 6, 1, 5)

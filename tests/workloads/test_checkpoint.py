@@ -1,0 +1,74 @@
+"""Tests for the multi-dataset checkpoint workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import scaled_testbed
+from repro.core import MemoryConsciousCollectiveIO, MemoryConsciousConfig
+from repro.io import CollectiveHints, make_context
+from repro.mpi import FLOAT, pattern_bytes
+from repro.util import ExtentList, WorkloadError, kib
+from repro.workloads.checkpoint import CheckpointWorkload, DatasetSpec
+
+
+@pytest.fixture
+def workload():
+    return CheckpointWorkload(
+        8,
+        [DatasetSpec((8, 8, 8)), DatasetSpec((16, 8, 8), element=FLOAT)],
+        header_bytes=512,
+        attr_bytes_per_rank=64,
+    )
+
+
+class TestStructure:
+    def test_total_bytes(self, workload):
+        assert workload.total_bytes() == (
+            512 + 8 * 8 * 8 * 8 + 16 * 8 * 8 * 4 + 8 * 64
+        )
+
+    def test_partition_without_overlap(self, workload):
+        workload.validate_disjoint()
+        union = ExtentList.union_all(
+            [workload.extents_for_rank(r) for r in range(8)]
+        )
+        assert union.total == workload.total_bytes()
+
+    def test_header_owned_by_rank0(self, workload):
+        r0 = workload.extents_for_rank(0)
+        assert r0.clip(0, 512).total == 512
+        for rank in range(1, 8):
+            assert workload.extents_for_rank(rank).clip(0, 512).is_empty
+
+    def test_attribute_records_per_rank(self, workload):
+        base = workload.attribute_table_offset
+        for rank in range(8):
+            ext = workload.extents_for_rank(rank).clip(base, 8 * 64)
+            assert ext.to_pairs() == [(base + rank * 64, 64)]
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            CheckpointWorkload(8, [])
+        with pytest.raises(WorkloadError):
+            CheckpointWorkload(7, [DatasetSpec((8, 8, 8))])  # indivisible
+
+
+class TestEndToEnd:
+    def test_collective_checkpoint_byte_accurate(self, workload):
+        machine = scaled_testbed(4, cores_per_node=4)
+        ctx = make_context(
+            machine, 8, procs_per_node=2, track_data=True, seed=4,
+            hints=CollectiveHints(cb_buffer_size=kib(64)),
+        )
+        ctx.cluster.set_uniform_available(kib(512))
+        cfg = MemoryConsciousConfig(
+            msg_ind=kib(128), msg_group=kib(512), nah=2,
+            mem_min=kib(32), buffer_floor=kib(8),
+        )
+        f = ctx.pfs.open("ckpt")
+        reqs = workload.requests(with_data=True)
+        MemoryConsciousCollectiveIO(cfg).write(ctx, f, reqs)
+        full = ExtentList.union_all([r.extents for r in reqs])
+        assert np.array_equal(f.apply_read(full), pattern_bytes(full))

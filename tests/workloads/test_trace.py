@@ -1,0 +1,76 @@
+"""Tests for trace-replay workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import scaled_testbed
+from repro.io import CollectiveHints, TwoPhaseCollectiveIO, make_context
+from repro.mpi import pattern_bytes
+from repro.util import ExtentList, WorkloadError, kib
+from repro.workloads import IORWorkload
+from repro.workloads.trace import TraceRecord, TraceWorkload
+
+
+class TestTraceRecord:
+    def test_fields(self):
+        rec = TraceRecord(3, 100, 50)
+        assert rec.rank == 3 and rec.offset == 100 and rec.length == 50
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            TraceRecord(-1, 0, 1)
+        with pytest.raises(WorkloadError):
+            TraceRecord(0, -1, 1)
+
+
+class TestTraceWorkload:
+    def test_basic_replay(self):
+        wl = TraceWorkload([(0, 0, 10), (1, 10, 10), (0, 30, 5)])
+        assert wl.n_procs == 2
+        assert wl.extents_for_rank(0).to_pairs() == [(0, 10), (30, 5)]
+        assert wl.extents_for_rank(1).to_pairs() == [(10, 10)]
+        assert wl.n_records == 3
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceWorkload([])
+
+    def test_ranks_without_records_have_empty_extents(self):
+        wl = TraceWorkload([(2, 0, 4)])
+        assert wl.n_procs == 3
+        assert wl.extents_for_rank(0).is_empty
+
+    def test_from_workload_roundtrip(self):
+        src = IORWorkload(4, block_size=kib(4), transfer_size=kib(1))
+        trace = TraceWorkload.from_workload(src)
+        for rank in range(4):
+            assert trace.extents_for_rank(rank) == src.extents_for_rank(rank)
+
+    def test_json_roundtrip(self, tmp_path):
+        src = IORWorkload(4, block_size=kib(4), transfer_size=kib(1))
+        trace = TraceWorkload.from_workload(src)
+        path = trace.dump(tmp_path / "t.json", app="ior")
+        loaded = TraceWorkload.load(path)
+        for rank in range(4):
+            assert loaded.extents_for_rank(rank) == src.extents_for_rank(rank)
+
+    def test_malformed_file(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("[1, 2, 3]")
+        with pytest.raises(WorkloadError):
+            TraceWorkload.load(p)
+
+    def test_replay_through_collective_io(self):
+        machine = scaled_testbed(2, cores_per_node=4)
+        ctx = make_context(
+            machine, 4, procs_per_node=2, track_data=True, seed=1,
+            hints=CollectiveHints(cb_buffer_size=kib(16)),
+        )
+        trace = TraceWorkload([(r, r * kib(8), kib(8)) for r in range(4)])
+        reqs = trace.requests(with_data=True)
+        f = ctx.pfs.open("replay")
+        TwoPhaseCollectiveIO().write(ctx, f, reqs)
+        full = ExtentList.union_all([r.extents for r in reqs])
+        assert np.array_equal(f.apply_read(full), pattern_bytes(full))
