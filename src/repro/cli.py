@@ -8,13 +8,16 @@ Gives the library a shell-level surface for the common workflows:
   preset and print the chosen parameters with the calibration curves;
 * ``project`` — print the Table 1 exascale projection;
 * ``run``     — execute one collective operation with one strategy and
-  print the result summary and phase trace.
+  print the result summary and phase trace;
+* ``trace``   — execute one operation (or load a ``dump_results`` JSON)
+  and render the per-round / per-resource telemetry breakdown.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from .analysis import DESIGN_2010, DESIGN_2018, memory_per_core_factor, projection_table
@@ -28,7 +31,15 @@ from .io import (
     TwoPhaseCollectiveIO,
     make_context,
 )
-from .metrics import render_table
+from .metrics import (
+    dump_results,
+    load_telemetries,
+    render_table,
+    telemetry_counter_lines,
+    telemetry_resource_table,
+    telemetry_round_table,
+)
+from .metrics.telemetry import Telemetry
 from .util import fmt_rate, mib
 from .workloads import CollPerfWorkload, IORWorkload, Workload
 
@@ -117,7 +128,8 @@ def cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_run(args: argparse.Namespace) -> int:
+def _execute_one(args: argparse.Namespace):
+    """Shared run/trace path: build context, run one op, return the result."""
     machine = _machine(args)
     workload = _workload(args)
     strategy = _strategy(args.strategy, machine)
@@ -133,7 +145,11 @@ def cmd_run(args: argparse.Namespace) -> int:
             ctx.rng, mean_available=mib(args.memory_mib), std=mib(args.variance_mib)
         )
     file = ctx.pfs.open("cli.dat")
-    result = strategy.run(ctx, file, workload.requests(), kind=args.kind)
+    return strategy.run(ctx, file, workload.requests(), kind=args.kind)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    result = _execute_one(args)
     print(result.summary())
     if args.trace and result.trace is not None:
         for phase in result.trace:
@@ -141,6 +157,56 @@ def cmd_run(args: argparse.Namespace) -> int:
                 f"  {phase.start * 1e3:9.3f} ms  {phase.name:<20} "
                 f"{phase.duration * 1e3:9.3f} ms"
             )
+    return 0
+
+
+def _render_telemetry(label: str, tele: Telemetry) -> None:
+    print(telemetry_round_table(tele, title=f"{label}: per-round breakdown"))
+    print()
+    print(
+        telemetry_resource_table(tele, title=f"{label}: per-resource utilization")
+    )
+    counters = telemetry_counter_lines(tele)
+    if counters:
+        print("counters:")
+        print(counters)
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    if args.from_json:
+        try:
+            entries = load_telemetries(args.from_json)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot load results from {args.from_json}: {exc}", file=sys.stderr)
+            return 1
+        if not entries:
+            print(f"no results in {args.from_json}")
+            return 1
+        for entry, tele in entries:
+            label = f"{entry['strategy']} {entry['kind']}"
+            print(
+                f"{label}: {entry['nbytes']} bytes in "
+                f"{entry['elapsed_s'] * 1e3:.3f} ms"
+            )
+            if tele is None:
+                print("  (entry carries no telemetry)")
+                continue
+            _render_telemetry(label, tele)
+            print()
+        return 0
+    result = _execute_one(args)
+    print(result.summary())
+    print()
+    if result.telemetry is None:
+        print("strategy recorded no telemetry")
+        return 1
+    _render_telemetry(result.strategy, result.telemetry)
+    if args.json:
+        path = dump_results(args.json, [result], seed=args.seed)
+        print(f"\nwrote JSON dump to {path}")
+    if args.csv:
+        Path(args.csv).write_text(result.telemetry.to_csv())
+        print(f"wrote per-round/per-resource CSV to {args.csv}")
     return 0
 
 
@@ -220,6 +286,20 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--variance-mib", type=int, default=0)
     p.add_argument("--trace", action="store_true")
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser(
+        "trace", parents=[common],
+        help="per-round / per-resource telemetry breakdown",
+    )
+    p.add_argument("--strategy", default="mc",
+                   choices=["independent", "sieving", "two-phase", "mc"])
+    p.add_argument("--memory-mib", type=int, default=16)
+    p.add_argument("--variance-mib", type=int, default=0)
+    p.add_argument("--json", help="also dump result + telemetry JSON here")
+    p.add_argument("--csv", help="also write the flat breakdown CSV here")
+    p.add_argument("--from-json", dest="from_json",
+                   help="render a previous dump instead of running")
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("sweep", parents=[common], help="memory sweep table")
     p.add_argument("--memory-mib", type=int, nargs="+",

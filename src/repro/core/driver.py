@@ -122,4 +122,11 @@ class MemoryConsciousCollectiveIO(IOStrategy):
             n_remerges=stats.n_remerges,
             n_fallbacks=stats.n_fallbacks,
         )
+        if result.telemetry is not None:
+            # Planner events, so MC-vs-baseline deltas stay attributable
+            # per component in the telemetry alone.
+            result.telemetry.count("groups", len(group_sizes))
+            result.telemetry.count("remerges", stats.n_remerges)
+            result.telemetry.count("fallbacks", stats.n_fallbacks)
+            result.telemetry.count("rebalanced", stats.n_rebalanced)
         return result

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..fs.pfs import IOKind, SimFile
+from ..metrics.telemetry import RoundRecord, Telemetry
 from ..mpi.requests import AccessRequest
 from ..sim.flows import Flow, solve_phase
 from ..sim.trace import TraceRecorder
@@ -100,6 +101,8 @@ class DataSievingIO(IOStrategy):
                 file.apply_write(req.extents, None)
 
         latency = ctx.network.message_latency(n_chunks_max)
+        io_resource_bytes: dict = {}
+        io_bytes = 0
         if read_flows:
             out = solve_phase(read_flows, caps_read, mode=ctx.hints.solver_mode)
             trace.record(
@@ -108,6 +111,9 @@ class DataSievingIO(IOStrategy):
                 bytes_moved=int(sum(f.size for f in read_flows)),
                 resource_bytes=out.resource_bytes,
             )
+            io_bytes += int(sum(f.size for f in read_flows))
+            for key, b in out.resource_bytes.items():
+                io_resource_bytes[key] = io_resource_bytes.get(key, 0.0) + b
         if write_flows:
             out = solve_phase(write_flows, caps_write, mode=ctx.hints.solver_mode)
             trace.record(
@@ -116,6 +122,21 @@ class DataSievingIO(IOStrategy):
                 bytes_moved=int(sum(f.size for f in write_flows)),
                 resource_bytes=out.resource_bytes,
             )
+            io_bytes += int(sum(f.size for f in write_flows))
+            for key, b in out.resource_bytes.items():
+                io_resource_bytes[key] = io_resource_bytes.get(key, 0.0) + b
+        telemetry = Telemetry()
+        telemetry.set_capacities(caps_write if kind == "write" else caps_read)
+        telemetry.count("sieve_chunks_max", n_chunks_max)
+        telemetry.add_round(
+            RoundRecord(
+                index=0,
+                io_bytes=io_bytes,
+                latency_s=latency,
+                max_messages=n_chunks_max,
+                io_resource_bytes=io_resource_bytes,
+            )
+        )
         return CollectiveResult(
             kind=kind,
             strategy=self.name,
@@ -124,4 +145,5 @@ class DataSievingIO(IOStrategy):
             n_rounds=1,
             aggregators=[],
             trace=trace,
+            telemetry=telemetry,
         )

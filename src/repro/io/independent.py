@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from ..metrics.telemetry import RoundRecord, Telemetry
 from ..sim.flows import Flow, solve_phase
 from ..sim.trace import TraceRecorder
 from ..fs.pfs import IOKind, SimFile
@@ -65,18 +66,35 @@ class IndependentIO(IOStrategy):
                 file.apply_write(req.extents, None)
 
         outcome = solve_phase(flows, caps, mode=ctx.hints.solver_mode)
+        latency = ctx.network.message_latency(max_pieces)
+        nbytes = sum(r.nbytes for r in requests)
         trace.record(
             "independent_io",
-            outcome.duration + ctx.network.message_latency(max_pieces),
-            bytes_moved=sum(r.nbytes for r in requests),
+            outcome.duration + latency,
+            bytes_moved=nbytes,
             resource_bytes=outcome.resource_bytes,
+        )
+        # Single-phase telemetry: everything lands in one "round" so the
+        # breakdown stays comparable with the collective strategies.
+        telemetry = Telemetry()
+        telemetry.set_capacities(caps)
+        telemetry.count("independent_requests", len(flows))
+        telemetry.add_round(
+            RoundRecord(
+                index=0,
+                io_bytes=nbytes,
+                latency_s=latency,
+                max_messages=max_pieces,
+                io_resource_bytes=dict(outcome.resource_bytes),
+            )
         )
         return CollectiveResult(
             kind=kind,
             strategy=self.name,
             elapsed=trace.now,
-            nbytes=sum(r.nbytes for r in requests),
+            nbytes=nbytes,
             n_rounds=1,
             aggregators=[],
             trace=trace,
+            telemetry=telemetry,
         )

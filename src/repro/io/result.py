@@ -10,11 +10,15 @@ and round counts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..sim.trace import TraceRecorder
 from ..util.units import fmt_bytes, fmt_rate
+
+if TYPE_CHECKING:  # runtime import would cycle through repro.metrics
+    from ..metrics.telemetry import Telemetry
 
 __all__ = ["AggregatorInfo", "CollectiveResult"]
 
@@ -44,6 +48,7 @@ class CollectiveResult:
     shuffle_intra_bytes: int = 0
     shuffle_inter_bytes: int = 0
     trace: TraceRecorder | None = None
+    telemetry: "Telemetry | None" = None  # per-round observability
     extras: dict = field(default_factory=dict)  # strategy-specific stats
 
     @property

@@ -28,9 +28,20 @@ maximum of two lower bounds, plus the latency terms:
   collision, while aggregators on disjoint resources proceed
   independently — no global barrier.
 
+The latency terms are accounted where they occur: each round adds one
+message-startup charge at *that round's* per-aggregator message count
+(not the lifetime maximum), and each aggregator's chain pays its *own
+group's* per-round barrier (groups are independent by construction, so
+a large group never slows a small group's rounds).
+
 For homogeneous plans (the baseline's identical per-node domains) this
 agrees with a strictly synchronized model; for heterogeneous plans it
 lets fast aggregators finish early instead of idling.
+
+While executing, the engine feeds a :class:`~repro.metrics.telemetry.
+Telemetry` registry — per-round, per-domain shuffle/I/O/sync spans,
+per-resource byte charges, message counts, paging slowdowns — attached
+to the returned result so costs stay attributable per component.
 
 Keeping one engine for both strategies guarantees that measured
 differences come from *planning decisions* (domains, aggregators,
@@ -43,6 +54,7 @@ from typing import Hashable, Sequence
 
 from ..cluster.network import membw
 from ..fs.pfs import IOKind, SimFile
+from ..metrics.telemetry import DomainRoundCost, RoundRecord, Telemetry
 from ..mpi.requests import AccessRequest
 from ..sim.flows import Flow
 from ..sim.trace import TraceRecorder
@@ -173,21 +185,40 @@ def execute_collective(
     track = ctx.pfs.track_data
 
     # Per-round control messages stay inside each group (the whole job
-    # when ungrouped).
+    # when ungrouped), so each aggregator's chain pays *its own* group's
+    # barrier — groups are independent by construction (all traffic
+    # stays inside a group), and a single large group must not slow the
+    # rounds of every small one.
     if group_sizes:
-        sync_time = max(
-            ctx.comm.barrier_time(size) for size in group_sizes.values()
-        )
+        sync_by_group = {
+            gid: ctx.comm.barrier_time(size)
+            for gid, size in group_sizes.items()
+        }
+        domain_sync = [
+            sync_by_group.get(d.group_id, ctx.comm.barrier_time())
+            for d in domains
+        ]
     else:
         sync_time = ctx.comm.barrier_time()
+        domain_sync = [sync_time for _ in domains]
 
     # Aggregate byte loads per resource (for the resource lower bound)
     # and per-aggregator serial chains (for the critical-path bound).
     resource_load: dict[Hashable, float] = {}
     chain_time = [0.0 for _ in domains]
-    max_pieces_per_agg = 0
+    latency_total = 0.0
     shuffle_bytes_total = 0
     io_bytes_total = 0
+
+    telemetry = Telemetry()
+    telemetry.set_capacities(caps)
+    for node_id, slowdown in slowdowns.items():
+        telemetry.record_paging(node_id, slowdown)
+    telemetry.count("paged_nodes", len(slowdowns))
+    telemetry.count("domains", len(domains))
+    telemetry.count(
+        "aggregator_nodes", len({ctx.comm.node_of(d.aggregator) for d in domains})
+    )
 
     def _accumulate(flows: list[Flow]) -> None:
         for flow in flows:
@@ -213,6 +244,7 @@ def execute_collective(
             for piece in pieces:
                 pieces_by_domain.setdefault(piece.domain_index, []).append(piece)
             flows_by_domain: dict[int, list[Flow]] = {}
+            msgs_by_domain: dict[int, int] = {}
             for d_idx, d_pieces in pieces_by_domain.items():
                 flows, _, _ = shuffle_flows(
                     d_pieces, ctx.comm, kind, two_layer=two_layer
@@ -220,8 +252,7 @@ def execute_collective(
                 flows_by_domain[d_idx] = flows
                 # Messages per aggregator: merged flows under two-layer
                 # coordination, raw pieces otherwise.
-                n_msgs = len(flows) if two_layer else len(d_pieces)
-                max_pieces_per_agg = max(max_pieces_per_agg, n_msgs)
+                msgs_by_domain[d_idx] = len(flows) if two_layer else len(d_pieces)
             _accumulate(sh_flows)
 
             # Per-round contended loads, then each domain pays the drain
@@ -232,6 +263,7 @@ def execute_collective(
                     round_sh_load[key] = round_sh_load.get(key, 0.0) + flow.charge_on(key)
             round_io_load: dict[Hashable, float] = {}
             io_flows_by_domain: dict[int, list[Flow]] = {}
+            round_io_bytes = 0
             for i, window in active:
                 agg_node = ctx.comm.node_of(domains[i].aggregator)
                 io_flows = ctx.pfs.access_flows(
@@ -240,11 +272,20 @@ def execute_collective(
                 io_flows_by_domain[i] = io_flows
                 ctx.pfs.account_access(window, kind)
                 io_bytes_total += window.total
+                round_io_bytes += window.total
                 _accumulate(io_flows)
                 for flow in io_flows:
                     for key in flow.resources:
                         round_io_load[key] = round_io_load.get(key, 0.0) + flow.charge_on(key)
 
+            # Message-startup latency is paid per round at *this* round's
+            # per-aggregator message count — a dense first round must not
+            # re-bill every later (sparser) round at its own count.
+            round_max_msgs = max(msgs_by_domain.values(), default=0)
+            round_latency = ctx.network.message_latency(round_max_msgs)
+            latency_total += round_latency
+
+            round_costs: list[DomainRoundCost] = []
             for i, _ in active:
                 sh_cost = max(
                     (
@@ -262,7 +303,29 @@ def execute_collective(
                     ),
                     default=0.0,
                 )
-                chain_time[i] += sh_cost + io_cost
+                chain_time[i] += sh_cost + io_cost + domain_sync[i]
+                round_costs.append(
+                    DomainRoundCost(
+                        domain_index=i,
+                        shuffle_s=sh_cost,
+                        io_s=io_cost,
+                        sync_s=domain_sync[i],
+                        messages=msgs_by_domain.get(i, 0),
+                    )
+                )
+            telemetry.add_round(
+                RoundRecord(
+                    index=r,
+                    shuffle_intra_bytes=intra,
+                    shuffle_inter_bytes=inter,
+                    io_bytes=round_io_bytes,
+                    latency_s=round_latency,
+                    max_messages=round_max_msgs,
+                    shuffle_resource_bytes=round_sh_load,
+                    io_resource_bytes=round_io_load,
+                    domain_costs=round_costs,
+                )
+            )
 
             if track:
                 with_data = [
@@ -283,18 +346,19 @@ def execute_collective(
         (load / caps[key] for key, load in resource_load.items()),
         default=0.0,
     )
+    # The critical chain already includes each aggregator's own group's
+    # per-round barriers; the message-startup latency accumulated per
+    # round (at that round's message count) is added on top.
     critical_chain = max(chain_time, default=0.0)
-    latency = total_rounds * (
-        sync_time + ctx.network.message_latency(max_pieces_per_agg)
-    )
     transfer_time = max(resource_bound, critical_chain)
     trace.record(
         "transfer",
-        transfer_time + latency,
+        transfer_time + latency_total,
         bytes_moved=shuffle_bytes_total + io_bytes_total,
         resource_bytes=resource_load,
         resource_bound=resource_bound,
         critical_chain=critical_chain,
+        latency=latency_total,
         rounds=total_rounds,
     )
 
@@ -320,4 +384,5 @@ def execute_collective(
         shuffle_intra_bytes=intra_total,
         shuffle_inter_bytes=inter_total,
         trace=trace,
+        telemetry=telemetry,
     )

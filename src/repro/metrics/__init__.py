@@ -1,8 +1,21 @@
-"""Metrics: comparisons, memory summaries, table rendering."""
+"""Metrics: comparisons, memory summaries, telemetry, table rendering."""
 
-from .export import dump_results, load_results, result_to_dict
-from .reporting import bandwidth_table, render_table
+from .export import (
+    dump_results,
+    load_results,
+    load_telemetries,
+    result_to_dict,
+    telemetry_from_dict,
+)
+from .reporting import (
+    bandwidth_table,
+    render_table,
+    telemetry_counter_lines,
+    telemetry_resource_table,
+    telemetry_round_table,
+)
 from .stats import MemorySummary, RunComparison, improvement, memory_summary
+from .telemetry import DomainRoundCost, RoundRecord, Telemetry
 
 __all__ = [
     "improvement",
@@ -11,7 +24,15 @@ __all__ = [
     "RunComparison",
     "render_table",
     "bandwidth_table",
+    "telemetry_round_table",
+    "telemetry_resource_table",
+    "telemetry_counter_lines",
     "result_to_dict",
     "dump_results",
     "load_results",
+    "load_telemetries",
+    "telemetry_from_dict",
+    "Telemetry",
+    "RoundRecord",
+    "DomainRoundCost",
 ]

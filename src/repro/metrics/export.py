@@ -2,31 +2,35 @@
 
 Benchmark pipelines want machine-readable output next to the rendered
 tables: :func:`result_to_dict` flattens a
-:class:`~repro.io.result.CollectiveResult` (including its phase trace)
-into plain JSON-compatible data, :func:`dump_results` writes a list of
-them, and :func:`load_results` reads them back for post-processing.
+:class:`~repro.io.result.CollectiveResult` (including its phase trace
+and per-round telemetry) into plain JSON-compatible data,
+:func:`dump_results` writes a list of them, and :func:`load_results`
+reads them back for post-processing. Nested trace ``meta`` values (the
+per-resource byte dicts the round engine records) are preserved, so a
+dump → load round trip loses nothing; telemetry reconstructs exactly via
+:func:`telemetry_from_dict`.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Sequence
+from typing import Any, Mapping, Sequence
 
 from ..io.result import CollectiveResult
+from .telemetry import Telemetry
 
-__all__ = ["result_to_dict", "dump_results", "load_results"]
-
-
-def _key_to_str(key: Any) -> str:
-    """Resource keys are tuples like ('ost', 3); JSON wants strings."""
-    if isinstance(key, tuple):
-        return ":".join(str(part) for part in key)
-    return str(key)
+__all__ = [
+    "result_to_dict",
+    "dump_results",
+    "load_results",
+    "telemetry_from_dict",
+    "load_telemetries",
+]
 
 
 def result_to_dict(result: CollectiveResult) -> dict:
-    """Flatten one result (and its trace) to JSON-compatible data."""
+    """Flatten one result (and its trace + telemetry) to JSON-safe data."""
     out: dict[str, Any] = {
         "kind": result.kind,
         "strategy": result.strategy,
@@ -54,24 +58,15 @@ def result_to_dict(result: CollectiveResult) -> dict:
         ],
     }
     if result.trace is not None:
-        out["trace"] = [
-            {
-                "name": p.name,
-                "start_s": p.start,
-                "duration_s": p.duration,
-                "bytes_moved": p.bytes_moved,
-                "resource_bytes": {
-                    _key_to_str(k): v for k, v in p.resource_bytes.items()
-                },
-                "meta": {
-                    k: v
-                    for k, v in p.meta.items()
-                    if isinstance(v, (int, float, str, bool))
-                },
-            }
-            for p in result.trace
-        ]
+        out["trace"] = result.trace.to_dicts()
+    if result.telemetry is not None:
+        out["telemetry"] = result.telemetry.to_dict()
     return out
+
+
+def telemetry_from_dict(data: Mapping[str, Any]) -> Telemetry:
+    """Rebuild a :class:`Telemetry` from its serialized form."""
+    return Telemetry.from_dict(data)
 
 
 def dump_results(
@@ -90,3 +85,17 @@ def dump_results(
 def load_results(path: str | Path) -> dict:
     """Read a document written by :func:`dump_results`."""
     return json.loads(Path(path).read_text())
+
+
+def load_telemetries(path: str | Path) -> list[tuple[dict, Telemetry | None]]:
+    """Load a dump and pair each result dict with its rebuilt telemetry."""
+    doc = load_results(path)
+    out: list[tuple[dict, Telemetry | None]] = []
+    for entry in doc["results"]:
+        tele = (
+            telemetry_from_dict(entry["telemetry"])
+            if "telemetry" in entry
+            else None
+        )
+        out.append((entry, tele))
+    return out

@@ -7,11 +7,18 @@ plotting dependency.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Hashable, Iterable, Sequence
 
-from ..util.units import MiB, fmt_rate
+from ..util.units import MiB, fmt_bytes, fmt_rate
+from .telemetry import Telemetry, key_to_str
 
-__all__ = ["render_table", "bandwidth_table"]
+__all__ = [
+    "render_table",
+    "bandwidth_table",
+    "telemetry_round_table",
+    "telemetry_resource_table",
+    "telemetry_counter_lines",
+]
 
 
 def render_table(
@@ -30,6 +37,106 @@ def render_table(
     lines.append("  ".join("-" * w for w in widths))
     for row in str_rows:
         lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _resource_class(key: Hashable) -> str:
+    """Group resource keys by kind: ('ost', 3) -> 'ost', 'bisection' -> itself."""
+    if isinstance(key, tuple) and key:
+        return str(key[0])
+    return str(key)
+
+
+def telemetry_round_table(tele: Telemetry, *, title: str = "per-round breakdown") -> str:
+    """One row per round: bytes by phase, messages, latency/sync terms."""
+    rows = []
+    for entry, record in zip(tele.timeline(), tele.rounds):
+        rows.append(
+            (
+                record.index,
+                record.max_messages,
+                f"{record.latency_s * 1e3:.3f}",
+                f"{record.max_sync_s * 1e3:.3f}",
+                fmt_bytes(record.shuffle_intra_bytes),
+                fmt_bytes(record.shuffle_inter_bytes),
+                fmt_bytes(record.io_bytes),
+                f"{entry['bottleneck_s'] * 1e3:.3f}",
+            )
+        )
+    headers = [
+        "round", "msgs", "latency ms", "sync ms",
+        "shuffle intra", "shuffle inter", "io", "bottleneck ms",
+    ]
+    return render_table(headers, rows, title=title)
+
+
+def telemetry_resource_table(
+    tele: Telemetry, *, title: str = "per-resource utilization", top: int = 8
+) -> str:
+    """Utilization per resource class plus the busiest individual resources.
+
+    ``share`` is the resource's drain time relative to the run's
+    bottleneck resource (1.00 = the bottleneck) — the view that shows
+    whether a run is memory-bandwidth-, network-, or OST-bound.
+    """
+    totals = tele.resource_totals()
+    drains = tele.drain_times()
+    shares = tele.utilization_shares()
+    by_class: dict[str, list[Hashable]] = {}
+    for key in totals:
+        by_class.setdefault(_resource_class(key), []).append(key)
+    rows = []
+    for cls in sorted(by_class):
+        keys = by_class[cls]
+        cls_bytes = sum(totals[k] for k in keys)
+        cls_drain = max((drains.get(k, 0.0) for k in keys), default=0.0)
+        cls_share = max((shares.get(k, 0.0) for k in keys), default=0.0)
+        rows.append(
+            (
+                cls,
+                len(keys),
+                fmt_bytes(int(cls_bytes)),
+                f"{cls_drain * 1e3:.3f}",
+                f"{cls_share:.2f}",
+            )
+        )
+    lines = [
+        render_table(
+            ["resource class", "count", "bytes", "max drain ms", "share"],
+            rows,
+            title=title,
+        )
+    ]
+    busiest = sorted(drains, key=drains.get, reverse=True)[:top]
+    if busiest:
+        detail = [
+            (
+                key_to_str(key),
+                fmt_bytes(int(totals[key])),
+                f"{drains[key] * 1e3:.3f}",
+                f"{shares.get(key, 0.0):.2f}",
+            )
+            for key in busiest
+        ]
+        lines.append("")
+        lines.append(
+            render_table(
+                ["resource", "bytes", "drain ms", "share"],
+                detail,
+                title=f"busiest {len(busiest)} resources",
+            )
+        )
+    return "\n".join(lines)
+
+
+def telemetry_counter_lines(tele: Telemetry) -> str:
+    """Counters and paging slowdowns, one per line."""
+    lines = [
+        f"  {name} = {value:g}"
+        for name, value in sorted(tele.counters.items())
+    ]
+    for node_id, slowdown in sorted(tele.paging.items()):
+        lines.append(f"  paging node {node_id}: membw /{slowdown:.2f}")
     return "\n".join(lines)
 
 

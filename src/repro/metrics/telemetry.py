@@ -1,0 +1,333 @@
+"""Round-level observability for the collective-I/O engine.
+
+The paper's argument is about *where time goes* on aggregator nodes —
+memory bus vs. NICs vs. OSTs — so a single flat ``transfer`` phase is
+not enough to attribute costs. This module is the measurement layer the
+round engine feeds while it executes: one :class:`RoundRecord` per
+round (per-domain shuffle/I/O/sync spans, per-resource byte charges
+split by phase, message counts, startup latency), a counter registry
+for planner events (groups, remerges, fallbacks, paging), and the
+effective capacity map so utilization shares can be derived after the
+fact.
+
+Everything here is plain data: :meth:`Telemetry.to_dict` /
+:meth:`Telemetry.from_dict` round-trip losslessly through JSON (resource
+keys — tuples like ``("ost", 3)`` — are encoded as ``"ost:3"`` strings
+and decoded back), and :meth:`Telemetry.to_csv` flattens the per-round /
+per-resource breakdown for spreadsheet pipelines. ``repro trace``
+renders the same data as tables.
+"""
+
+from __future__ import annotations
+
+import csv
+import io as _io
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Mapping
+
+__all__ = [
+    "DomainRoundCost",
+    "RoundRecord",
+    "Telemetry",
+    "key_to_str",
+    "key_from_str",
+]
+
+
+def key_to_str(key: Hashable) -> str:
+    """Encode a resource key (``("ost", 3)`` or ``"bisection"``) as a string."""
+    if isinstance(key, tuple):
+        return ":".join(str(part) for part in key)
+    return str(key)
+
+
+def key_from_str(text: str) -> Hashable:
+    """Inverse of :func:`key_to_str` for the keys this codebase uses."""
+    if ":" not in text:
+        return text
+    parts: list[Hashable] = [
+        int(part) if part.lstrip("-").isdigit() else part
+        for part in text.split(":")
+    ]
+    return tuple(parts)
+
+
+def _encode_resource_map(data: Mapping[Hashable, float]) -> dict[str, float]:
+    return {key_to_str(k): float(v) for k, v in data.items()}
+
+
+def _decode_resource_map(data: Mapping[str, float]) -> dict[Hashable, float]:
+    return {key_from_str(k): float(v) for k, v in data.items()}
+
+
+@dataclass(slots=True)
+class DomainRoundCost:
+    """One aggregator domain's spans inside one round."""
+
+    domain_index: int
+    shuffle_s: float
+    io_s: float
+    sync_s: float
+    messages: int
+
+    @property
+    def total_s(self) -> float:
+        return self.shuffle_s + self.io_s + self.sync_s
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "domain": self.domain_index,
+            "shuffle_s": self.shuffle_s,
+            "io_s": self.io_s,
+            "sync_s": self.sync_s,
+            "messages": self.messages,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DomainRoundCost":
+        return cls(
+            domain_index=int(data["domain"]),
+            shuffle_s=float(data["shuffle_s"]),
+            io_s=float(data["io_s"]),
+            sync_s=float(data["sync_s"]),
+            messages=int(data["messages"]),
+        )
+
+
+@dataclass(slots=True)
+class RoundRecord:
+    """Everything the engine observed during one round."""
+
+    index: int
+    shuffle_intra_bytes: int = 0
+    shuffle_inter_bytes: int = 0
+    io_bytes: int = 0
+    latency_s: float = 0.0
+    max_messages: int = 0
+    shuffle_resource_bytes: dict[Hashable, float] = field(default_factory=dict)
+    io_resource_bytes: dict[Hashable, float] = field(default_factory=dict)
+    domain_costs: list[DomainRoundCost] = field(default_factory=list)
+
+    @property
+    def shuffle_bytes(self) -> int:
+        return self.shuffle_intra_bytes + self.shuffle_inter_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.shuffle_bytes + self.io_bytes
+
+    @property
+    def max_sync_s(self) -> float:
+        return max((c.sync_s for c in self.domain_costs), default=0.0)
+
+    @property
+    def critical_domain_s(self) -> float:
+        """The slowest domain's serial span this round."""
+        return max((c.total_s for c in self.domain_costs), default=0.0)
+
+    def resource_bytes(self) -> dict[Hashable, float]:
+        """Combined shuffle + I/O charge per resource this round."""
+        out = dict(self.shuffle_resource_bytes)
+        for key, b in self.io_resource_bytes.items():
+            out[key] = out.get(key, 0.0) + b
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "shuffle_intra_bytes": self.shuffle_intra_bytes,
+            "shuffle_inter_bytes": self.shuffle_inter_bytes,
+            "io_bytes": self.io_bytes,
+            "latency_s": self.latency_s,
+            "max_messages": self.max_messages,
+            "shuffle_resource_bytes": _encode_resource_map(
+                self.shuffle_resource_bytes
+            ),
+            "io_resource_bytes": _encode_resource_map(self.io_resource_bytes),
+            "domain_costs": [c.to_dict() for c in self.domain_costs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RoundRecord":
+        return cls(
+            index=int(data["index"]),
+            shuffle_intra_bytes=int(data["shuffle_intra_bytes"]),
+            shuffle_inter_bytes=int(data["shuffle_inter_bytes"]),
+            io_bytes=int(data["io_bytes"]),
+            latency_s=float(data["latency_s"]),
+            max_messages=int(data["max_messages"]),
+            shuffle_resource_bytes=_decode_resource_map(
+                data["shuffle_resource_bytes"]
+            ),
+            io_resource_bytes=_decode_resource_map(data["io_resource_bytes"]),
+            domain_costs=[
+                DomainRoundCost.from_dict(c) for c in data["domain_costs"]
+            ],
+        )
+
+
+class Telemetry:
+    """Span/counter registry for one collective operation.
+
+    The engine appends one :class:`RoundRecord` per executed round and
+    registers the effective capacity map (post-paging) so shares can be
+    computed; planners bump :meth:`count` for discrete events (groups,
+    remerges, fallbacks); :meth:`record_paging` notes each node whose
+    memory bandwidth was derated.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.rounds: list[RoundRecord] = []
+        self.paging: dict[int, float] = {}  # node_id -> membw slowdown
+        self.capacities: dict[Hashable, float] = {}
+
+    # ------------------------------------------------------------ feeding
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to counter ``name`` (created at zero)."""
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def record_paging(self, node_id: int, slowdown: float) -> None:
+        """Note that ``node_id`` pages with the given membw slowdown."""
+        self.paging[int(node_id)] = float(slowdown)
+
+    def set_capacities(self, caps: Mapping[Hashable, float]) -> None:
+        """Register the effective capacities the engine priced against."""
+        self.capacities = dict(caps)
+
+    def add_round(self, record: RoundRecord) -> None:
+        self.rounds.append(record)
+
+    # --------------------------------------------------------- aggregates
+    @property
+    def n_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def shuffle_intra_bytes(self) -> int:
+        return sum(r.shuffle_intra_bytes for r in self.rounds)
+
+    @property
+    def shuffle_inter_bytes(self) -> int:
+        return sum(r.shuffle_inter_bytes for r in self.rounds)
+
+    @property
+    def io_bytes(self) -> int:
+        return sum(r.io_bytes for r in self.rounds)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.total_bytes for r in self.rounds)
+
+    @property
+    def latency_s(self) -> float:
+        return sum(r.latency_s for r in self.rounds)
+
+    def resource_totals(self) -> dict[Hashable, float]:
+        """Bytes charged per resource, shuffle + I/O, all rounds."""
+        totals: dict[Hashable, float] = {}
+        for record in self.rounds:
+            for key, b in record.resource_bytes().items():
+                totals[key] = totals.get(key, 0.0) + b
+        return totals
+
+    def drain_times(self) -> dict[Hashable, float]:
+        """Seconds each resource needs to drain its total charge alone."""
+        out: dict[Hashable, float] = {}
+        for key, load in self.resource_totals().items():
+            cap = self.capacities.get(key)
+            if cap and cap > 0:
+                out[key] = load / cap
+        return out
+
+    def utilization_shares(self) -> dict[Hashable, float]:
+        """Each resource's drain time as a fraction of the bottleneck's.
+
+        The bottleneck resource scores 1.0; a resource at 0.5 would
+        finish its traffic in half the bottleneck's time — the
+        utilization-share view the paper uses to argue aggregator nodes
+        are memory-bandwidth-bound.
+        """
+        times = self.drain_times()
+        peak = max(times.values(), default=0.0)
+        if peak <= 0:
+            return {k: 0.0 for k in times}
+        return {k: t / peak for k, t in times.items()}
+
+    def round_bottleneck_s(self, record: RoundRecord) -> float:
+        """This round's fluid lower bound: max resource drain time."""
+        best = 0.0
+        for key, load in record.resource_bytes().items():
+            cap = self.capacities.get(key)
+            if cap and cap > 0:
+                best = max(best, load / cap)
+        return best
+
+    def timeline(self) -> list[dict[str, Any]]:
+        """Per-round utilization timeline derived from the flow charges.
+
+        Each entry reports the round's bottleneck time, its latency and
+        sync terms, and each resource's busy fraction relative to the
+        round bottleneck — the data behind ``repro trace``.
+        """
+        out: list[dict[str, Any]] = []
+        for record in self.rounds:
+            bottleneck = self.round_bottleneck_s(record)
+            shares: dict[Hashable, float] = {}
+            if bottleneck > 0:
+                for key, load in record.resource_bytes().items():
+                    cap = self.capacities.get(key)
+                    if cap and cap > 0:
+                        shares[key] = (load / cap) / bottleneck
+            out.append(
+                {
+                    "round": record.index,
+                    "bottleneck_s": bottleneck,
+                    "latency_s": record.latency_s,
+                    "sync_s": record.max_sync_s,
+                    "bytes": record.total_bytes,
+                    "shares": shares,
+                }
+            )
+        return out
+
+    # ------------------------------------------------------ serialization
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe dict; :meth:`from_dict` is its exact inverse."""
+        return {
+            "counters": dict(self.counters),
+            "paging": {str(node): s for node, s in self.paging.items()},
+            "capacities": _encode_resource_map(self.capacities),
+            "rounds": [r.to_dict() for r in self.rounds],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Telemetry":
+        tele = cls()
+        tele.counters = {str(k): float(v) for k, v in data["counters"].items()}
+        tele.paging = {int(k): float(v) for k, v in data["paging"].items()}
+        tele.capacities = _decode_resource_map(data["capacities"])
+        tele.rounds = [RoundRecord.from_dict(r) for r in data["rounds"]]
+        return tele
+
+    def to_csv(self) -> str:
+        """Flat per-round / per-resource breakdown (one row per charge)."""
+        buf = _io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(["round", "resource", "phase", "bytes", "capacity"])
+        for record in self.rounds:
+            for phase, charges in (
+                ("shuffle", record.shuffle_resource_bytes),
+                ("io", record.io_resource_bytes),
+            ):
+                for key in sorted(charges, key=key_to_str):
+                    writer.writerow(
+                        [
+                            record.index,
+                            key_to_str(key),
+                            phase,
+                            repr(charges[key]),
+                            repr(self.capacities.get(key, 0.0)),
+                        ]
+                    )
+        return buf.getvalue()

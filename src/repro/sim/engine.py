@@ -184,7 +184,8 @@ class Simulator:
             while self._heap:
                 item = self._heap[0]
                 if until is not None and item.time > until:
-                    self._now = until
+                    # A horizon in the past must not rewind the clock.
+                    self._now = max(self._now, until)
                     return self._now
                 heapq.heappop(self._heap)
                 if item.cancelled:

@@ -11,7 +11,37 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Hashable, Iterator
 
-__all__ = ["PhaseRecord", "TraceRecorder"]
+__all__ = ["PhaseRecord", "TraceRecorder", "json_safe_meta"]
+
+
+def _stringify_key(key: Hashable) -> str:
+    """Resource keys are tuples like ('ost', 3); JSON wants strings."""
+    if isinstance(key, tuple):
+        return ":".join(str(part) for part in key)
+    return str(key)
+
+
+def json_safe_meta(value: Any) -> Any:
+    """Recursively convert phase meta to JSON-compatible data.
+
+    Scalars pass through; dicts keep their (stringified) keys and
+    recurse into values; lists/tuples become lists. Values that cannot
+    be represented (arbitrary objects) are dropped — but *nested*
+    structure such as the per-resource byte dicts the round engine
+    records is preserved, so serialized traces stay faithful.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            safe = json_safe_meta(item)
+            if safe is not None or item is None:
+                out[_stringify_key(key)] = safe
+        return out
+    if isinstance(value, (list, tuple)):
+        return [json_safe_meta(item) for item in value]
+    return None
 
 
 @dataclass(frozen=True, slots=True)
@@ -28,6 +58,23 @@ class PhaseRecord:
     @property
     def end(self) -> float:
         return self.start + self.duration
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-compatible view of this phase (nested meta preserved)."""
+        return {
+            "name": self.name,
+            "start_s": self.start,
+            "duration_s": self.duration,
+            "bytes_moved": self.bytes_moved,
+            "resource_bytes": {
+                _stringify_key(k): v for k, v in self.resource_bytes.items()
+            },
+            "meta": {
+                str(k): json_safe_meta(v)
+                for k, v in self.meta.items()
+                if json_safe_meta(v) is not None or v is None
+            },
+        }
 
 
 class TraceRecorder:
@@ -89,3 +136,7 @@ class TraceRecorder:
             for key, b in phase.resource_bytes.items():
                 totals[key] = totals.get(key, 0.0) + b
         return totals
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """All phases as JSON-compatible dicts (see PhaseRecord.as_dict)."""
+        return [p.as_dict() for p in self._phases]

@@ -9,7 +9,6 @@ least the inter-node shuffle, OSTs at least the file bytes).
 
 from __future__ import annotations
 
-import numpy as np
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -92,3 +91,10 @@ def test_byte_conservation(chunks, seed, mem_kib, strategy_kind):
     assert all(n.memory.in_use == 0 for n in ctx.cluster.nodes)
     # 5. Simulated time is positive and finite.
     assert 0 < res.elapsed < float("inf")
+    # 6. Telemetry audits: per-round byte totals equal shuffle + I/O.
+    tele = res.telemetry
+    assert tele is not None
+    assert tele.shuffle_intra_bytes == res.shuffle_intra_bytes
+    assert tele.shuffle_inter_bytes == res.shuffle_inter_bytes
+    assert tele.io_bytes == total
+    assert tele.total_bytes == res.shuffle_bytes + total

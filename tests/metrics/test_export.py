@@ -6,7 +6,15 @@ import pytest
 
 from repro.cluster import scaled_testbed
 from repro.io import CollectiveHints, TwoPhaseCollectiveIO, make_context
-from repro.metrics.export import dump_results, load_results, result_to_dict
+from repro.io.result import CollectiveResult
+from repro.metrics.export import (
+    dump_results,
+    load_results,
+    load_telemetries,
+    result_to_dict,
+    telemetry_from_dict,
+)
+from repro.sim import TraceRecorder
 from repro.util import kib
 from repro.workloads import IORWorkload
 
@@ -43,3 +51,58 @@ class TestResultToDict:
         assert doc["metadata"] == {"seed": 1, "note": "x"}
         assert len(doc["results"]) == 1
         assert doc["results"][0]["n_rounds"] == result.n_rounds
+
+
+class TestMetaPreservation:
+    """Regression: nested trace meta (dicts like the per-resource byte
+    maps the round engine records) must survive serialization — it used
+    to be silently dropped, so load was not an inverse of dump."""
+
+    def _result_with_nested_meta(self):
+        trace = TraceRecorder()
+        trace.record(
+            "transfer",
+            1.0,
+            resource_bytes={("ost", 0): 5.0},
+            per_node_bytes={("membw", 0): 10.0, ("membw", 1): 20.0},
+            rounds=3,
+            tags=["a", "b"],
+        )
+        return CollectiveResult(
+            kind="write", strategy="t", elapsed=1.0, nbytes=5,
+            n_rounds=3, trace=trace,
+        )
+
+    def test_nested_meta_survives_result_to_dict(self):
+        d = result_to_dict(self._result_with_nested_meta())
+        meta = d["trace"][0]["meta"]
+        assert meta["per_node_bytes"] == {"membw:0": 10.0, "membw:1": 20.0}
+        assert meta["tags"] == ["a", "b"]
+        assert meta["rounds"] == 3
+
+    def test_nested_meta_survives_file_round_trip(self, tmp_path):
+        result = self._result_with_nested_meta()
+        path = dump_results(tmp_path / "out.json", [result])
+        loaded = load_results(path)["results"][0]
+        assert loaded["trace"][0]["meta"] == result_to_dict(result)["trace"][0]["meta"]
+
+
+class TestTelemetryRoundTrip:
+    def test_telemetry_embedded_and_lossless(self, result, tmp_path):
+        assert result.telemetry is not None
+        path = dump_results(tmp_path / "out.json", [result])
+        loaded = load_results(path)["results"][0]
+        rebuilt = telemetry_from_dict(loaded["telemetry"])
+        assert rebuilt.to_dict() == result.telemetry.to_dict()
+        assert rebuilt.shuffle_intra_bytes == result.shuffle_intra_bytes
+        assert rebuilt.shuffle_inter_bytes == result.shuffle_inter_bytes
+        assert rebuilt.capacities == result.telemetry.capacities
+
+    def test_load_telemetries_pairs(self, result, tmp_path):
+        path = dump_results(tmp_path / "out.json", [result, result])
+        pairs = load_telemetries(path)
+        assert len(pairs) == 2
+        for entry, tele in pairs:
+            assert entry["strategy"] == "two-phase"
+            assert tele is not None
+            assert tele.n_rounds == entry["n_rounds"]

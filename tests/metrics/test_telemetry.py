@@ -1,0 +1,135 @@
+"""Tests for the round-level telemetry registry."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.metrics.telemetry import (
+    DomainRoundCost,
+    RoundRecord,
+    Telemetry,
+    key_from_str,
+    key_to_str,
+)
+
+
+def sample_telemetry() -> Telemetry:
+    tele = Telemetry()
+    tele.set_capacities({("ost", 0): 100.0, ("membw", 1): 400.0, "bisection": 200.0})
+    tele.record_paging(1, 3.0)
+    tele.count("remerges", 2)
+    tele.count("remerges", 1)
+    tele.add_round(
+        RoundRecord(
+            index=0,
+            shuffle_intra_bytes=10,
+            shuffle_inter_bytes=30,
+            io_bytes=40,
+            latency_s=0.25,
+            max_messages=8,
+            shuffle_resource_bytes={("membw", 1): 40.0, "bisection": 30.0},
+            io_resource_bytes={("ost", 0): 40.0},
+            domain_costs=[
+                DomainRoundCost(0, shuffle_s=0.1, io_s=0.4, sync_s=0.05, messages=8)
+            ],
+        )
+    )
+    tele.add_round(
+        RoundRecord(
+            index=1,
+            shuffle_intra_bytes=5,
+            io_bytes=5,
+            latency_s=0.1,
+            max_messages=1,
+            shuffle_resource_bytes={("membw", 1): 10.0},
+            io_resource_bytes={("ost", 0): 5.0},
+            domain_costs=[
+                DomainRoundCost(0, shuffle_s=0.02, io_s=0.05, sync_s=0.05, messages=1)
+            ],
+        )
+    )
+    return tele
+
+
+class TestKeys:
+    @pytest.mark.parametrize(
+        "key",
+        [("ost", 3), ("membw", 0), ("nic_in", 12), "bisection",
+         ("stream", 7), ("a", "b", 2)],
+    )
+    def test_round_trip(self, key):
+        assert key_from_str(key_to_str(key)) == key
+
+    def test_negative_int_part(self):
+        assert key_from_str(key_to_str(("x", -4))) == ("x", -4)
+
+
+class TestAggregates:
+    def test_byte_totals(self):
+        tele = sample_telemetry()
+        assert tele.shuffle_intra_bytes == 15
+        assert tele.shuffle_inter_bytes == 30
+        assert tele.io_bytes == 45
+        assert tele.total_bytes == 90
+        assert tele.latency_s == pytest.approx(0.35)
+        assert tele.n_rounds == 2
+
+    def test_counters_accumulate(self):
+        tele = sample_telemetry()
+        assert tele.counters["remerges"] == 3
+
+    def test_resource_totals_merge_phases(self):
+        totals = sample_telemetry().resource_totals()
+        assert totals[("membw", 1)] == pytest.approx(50.0)
+        assert totals[("ost", 0)] == pytest.approx(45.0)
+        assert totals["bisection"] == pytest.approx(30.0)
+
+    def test_utilization_shares_bottleneck_is_one(self):
+        tele = sample_telemetry()
+        shares = tele.utilization_shares()
+        # ost drains 45/100 = 0.45 s — the slowest resource.
+        assert shares[("ost", 0)] == pytest.approx(1.0)
+        assert shares[("membw", 1)] == pytest.approx((50 / 400) / 0.45)
+        assert all(0 <= s <= 1 for s in shares.values())
+
+    def test_timeline_shape(self):
+        tele = sample_telemetry()
+        timeline = tele.timeline()
+        assert [e["round"] for e in timeline] == [0, 1]
+        first = timeline[0]
+        assert first["bottleneck_s"] == pytest.approx(0.4)  # ost 40/100
+        assert first["latency_s"] == pytest.approx(0.25)
+        assert first["sync_s"] == pytest.approx(0.05)
+        # The bottleneck resource is fully busy; others fractional.
+        assert first["shares"][("ost", 0)] == pytest.approx(1.0)
+        assert 0 < first["shares"][("membw", 1)] < 1
+
+
+class TestSerialization:
+    def test_dict_round_trip_is_lossless(self):
+        tele = sample_telemetry()
+        rebuilt = Telemetry.from_dict(tele.to_dict())
+        assert rebuilt.to_dict() == tele.to_dict()
+        assert rebuilt.capacities == tele.capacities
+        assert rebuilt.paging == tele.paging
+        assert rebuilt.rounds[0].shuffle_resource_bytes == {
+            ("membw", 1): 40.0,
+            "bisection": 30.0,
+        }
+        assert rebuilt.rounds[0].domain_costs[0].messages == 8
+
+    def test_json_round_trip_is_lossless(self):
+        tele = sample_telemetry()
+        rebuilt = Telemetry.from_dict(json.loads(json.dumps(tele.to_dict())))
+        assert rebuilt.to_dict() == tele.to_dict()
+
+    def test_csv_rows(self):
+        tele = sample_telemetry()
+        lines = tele.to_csv().strip().splitlines()
+        assert lines[0] == "round,resource,phase,bytes,capacity"
+        # 3 shuffle charges + 2 io charges across the two rounds.
+        assert len(lines) == 1 + 5
+        assert any(line.startswith("0,ost:0,io,40.0") for line in lines)
+        assert any(line.startswith("1,membw:1,shuffle,10.0") for line in lines)

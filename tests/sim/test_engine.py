@@ -51,6 +51,26 @@ class TestScheduling:
         assert fired == [1]
         assert sim.now == 5.0
 
+    def test_run_until_in_past_does_not_rewind_clock(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.schedule(10.0, lambda: None)
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+        # Horizon earlier than the current clock: a no-op, not a rewind.
+        sim.run(until=2.0)
+        assert sim.now == 7.0
+
+    def test_run_until_advances_monotonically_across_calls(self):
+        sim = Simulator()
+        sim.schedule(100.0, lambda: None)
+        sim.run(until=4.0)
+        assert sim.now == 4.0
+        sim.run(until=3.0)
+        assert sim.now == 4.0
+        sim.run(until=8.0)
+        assert sim.now == 8.0
+
     def test_nested_scheduling(self):
         sim = Simulator()
         fired = []

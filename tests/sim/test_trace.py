@@ -46,3 +46,21 @@ class TestTraceRecorder:
         tr = TraceRecorder()
         rec = tr.record("plan", 0.1, n_domains=5)
         assert rec.meta == {"n_domains": 5}
+
+    def test_as_dict_preserves_nested_meta(self):
+        tr = TraceRecorder()
+        tr.record(
+            "transfer",
+            1.0,
+            resource_bytes={("ost", 3): 10.0},
+            per_node={("membw", 0): 2.0, ("membw", 1): 3.0},
+            levels=[1, 2, [3, 4]],
+            note="x",
+            opaque=object(),  # not JSON-safe: dropped, not a crash
+        )
+        d = tr.to_dicts()[0]
+        assert d["resource_bytes"] == {"ost:3": 10.0}
+        assert d["meta"]["per_node"] == {"membw:0": 2.0, "membw:1": 3.0}
+        assert d["meta"]["levels"] == [1, 2, [3, 4]]
+        assert d["meta"]["note"] == "x"
+        assert "opaque" not in d["meta"]

@@ -73,6 +73,48 @@ class TestRun:
         assert code == 0
 
 
+class TestTrace:
+    ARGS = [
+        "trace", "--machine", "testbed-4", "--procs", "8",
+        "--procs-per-node", "2", "--block-mib", "2",
+        "--transfer-mib", "1", "--memory-mib", "1",
+    ]
+
+    @pytest.mark.parametrize("strategy", ["two-phase", "mc"])
+    def test_renders_breakdown_for_both_strategies(self, strategy, capsys):
+        assert main([*self.ARGS, "--strategy", strategy]) == 0
+        out = capsys.readouterr().out
+        assert "per-round breakdown" in out
+        assert "per-resource utilization" in out
+        assert "round" in out and "bottleneck ms" in out
+        assert "ost" in out
+        assert "counters:" in out
+
+    @pytest.mark.parametrize("strategy", ["independent", "sieving"])
+    def test_non_collective_strategies_have_telemetry(self, strategy, capsys):
+        assert main([*self.ARGS, "--strategy", strategy]) == 0
+        out = capsys.readouterr().out
+        assert "per-round breakdown" in out
+
+    def test_json_dump_and_from_json(self, capsys, tmp_path):
+        dump = tmp_path / "run.json"
+        assert main([*self.ARGS, "--strategy", "mc", "--json", str(dump)]) == 0
+        capsys.readouterr()
+        assert dump.exists()
+        assert main(["trace", "--from-json", str(dump)]) == 0
+        out = capsys.readouterr().out
+        assert "memory-conscious" in out
+        assert "per-round breakdown" in out
+
+    def test_csv_export(self, capsys, tmp_path):
+        csv_path = tmp_path / "rounds.csv"
+        assert main([*self.ARGS, "--strategy", "two-phase",
+                     "--csv", str(csv_path)]) == 0
+        lines = csv_path.read_text().strip().splitlines()
+        assert lines[0] == "round,resource,phase,bytes,capacity"
+        assert len(lines) > 1
+
+
 class TestSweep:
     def test_sweep_table(self, capsys):
         code = main(
