@@ -20,21 +20,19 @@ survive pytest's output capture.
 
 from __future__ import annotations
 
+import os
 import statistics
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Sequence
+from typing import Sequence
 
 from repro import (
-    CollectiveHints,
-    MemoryConsciousCollectiveIO,
+    Campaign,
+    Experiment,
     MemoryConsciousConfig,
-    TwoPhaseCollectiveIO,
     auto_tune,
-    make_context,
     mib,
     render_table,
-    testbed_640,
 )
 from repro.cluster import MachineModel
 from repro.io import CollectiveResult, IOStrategy
@@ -105,10 +103,39 @@ class FigureData:
         )
 
 
+def point_experiment(
+    machine: MachineModel,
+    workload: Workload,
+    strategy: IOStrategy | str,
+    *,
+    kind: str,
+    cb_buffer: int,
+    seed: int,
+    procs_per_node: int = 12,
+    memory_variance_mean: int | None = None,
+    config: MemoryConsciousConfig | None = None,
+) -> Experiment:
+    """The Experiment spec for one (strategy, memory point, seed)."""
+    return Experiment(
+        machine=machine,
+        workload=workload,
+        strategy=strategy,
+        n_procs=workload.n_procs,
+        procs_per_node=procs_per_node,
+        seed=seed,
+        kind=kind,
+        cb_buffer=cb_buffer,
+        memory_variance_mean=memory_variance_mean,
+        memory_variance_std=VARIANCE_STD,
+        config=config,
+        file_name="bench",
+    )
+
+
 def run_point(
     machine: MachineModel,
     workload: Workload,
-    strategy: IOStrategy,
+    strategy: IOStrategy | str,
     *,
     kind: str,
     cb_buffer: int,
@@ -117,19 +144,17 @@ def run_point(
     memory_variance_mean: int | None = None,
 ) -> CollectiveResult:
     """One strategy, one memory point, one seed."""
-    ctx = make_context(
-        machine,
-        workload.n_procs,
+    return point_experiment(
+        machine, workload, strategy,
+        kind=kind, cb_buffer=cb_buffer, seed=seed,
         procs_per_node=procs_per_node,
-        seed=seed,
-        hints=CollectiveHints(cb_buffer_size=cb_buffer),
-    )
-    if memory_variance_mean is not None:
-        ctx.cluster.apply_memory_variance(
-            ctx.rng, mean_available=memory_variance_mean, std=VARIANCE_STD
-        )
-    file = ctx.pfs.open("bench")
-    return strategy.run(ctx, file, workload.requests(), kind=kind)
+        memory_variance_mean=memory_variance_mean,
+    ).run()
+
+
+def sweep_workers() -> int:
+    """Worker count for benchmark campaigns (env-tunable, default serial)."""
+    return max(1, int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
 
 
 def memory_sweep(
@@ -142,39 +167,66 @@ def memory_sweep(
     memory_points: Sequence[int] = MEMORY_POINTS,
     seeds: Sequence[int] = DEFAULT_SEEDS,
     procs_per_node: int = 12,
+    workers: int | None = None,
+    cache_dir: str | None = None,
 ) -> FigureData:
-    """The full figure: both strategies across the memory axis."""
+    """The full figure: both strategies across the memory axis.
+
+    Runs as one :class:`Campaign` — set ``workers`` (or the
+    ``REPRO_BENCH_WORKERS`` environment variable) to fan the grid out
+    over processes, and ``cache_dir`` to reuse memory-conscious plans
+    across repeated sweeps. Results are identical at any worker count.
+    """
     if config is None:
         config = auto_tune(machine).as_config()
+    experiments, tags = [], []
+    for mem in memory_points:
+        for seed in seeds:
+            experiments.append(
+                point_experiment(
+                    machine, workload, "two-phase",
+                    kind=kind, cb_buffer=mem, seed=seed,
+                    procs_per_node=procs_per_node,
+                )
+            )
+            tags.append((mem, "base"))
+            experiments.append(
+                point_experiment(
+                    machine, workload, "mc",
+                    kind=kind, cb_buffer=mem, seed=seed,
+                    procs_per_node=procs_per_node,
+                    memory_variance_mean=mem,
+                    config=config,
+                )
+            )
+            tags.append((mem, "mc"))
+    outcome = Campaign(
+        experiments,
+        workers=workers if workers is not None else sweep_workers(),
+        cache_dir=cache_dir,
+    ).run()
+
+    per_point: dict[int, dict[str, list[dict]]] = {
+        mem: {"base": [], "mc": []} for mem in memory_points
+    }
+    for record, (mem, which) in zip(outcome.records, tags):
+        if record["status"] != "ok":
+            raise RuntimeError(
+                f"sweep point failed ({record.get('label')}): {record['error']}"
+            )
+        per_point[mem][which].append(record["result"])
+
     fig = FigureData(title=title, kind=kind)
     for mem in memory_points:
-        base_bw, base_rounds = [], []
-        mc_bw, mc_rounds, mc_aggs = [], [], []
-        for seed in seeds:
-            b = run_point(
-                machine, workload, TwoPhaseCollectiveIO(),
-                kind=kind, cb_buffer=mem, seed=seed,
-                procs_per_node=procs_per_node,
-            )
-            base_bw.append(b.bandwidth)
-            base_rounds.append(b.n_rounds)
-            m = run_point(
-                machine, workload, MemoryConsciousCollectiveIO(config),
-                kind=kind, cb_buffer=mem, seed=seed,
-                procs_per_node=procs_per_node,
-                memory_variance_mean=mem,
-            )
-            mc_bw.append(m.bandwidth)
-            mc_rounds.append(m.n_rounds)
-            mc_aggs.append(m.n_aggregators)
+        base, mc = per_point[mem]["base"], per_point[mem]["mc"]
         fig.points.append(
             SweepPoint(
                 memory=mem,
-                baseline_bw=statistics.fmean(base_bw),
-                mc_bw=statistics.fmean(mc_bw),
-                baseline_rounds=statistics.fmean(base_rounds),
-                mc_rounds=statistics.fmean(mc_rounds),
-                mc_aggregators=statistics.fmean(mc_aggs),
+                baseline_bw=statistics.fmean(r["bandwidth_Bps"] for r in base),
+                mc_bw=statistics.fmean(r["bandwidth_Bps"] for r in mc),
+                baseline_rounds=statistics.fmean(r["n_rounds"] for r in base),
+                mc_rounds=statistics.fmean(r["n_rounds"] for r in mc),
+                mc_aggregators=statistics.fmean(r["n_aggregators"] for r in mc),
             )
         )
     return fig

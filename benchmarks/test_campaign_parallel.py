@@ -1,0 +1,84 @@
+"""Acceptance: a Figure-7-style sweep through Campaign, serial vs parallel.
+
+The ISSUE's bar: a 16-point sweep (8 memory budgets x 2 strategies,
+IOR at 120 processes) driven through the Campaign API with 4 workers
+must produce records identical to the serial run, finish in at most
+half the serial wall-clock, and hit the plan cache when re-run.
+
+The byte-identity and cache assertions run everywhere; the wall-clock
+ratio only means something with real cores behind the pool, so it is
+skipped on machines with fewer than 4 CPUs (CI runners qualify).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+from harness import point_experiment
+
+from repro import Campaign, IORWorkload, auto_tune, mib, testbed_640
+
+MEMORY_POINTS = [mib(2), mib(4), mib(8), mib(16), mib(32), mib(64), mib(96), mib(128)]
+
+
+def _sixteen_point_grid():
+    machine = testbed_640()
+    workload = IORWorkload(120, block_size=mib(32), transfer_size=mib(2))
+    config = auto_tune(machine).as_config()
+    experiments = []
+    for mem in MEMORY_POINTS:
+        experiments.append(
+            point_experiment(
+                machine, workload, "two-phase",
+                kind="write", cb_buffer=mem, seed=7,
+            )
+        )
+        experiments.append(
+            point_experiment(
+                machine, workload, "mc",
+                kind="write", cb_buffer=mem, seed=7,
+                memory_variance_mean=mem, config=config,
+            )
+        )
+    return experiments
+
+
+def _essences(result):
+    """Records minus timing and cache provenance — what must be identical."""
+    return [
+        json.dumps(
+            {k: v for k, v in r.items() if k not in ("wall_s", "cache")},
+            sort_keys=True,
+        )
+        for r in result.records
+    ]
+
+
+def test_parallel_campaign_matches_serial_and_caches(tmp_path):
+    experiments = _sixteen_point_grid()
+    assert len(experiments) == 16
+
+    serial = Campaign(experiments, workers=1).run()
+    assert len(serial.errors) == 0
+
+    cache_dir = tmp_path / "plans"
+    parallel = Campaign(experiments, workers=4, cache_dir=cache_dir).run()
+    assert len(parallel.errors) == 0
+    assert _essences(parallel) == _essences(serial)
+    assert parallel.cache_misses == 8  # one plan per mc memory point
+
+    rerun = Campaign(experiments, workers=4, cache_dir=cache_dir).run()
+    assert (rerun.cache_hits, rerun.cache_misses) == (8, 0)
+    assert _essences(rerun) == _essences(parallel)
+
+    if (os.cpu_count() or 1) >= 4:
+        assert parallel.wall_s <= 0.5 * serial.wall_s, (
+            f"parallel {parallel.wall_s:.1f}s vs serial {serial.wall_s:.1f}s"
+        )
+    else:
+        pytest.skip(
+            f"only {os.cpu_count()} CPU(s): identity and caching verified, "
+            "wall-clock ratio needs >= 4 cores"
+        )

@@ -17,14 +17,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro import (
-    CollectiveHints,
-    IndependentIO,
+    Experiment,
     IORWorkload,
-    MemoryConsciousCollectiveIO,
     MemoryConsciousConfig,
-    TwoPhaseCollectiveIO,
     ExtentList,
-    make_context,
     mib,
     pattern_bytes,
     render_table,
@@ -46,35 +42,42 @@ def main() -> None:
     print(f"workload: {workload.name}, {workload.total_bytes() >> 20} MiB total, "
           f"{len(workload.extents_for_rank(0))} segments per rank\n")
 
-    strategies = [
-        IndependentIO(),
-        TwoPhaseCollectiveIO(),
-        MemoryConsciousCollectiveIO(
-            MemoryConsciousConfig(msg_ind=mib(1), msg_group=mib(4), nah=2, mem_min=mib(1) // 4)
+    # One spec, three strategies: everything else — machine, workload,
+    # memory variance (the paper's extreme-scale regime), verified data
+    # tracking — is shared through Experiment.replace().
+    base = Experiment(
+        machine=machine,
+        workload=workload,
+        n_procs=n_procs,
+        procs_per_node=2,
+        seed=42,
+        cb_buffer=mib(1) // 2,
+        memory_variance_mean=mib(1),
+        memory_variance_std=mib(2),
+        track_data=True,  # byte-accurate mode: writes are verified
+        file_name="shared.dat",
+    )
+    experiments = [
+        base.replace(strategy="independent"),
+        base.replace(strategy="two-phase"),
+        base.replace(
+            strategy="mc",
+            config=MemoryConsciousConfig(
+                msg_ind=mib(1), msg_group=mib(4), nah=2, mem_min=mib(1) // 4
+            ),
         ),
     ]
 
     rows = []
-    for strategy in strategies:
-        ctx = make_context(
-            machine,
-            n_procs,
-            procs_per_node=2,
-            track_data=True,  # byte-accurate mode: writes are verified
-            hints=CollectiveHints(cb_buffer_size=mib(1) // 2),
-            seed=42,
-        )
-        # Emulate scarce, uneven memory (the paper's extreme-scale regime).
-        ctx.cluster.apply_memory_variance(
-            ctx.rng, mean_available=mib(1), std=mib(2)
-        )
-        file = ctx.pfs.open("shared.dat")
-        result = strategy.write(ctx, file, workload.requests(with_data=True))
+    for exp in experiments:
+        ctx = exp.context()
+        result = exp.run(ctx=ctx)
+        file = ctx.pfs.open(exp.file_name)
 
         ok = np.array_equal(file.apply_read(expected), pattern_bytes(expected))
         rows.append(
             (
-                strategy.name,
+                result.strategy,
                 f"{result.elapsed * 1e3:.2f} ms",
                 f"{result.bandwidth / mib(1):.1f} MiB/s",
                 result.n_aggregators,
@@ -84,7 +87,7 @@ def main() -> None:
             )
         )
 
-        if strategy.name == "two-phase":
+        if result.strategy == "two-phase":
             # The Figure 2 structure: aggregators, their file domains,
             # and the two phases per round.
             print("two-phase plan (cf. paper Figure 2):")

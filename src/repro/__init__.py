@@ -29,6 +29,8 @@ from .analysis import (
     memory_per_core_factor,
     projection_table,
 )
+from .api import Experiment
+from .campaign import Campaign, CampaignResult, PlanCache
 from .cluster import (
     Cluster,
     MachineModel,
@@ -41,6 +43,7 @@ from .cluster import (
     testbed_640,
 )
 from .core import (
+    CollectivePlan,
     MemoryConsciousCollectiveIO,
     MemoryConsciousConfig,
     PartitionTree,
@@ -87,6 +90,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # experiment / campaign API
+    "Experiment",
+    "Campaign",
+    "CampaignResult",
+    "PlanCache",
+    "CollectivePlan",
     # util
     "Extent",
     "ExtentList",

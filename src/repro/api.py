@@ -1,0 +1,387 @@
+"""The unified experiment API: one way to wire machine x workload x strategy.
+
+Before this module existed, three different callers rebuilt the same
+wiring by hand — ``cli.py``'s private helpers, ``benchmarks/harness.py``'s
+``run_point``, and each example. :class:`Experiment` replaces all of
+them: a frozen, picklable *specification* of one collective-I/O run
+(machine, workload, strategy, hints, process layout, seed, memory
+variance) that knows how to
+
+* resolve symbolic specs (``machine="testbed-8"``, ``workload="ior"``,
+  ``strategy="mc"``) into the concrete model objects,
+* build its :class:`~repro.io.context.IOContext` (variance applied,
+  deterministically seeded),
+* ``.plan()`` the memory-conscious strategy without executing, and
+* ``.run()`` the whole operation to a
+  :class:`~repro.io.result.CollectiveResult`,
+
+and that canonicalizes itself to a JSON-safe ``spec()`` dict whose
+SHA-256 (:meth:`Experiment.spec_hash`) keys the campaign plan cache.
+
+Example::
+
+    from repro import Experiment
+
+    exp = Experiment(machine="testbed-8", workload="ior", strategy="mc",
+                     n_procs=16, procs_per_node=2, cb_buffer=4 << 20)
+    result = exp.run()
+    faster = exp.replace(cb_buffer=32 << 20).run()
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Any, Mapping
+
+from .cluster import (
+    MachineModel,
+    exascale_2018,
+    petascale_2010,
+    scaled_testbed,
+    testbed_640,
+)
+from .core import (
+    CollectivePlan,
+    MemoryConsciousCollectiveIO,
+    MemoryConsciousConfig,
+    auto_tune,
+)
+from .core.plans import spec_hash as _hash_spec
+from .io import (
+    CollectiveHints,
+    CollectiveResult,
+    DataSievingIO,
+    IndependentIO,
+    IOContext,
+    IOStrategy,
+    TwoPhaseCollectiveIO,
+    make_context,
+)
+from .mpi.requests import AccessRequest
+from .util import mib
+from .util.errors import ConfigurationError
+from .workloads import CollPerfWorkload, IORWorkload, Workload
+
+__all__ = [
+    "Experiment",
+    "MACHINE_PRESETS",
+    "STRATEGY_NAMES",
+    "WORKLOAD_NAMES",
+    "resolve_machine",
+    "resolve_strategy",
+    "resolve_workload",
+]
+
+MACHINE_PRESETS = {
+    "testbed": testbed_640,
+    "petascale-2010": petascale_2010,
+    "exascale-2018": exascale_2018,
+}
+
+WORKLOAD_NAMES = ("ior", "ior-segmented", "coll_perf")
+STRATEGY_NAMES = ("independent", "sieving", "two-phase", "mc")
+
+
+def resolve_machine(spec: MachineModel | str) -> MachineModel:
+    """Turn a machine spec into a model: preset name, ``testbed-<nodes>``,
+    or an already-built :class:`MachineModel` (passed through)."""
+    if isinstance(spec, MachineModel):
+        return spec
+    if spec.startswith("testbed-"):
+        suffix = spec.split("-", 1)[1]
+        try:
+            return scaled_testbed(int(suffix))
+        except ValueError:
+            raise ConfigurationError(f"bad testbed node count {suffix!r}") from None
+    try:
+        return MACHINE_PRESETS[spec]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown machine {spec!r}; choose from "
+            f"{sorted(MACHINE_PRESETS)} or 'testbed-<nodes>'"
+        ) from None
+
+
+def resolve_workload(
+    spec: Workload | str,
+    n_procs: int,
+    params: Mapping[str, Any] | None = None,
+) -> Workload:
+    """Turn a workload spec into a generator.
+
+    Named specs take their parameters from ``params`` (defaults mirror
+    the CLI: 32 MiB blocks, 2 MiB transfers, 240-edge arrays). Workload
+    instances pass through untouched.
+    """
+    if isinstance(spec, Workload):
+        return spec
+    params = dict(params or {})
+    if spec == "ior":
+        return IORWorkload(
+            n_procs,
+            block_size=params.get("block_size", mib(32)),
+            transfer_size=params.get("transfer_size", mib(2)),
+        )
+    if spec == "ior-segmented":
+        return IORWorkload(
+            n_procs,
+            block_size=params.get("block_size", mib(32)),
+            segmented=True,
+        )
+    if spec == "coll_perf":
+        edge = params.get("array_edge", 240)
+        return CollPerfWorkload(n_procs, (edge, edge, edge))
+    raise ConfigurationError(
+        f"unknown workload {spec!r}; choose from {WORKLOAD_NAMES} "
+        f"or pass a Workload instance"
+    )
+
+
+@lru_cache(maxsize=32)
+def _auto_config(machine: MachineModel) -> MemoryConsciousConfig:
+    """Calibrated MC config per machine (memoized — tuning sweeps cost)."""
+    return auto_tune(machine).as_config()
+
+
+def resolve_strategy(
+    spec: IOStrategy | str,
+    machine: MachineModel,
+    config: MemoryConsciousConfig | None = None,
+) -> IOStrategy:
+    """Turn a strategy spec into an executable strategy.
+
+    ``"mc"`` uses ``config`` when given, else the machine's auto-tuned
+    calibration (Nah/Msg_ind/Msg_group/Mem_min).
+    """
+    if isinstance(spec, IOStrategy):
+        return spec
+    if spec == "independent":
+        return IndependentIO()
+    if spec == "sieving":
+        return DataSievingIO()
+    if spec == "two-phase":
+        return TwoPhaseCollectiveIO()
+    if spec == "mc":
+        return MemoryConsciousCollectiveIO(
+            config if config is not None else _auto_config(machine)
+        )
+    raise ConfigurationError(
+        f"unknown strategy {spec!r}; choose from {STRATEGY_NAMES} "
+        f"or pass an IOStrategy instance"
+    )
+
+
+def _workload_fingerprint(workload: Workload) -> dict:
+    """Exact, JSON-safe identity of an access pattern.
+
+    Hashes every rank's extent arrays, so *any* workload — named spec or
+    hand-built instance — is identified by the bytes it touches rather
+    than by how it was constructed.
+    """
+    digest = hashlib.sha256()
+    for rank in range(workload.n_procs):
+        extents = workload.extents_for_rank(rank)
+        digest.update(rank.to_bytes(4, "little"))
+        for offset, length in extents.to_pairs():
+            digest.update(int(offset).to_bytes(8, "little"))
+            digest.update(int(length).to_bytes(8, "little"))
+    return {
+        "name": workload.name,
+        "n_procs": workload.n_procs,
+        "extents_sha256": digest.hexdigest(),
+    }
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One fully specified collective-I/O run.
+
+    Immutable and picklable — campaign workers receive Experiments over
+    a process pool, and :meth:`replace` derives grid neighbours. All
+    stochastic inputs (memory variance) are governed by ``seed``, so a
+    spec determines its result exactly.
+
+    Attributes:
+        machine: preset name (``"testbed"``, ``"testbed-<nodes>"``,
+            ``"petascale-2010"``, ``"exascale-2018"``) or a model.
+        workload: ``"ior"`` / ``"ior-segmented"`` / ``"coll_perf"`` or a
+            :class:`Workload`; named specs read ``workload_params``.
+        strategy: ``"independent"`` / ``"sieving"`` / ``"two-phase"`` /
+            ``"mc"`` or an :class:`IOStrategy`.
+        cb_buffer: shorthand overriding ``hints.cb_buffer_size`` (bytes).
+        memory_variance_mean: when set, per-node available memory is
+            drawn from Normal(mean, ``memory_variance_std``).
+        config: MC tunables; ``None`` auto-tunes for the machine.
+    """
+
+    machine: MachineModel | str = "testbed"
+    workload: Workload | str = "ior"
+    strategy: IOStrategy | str = "mc"
+    n_procs: int = 120
+    procs_per_node: int | None = 12
+    placement: str = "block"
+    seed: int | None = 7
+    kind: str = "write"
+    hints: CollectiveHints | None = None
+    cb_buffer: int | None = None
+    memory_variance_mean: int | None = None
+    memory_variance_std: int = mib(50)
+    config: MemoryConsciousConfig | None = None
+    workload_params: Mapping[str, Any] = field(default_factory=dict)
+    track_data: bool = False
+    file_name: str = "exp.dat"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("write", "read"):
+            raise ConfigurationError(f"kind must be 'write' or 'read', got {self.kind!r}")
+        if self.n_procs <= 0:
+            raise ConfigurationError(f"n_procs must be positive, got {self.n_procs}")
+
+    # ------------------------------------------------------------- builders
+    def replace(self, **changes: Any) -> "Experiment":
+        """Copy with modified fields (grid construction primitive)."""
+        return dataclasses.replace(self, **changes)
+
+    def resolve_machine(self) -> MachineModel:
+        return resolve_machine(self.machine)
+
+    def resolve_workload(self) -> Workload:
+        return resolve_workload(self.workload, self.n_procs, self.workload_params)
+
+    def resolve_hints(self) -> CollectiveHints:
+        hints = self.hints if self.hints is not None else CollectiveHints()
+        if self.cb_buffer is not None:
+            hints = hints.with_buffer(self.cb_buffer)
+        return hints
+
+    def resolve_strategy(self, machine: MachineModel | None = None) -> IOStrategy:
+        return resolve_strategy(
+            self.strategy,
+            machine if machine is not None else self.resolve_machine(),
+            self.config,
+        )
+
+    def context(self) -> IOContext:
+        """Build the run's context: cluster, comm, PFS, variance applied."""
+        variance = (
+            (self.memory_variance_mean, self.memory_variance_std)
+            if self.memory_variance_mean is not None
+            else None
+        )
+        return make_context(
+            self.resolve_machine(),
+            self.n_procs,
+            procs_per_node=self.procs_per_node,
+            placement=self.placement,  # type: ignore[arg-type]
+            hints=self.resolve_hints(),
+            track_data=self.track_data,
+            seed=self.seed,
+            memory_variance=variance,
+        )
+
+    def requests(self) -> list[AccessRequest]:
+        return self.resolve_workload().requests(with_data=self.track_data)
+
+    # ------------------------------------------------------------ execution
+    def supports_plan_cache(self) -> bool:
+        """True when the strategy exposes a separable plan (MC only)."""
+        return self.strategy == "mc" or isinstance(
+            self.strategy, MemoryConsciousCollectiveIO
+        )
+
+    def plan(self, ctx: IOContext | None = None) -> CollectivePlan:
+        """Plan without executing (memory-conscious strategy only)."""
+        machine = self.resolve_machine()
+        strategy = self.resolve_strategy(machine)
+        if not isinstance(strategy, MemoryConsciousCollectiveIO):
+            raise ConfigurationError(
+                f"strategy {strategy.name!r} has no separable planning phase"
+            )
+        if ctx is None:
+            ctx = self.context()
+        return strategy.build_plan(ctx, self.requests())
+
+    def run(
+        self,
+        *,
+        ctx: IOContext | None = None,
+        plan: CollectivePlan | None = None,
+    ) -> CollectiveResult:
+        """Execute the experiment; returns the strategy's result.
+
+        Pass ``ctx`` to run against a context you built (and want to
+        inspect afterwards — e.g. byte verification against the file);
+        pass ``plan`` to replay a cached memory-conscious plan.
+        """
+        machine = self.resolve_machine()
+        strategy = self.resolve_strategy(machine)
+        if ctx is None:
+            ctx = self.context()
+        file = ctx.pfs.open(self.file_name)
+        requests = self.requests()
+        if plan is not None:
+            if not isinstance(strategy, MemoryConsciousCollectiveIO):
+                raise ConfigurationError(
+                    f"strategy {strategy.name!r} cannot replay a plan"
+                )
+            return strategy.run(ctx, file, requests, kind=self.kind, plan=plan)
+        return strategy.run(ctx, file, requests, kind=self.kind)
+
+    # ---------------------------------------------------------- description
+    def spec(self) -> dict:
+        """Canonical JSON-safe description (the plan-cache identity).
+
+        Everything that can influence the simulated outcome is included;
+        equivalent specs written differently (``machine="testbed"`` vs a
+        ``testbed_640()`` instance) canonicalize identically because the
+        resolved objects, not the input forms, are serialized.
+        """
+        machine = self.resolve_machine()
+        strategy = self.resolve_strategy(machine)
+        mc_config = (
+            dataclasses.asdict(strategy.config)
+            if isinstance(strategy, MemoryConsciousCollectiveIO)
+            else None
+        )
+        return {
+            "machine": dataclasses.asdict(machine),
+            "workload": _workload_fingerprint(self.resolve_workload()),
+            "strategy": {"name": strategy.name, "config": mc_config},
+            "hints": dataclasses.asdict(self.resolve_hints()),
+            "n_procs": self.n_procs,
+            "procs_per_node": self.procs_per_node,
+            "placement": self.placement,
+            "seed": self.seed,
+            "kind": self.kind,
+            "memory_variance": (
+                [self.memory_variance_mean, self.memory_variance_std]
+                if self.memory_variance_mean is not None
+                else None
+            ),
+            "track_data": self.track_data,
+            "file_name": self.file_name,
+        }
+
+    def spec_hash(self) -> str:
+        """SHA-256 of the canonical spec — the campaign/plan-cache key."""
+        return _hash_spec(self.spec())
+
+    def label(self) -> str:
+        """Short human-readable tag for tables and progress lines."""
+        strategy = (
+            self.strategy if isinstance(self.strategy, str) else self.strategy.name
+        )
+        workload = (
+            self.workload if isinstance(self.workload, str) else self.workload.name
+        )
+        machine = (
+            self.machine if isinstance(self.machine, str) else self.machine.name
+        )
+        buf = f" cb={self.cb_buffer >> 20}MiB" if self.cb_buffer is not None else ""
+        return (
+            f"{workload}/{strategy} {self.kind} p{self.n_procs} "
+            f"seed{self.seed}{buf} @{machine}"
+        )

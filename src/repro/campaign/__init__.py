@@ -1,0 +1,23 @@
+"""Parallel sweep campaigns over :class:`~repro.api.Experiment` grids.
+
+Every figure in the paper is a sweep — the same collective run across a
+grid of memory budgets, strategies, and seeds. This package runs such
+grids fast and safely:
+
+* :class:`~repro.campaign.runner.Campaign` fans points out over a
+  ``multiprocessing`` worker pool (``--workers``); each point is an
+  independent, deterministically seeded :class:`Experiment`, so the
+  results are byte-identical whatever the worker count;
+* :class:`~repro.campaign.cache.PlanCache` stores memory-conscious
+  planning artifacts (domains + placement stats + group sizes) on disk,
+  keyed by the spec's content hash, so repeated points and resumed
+  campaigns skip replanning;
+* results stream to a JSONL :class:`~repro.metrics.store.ResultStore`
+  as points complete, and a failed point records an error instead of
+  killing the campaign.
+"""
+
+from .cache import PlanCache
+from .runner import Campaign, CampaignResult, run_experiment_record
+
+__all__ = ["Campaign", "CampaignResult", "PlanCache", "run_experiment_record"]

@@ -1,0 +1,55 @@
+"""On-disk plan cache, shared safely between campaign workers.
+
+One JSON file per plan, named by the experiment's spec hash. Writes go
+through a per-process temporary file followed by an atomic rename, so
+two workers planning the same point concurrently cannot interleave
+bytes — last writer wins with an identical payload (plans are pure
+functions of the spec). Unreadable or version-mismatched entries are
+treated as misses, never as errors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from ..core.plans import CollectivePlan, plan_from_dict, plan_to_dict
+
+__all__ = ["PlanCache"]
+
+
+class PlanCache:
+    """Content-addressed store of serialized collective plans."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}.plan.json"
+
+    def load(self, key: str) -> CollectivePlan | None:
+        """The cached plan for ``key``, or ``None`` on any kind of miss."""
+        try:
+            data = json.loads(self.path(key).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        try:
+            return plan_from_dict(data)
+        except (KeyError, ValueError, TypeError):
+            return None
+
+    def store(self, key: str, plan: CollectivePlan) -> Path:
+        """Persist ``plan`` under ``key`` (atomic rename)."""
+        target = self.path(key)
+        tmp = target.with_name(f"{target.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(plan_to_dict(plan), sort_keys=True))
+        os.replace(tmp, target)
+        return target
+
+    def __contains__(self, key: str) -> bool:
+        return self.path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.plan.json"))

@@ -1,0 +1,265 @@
+"""The campaign runner: grid -> worker pool -> JSONL records.
+
+A :class:`Campaign` owns an ordered list of experiments (sweep points).
+``run()`` executes them — inline for ``workers=1``, over a
+``multiprocessing`` pool otherwise — and returns a
+:class:`CampaignResult` with one record per point *in grid order*,
+regardless of completion order.
+
+Design rules that make this safe to parallelize:
+
+* a point's outcome is a pure function of its :class:`Experiment` spec
+  (deterministic seeding lives in the spec), so worker count can never
+  change results, only wall-clock;
+* every exception inside a point is caught in the worker and returned
+  as an ``{"status": "error", ...}`` record — one poisoned point never
+  kills the campaign;
+* records stream to the results store as they arrive, so partial output
+  survives interruption, and ``resume=True`` skips points whose spec
+  hash already completed successfully.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from ..api import Experiment
+from ..metrics.export import result_to_dict
+from ..metrics.reporting import render_table
+from ..metrics.store import ResultStore
+from ..util.units import fmt_rate
+from .cache import PlanCache
+
+__all__ = ["Campaign", "CampaignResult", "run_experiment_record"]
+
+
+def run_experiment_record(
+    index: int, experiment: Experiment, cache_dir: str | None = None
+) -> dict:
+    """Execute one sweep point, returning its JSON-safe record.
+
+    Module-level (not a closure) so worker pools can pickle it under any
+    start method. Errors are captured, not raised.
+    """
+    t0 = time.perf_counter()
+    record: dict[str, Any] = {"index": index}
+    try:
+        record["label"] = experiment.label()
+        key = experiment.spec_hash()
+        record["spec_hash"] = key
+        plan = None
+        cache_state = None
+        if cache_dir is not None and experiment.supports_plan_cache():
+            cache = PlanCache(cache_dir)
+            plan = cache.load(key)
+            cache_state = "hit" if plan is not None else "miss"
+        if cache_state == "miss":
+            ctx = experiment.context()
+            plan = experiment.plan(ctx)
+            cache.store(key, plan)
+            # Reuse the context: planning only reads cluster state, so
+            # executing on it is identical to a fresh build.
+            result = experiment.run(ctx=ctx, plan=plan)
+        else:
+            result = experiment.run(plan=plan)
+        record.update(
+            status="ok",
+            cache=cache_state,
+            result=result_to_dict(result),
+            error=None,
+        )
+    except Exception as exc:  # noqa: BLE001 — isolation is the contract
+        record.update(
+            status="error",
+            cache=None,
+            result=None,
+            error=f"{type(exc).__name__}: {exc}",
+            traceback=traceback.format_exc(),
+        )
+    record["wall_s"] = time.perf_counter() - t0
+    return record
+
+
+def _pool_entry(task: tuple[int, Experiment, str | None]) -> dict:
+    index, experiment, cache_dir = task
+    return run_experiment_record(index, experiment, cache_dir)
+
+
+@dataclass(slots=True)
+class CampaignResult:
+    """Everything a finished campaign produced."""
+
+    records: list[dict] = field(default_factory=list)
+    wall_s: float = 0.0
+    n_skipped: int = 0  # resumed points reused from the results store
+
+    @property
+    def ok(self) -> list[dict]:
+        return [r for r in self.records if r["status"] == "ok"]
+
+    @property
+    def errors(self) -> list[dict]:
+        return [r for r in self.records if r["status"] == "error"]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.records if r.get("cache") == "hit")
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(1 for r in self.records if r.get("cache") == "miss")
+
+    def results(self) -> list[dict]:
+        """The per-point result payloads of successful points."""
+        return [r["result"] for r in self.ok]
+
+    def summary(self) -> str:
+        """Rendered per-point table plus the campaign totals line."""
+        rows = []
+        for r in self.records:
+            if r["status"] == "ok":
+                outcome = fmt_rate(r["result"]["bandwidth_Bps"])
+            else:
+                outcome = r["error"].splitlines()[0][:48]
+            rows.append(
+                (
+                    str(r["index"]),
+                    r.get("label", "?"),
+                    r["status"],
+                    r.get("cache") or "-",
+                    outcome,
+                )
+            )
+        table = render_table(
+            ["#", "experiment", "status", "plan", "bandwidth / error"],
+            rows,
+            title="campaign",
+        )
+        totals = (
+            f"{len(self.records)} points: {len(self.ok)} ok, "
+            f"{len(self.errors)} errors; plan cache: {self.cache_hits} hits / "
+            f"{self.cache_misses} misses"
+        )
+        if self.n_skipped:
+            totals += f"; {self.n_skipped} resumed"
+        totals += f"; wall {self.wall_s:.2f}s"
+        return f"{table}\n{totals}"
+
+
+class Campaign:
+    """An ordered grid of experiments executed as one unit.
+
+    Args:
+        experiments: the sweep points, in the order records should come
+            back.
+        workers: process count; 1 runs inline (no pool, easier to
+            debug), >1 fans out with ``multiprocessing``.
+        cache_dir: directory for the plan cache; ``None`` disables
+            caching.
+        results_path: JSONL file records stream to; ``None`` keeps them
+            in memory only.
+        resume: skip points whose spec hash already has a successful
+            record in ``results_path``, reusing the stored record.
+    """
+
+    def __init__(
+        self,
+        experiments: Sequence[Experiment],
+        *,
+        workers: int = 1,
+        cache_dir: str | Path | None = None,
+        results_path: str | Path | None = None,
+        resume: bool = False,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.experiments = list(experiments)
+        self.workers = workers
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.results_path = Path(results_path) if results_path is not None else None
+        self.resume = resume
+
+    @classmethod
+    def from_grid(
+        cls,
+        base: Experiment,
+        axes: Mapping[str, Iterable[Any]],
+        **options: Any,
+    ) -> "Campaign":
+        """Cartesian product of ``base.replace(...)`` over ``axes``.
+
+        ``axes`` maps :class:`Experiment` field names to value lists;
+        later axes vary fastest. Example::
+
+            Campaign.from_grid(
+                Experiment(machine="testbed-8", n_procs=16),
+                {"strategy": ["two-phase", "mc"],
+                 "cb_buffer": [mib(2), mib(8), mib(32)]},
+                workers=4,
+            )
+        """
+        names = list(axes)
+        experiments = [
+            base.replace(**dict(zip(names, combo)))
+            for combo in itertools.product(*(list(axes[n]) for n in names))
+        ]
+        return cls(experiments, **options)
+
+    def __len__(self) -> int:
+        return len(self.experiments)
+
+    def run(
+        self, progress: Callable[[dict], None] | None = None
+    ) -> CampaignResult:
+        """Execute all points; never raises for a failing point."""
+        t0 = time.perf_counter()
+        store = ResultStore(self.results_path) if self.results_path else None
+        done_records: dict[str, dict] = {}
+        if self.resume and store is not None:
+            for rec in store.load():
+                if rec.get("status") == "ok" and rec.get("spec_hash"):
+                    done_records[rec["spec_hash"]] = rec
+
+        tasks: list[tuple[int, Experiment, str | None]] = []
+        by_index: dict[int, dict] = {}
+        n_skipped = 0
+        for index, exp in enumerate(self.experiments):
+            if done_records:
+                key = exp.spec_hash()
+                if key in done_records:
+                    reused = dict(done_records[key])
+                    reused["index"] = index
+                    reused["resumed"] = True
+                    by_index[index] = reused
+                    n_skipped += 1
+                    continue
+            tasks.append((index, exp, self.cache_dir))
+
+        def consume(record: dict) -> None:
+            by_index[record["index"]] = record
+            if store is not None:
+                store.append(record)
+            if progress is not None:
+                progress(record)
+
+        if self.workers == 1 or len(tasks) <= 1:
+            for task in tasks:
+                consume(_pool_entry(task))
+        else:
+            workers = min(self.workers, len(tasks))
+            with multiprocessing.get_context().Pool(workers) as pool:
+                for record in pool.imap_unordered(_pool_entry, tasks, chunksize=1):
+                    consume(record)
+
+        records = [by_index[i] for i in sorted(by_index)]
+        return CampaignResult(
+            records=records,
+            wall_s=time.perf_counter() - t0,
+            n_skipped=n_skipped,
+        )

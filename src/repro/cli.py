@@ -2,15 +2,23 @@
 
 Gives the library a shell-level surface for the common workflows:
 
-* ``sweep``   — run a Figure-7-style memory sweep for a chosen workload
+* ``sweep``    — run a Figure-7-style memory sweep for a chosen workload
   and print the comparison table;
-* ``tune``    — run the Nah/Msg_ind/Msg_group calibration for a machine
+* ``campaign`` — run a full experiment grid (memory x strategy x seed)
+  over a worker pool with plan caching, streaming JSONL results;
+* ``tune``     — run the Nah/Msg_ind/Msg_group calibration for a machine
   preset and print the chosen parameters with the calibration curves;
-* ``project`` — print the Table 1 exascale projection;
-* ``run``     — execute one collective operation with one strategy and
+* ``project``  — print the Table 1 exascale projection;
+* ``run``      — execute one collective operation with one strategy and
   print the result summary and phase trace;
-* ``trace``   — execute one operation (or load a ``dump_results`` JSON)
-  and render the per-round / per-resource telemetry breakdown.
+* ``trace``    — execute one operation (or load a ``dump_results`` JSON
+  / campaign JSONL store) and render the per-round / per-resource
+  telemetry breakdown.
+
+All execution commands build :class:`~repro.api.Experiment` specs — the
+same objects the benchmark harness and the campaign runner use — so the
+CLI, benchmarks, and library wire machines, workloads, and strategies
+identically.
 """
 
 from __future__ import annotations
@@ -21,16 +29,9 @@ from pathlib import Path
 from typing import Sequence
 
 from .analysis import DESIGN_2010, DESIGN_2018, memory_per_core_factor, projection_table
-from .cluster import MachineModel, exascale_2018, petascale_2010, scaled_testbed, testbed_640
-from .core import MemoryConsciousCollectiveIO, auto_tune
-from .io import (
-    CollectiveHints,
-    DataSievingIO,
-    IndependentIO,
-    IOStrategy,
-    TwoPhaseCollectiveIO,
-    make_context,
-)
+from .api import Experiment, resolve_machine
+from .campaign import Campaign
+from .core import auto_tune
 from .metrics import (
     dump_results,
     load_telemetries,
@@ -41,54 +42,39 @@ from .metrics import (
 )
 from .metrics.telemetry import Telemetry
 from .util import fmt_rate, mib
-from .workloads import CollPerfWorkload, IORWorkload, Workload
+from .util.errors import ReproError
 
 __all__ = ["main"]
 
-_MACHINES = {
-    "testbed": testbed_640,
-    "petascale-2010": petascale_2010,
-    "exascale-2018": exascale_2018,
-}
+_STRATEGY_CHOICES = ["independent", "sieving", "two-phase", "mc"]
 
 
-def _machine(args: argparse.Namespace) -> MachineModel:
-    if args.machine.startswith("testbed-"):
-        return scaled_testbed(int(args.machine.split("-", 1)[1]))
-    try:
-        return _MACHINES[args.machine]()
-    except KeyError:
-        raise SystemExit(
-            f"unknown machine {args.machine!r}; choose from "
-            f"{sorted(_MACHINES)} or 'testbed-<nodes>'"
-        )
-
-
-def _workload(args: argparse.Namespace) -> Workload:
-    if args.workload == "ior":
-        return IORWorkload(
-            args.procs,
-            block_size=mib(args.block_mib),
-            transfer_size=mib(args.transfer_mib),
-        )
-    if args.workload == "ior-segmented":
-        return IORWorkload(args.procs, block_size=mib(args.block_mib), segmented=True)
-    if args.workload == "coll_perf":
-        edge = args.array_edge
-        return CollPerfWorkload(args.procs, (edge, edge, edge))
-    raise SystemExit(f"unknown workload {args.workload!r}")
-
-
-def _strategy(name: str, machine: MachineModel) -> IOStrategy:
-    if name == "independent":
-        return IndependentIO()
-    if name == "sieving":
-        return DataSievingIO()
-    if name == "two-phase":
-        return TwoPhaseCollectiveIO()
-    if name == "mc":
-        return MemoryConsciousCollectiveIO(auto_tune(machine).as_config())
-    raise SystemExit(f"unknown strategy {name!r}")
+def _experiment(args: argparse.Namespace, *, strategy: str | None = None) -> Experiment:
+    """Build the Experiment an argparse namespace describes."""
+    params: dict = {}
+    if args.workload in ("ior", "ior-segmented"):
+        params["block_size"] = mib(args.block_mib)
+        if args.workload == "ior":
+            params["transfer_size"] = mib(args.transfer_mib)
+    elif args.workload == "coll_perf":
+        params["array_edge"] = args.array_edge
+    memory_mib = getattr(args, "memory_mib", None)
+    variance_mib = getattr(args, "variance_mib", 0)
+    cb_buffer = mib(memory_mib) if isinstance(memory_mib, int) else None
+    return Experiment(
+        machine=args.machine,
+        workload=args.workload,
+        strategy=strategy if strategy is not None else args.strategy,
+        n_procs=args.procs,
+        procs_per_node=args.procs_per_node,
+        seed=args.seed,
+        kind=args.kind,
+        cb_buffer=cb_buffer,
+        memory_variance_mean=cb_buffer if variance_mib > 0 else None,
+        memory_variance_std=mib(variance_mib) if variance_mib > 0 else mib(50),
+        workload_params=params,
+        file_name="cli.dat",
+    )
 
 
 def cmd_project(args: argparse.Namespace) -> int:
@@ -108,7 +94,7 @@ def cmd_project(args: argparse.Namespace) -> int:
 
 
 def cmd_tune(args: argparse.Namespace) -> int:
-    machine = _machine(args)
+    machine = resolve_machine(args.machine)
     result = auto_tune(machine)
     print(f"machine: {machine.name}")
     print(f"  Nah       = {result.nah} aggregators/node")
@@ -129,23 +115,8 @@ def cmd_tune(args: argparse.Namespace) -> int:
 
 
 def _execute_one(args: argparse.Namespace):
-    """Shared run/trace path: build context, run one op, return the result."""
-    machine = _machine(args)
-    workload = _workload(args)
-    strategy = _strategy(args.strategy, machine)
-    ctx = make_context(
-        machine,
-        workload.n_procs,
-        procs_per_node=args.procs_per_node,
-        seed=args.seed,
-        hints=CollectiveHints(cb_buffer_size=mib(args.memory_mib)),
-    )
-    if args.variance_mib > 0:
-        ctx.cluster.apply_memory_variance(
-            ctx.rng, mean_available=mib(args.memory_mib), std=mib(args.variance_mib)
-        )
-    file = ctx.pfs.open("cli.dat")
-    return strategy.run(ctx, file, workload.requests(), kind=args.kind)
+    """Shared run/trace path: one Experiment, executed."""
+    return _experiment(args).run()
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -211,29 +182,21 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    machine = _machine(args)
-    workload = _workload(args)
+    machine = resolve_machine(args.machine)
     config = auto_tune(machine).as_config()
+    base_exp = _experiment(args, strategy="two-phase")
+    workload = base_exp.resolve_workload()
     rows = []
     for mem_mib in args.memory_mib:
         mem = mib(mem_mib)
-        base_ctx = make_context(
-            machine, workload.n_procs, procs_per_node=args.procs_per_node,
-            seed=args.seed, hints=CollectiveHints(cb_buffer_size=mem),
-        )
-        base = TwoPhaseCollectiveIO().run(
-            base_ctx, base_ctx.pfs.open("s"), workload.requests(), kind=args.kind
-        )
-        mc_ctx = make_context(
-            machine, workload.n_procs, procs_per_node=args.procs_per_node,
-            seed=args.seed, hints=CollectiveHints(cb_buffer_size=mem),
-        )
-        mc_ctx.cluster.apply_memory_variance(
-            mc_ctx.rng, mean_available=mem, std=mib(50)
-        )
-        mc = MemoryConsciousCollectiveIO(config).run(
-            mc_ctx, mc_ctx.pfs.open("s"), workload.requests(), kind=args.kind
-        )
+        base = base_exp.replace(cb_buffer=mem).run()
+        mc = base_exp.replace(
+            strategy="mc",
+            config=config,
+            cb_buffer=mem,
+            memory_variance_mean=mem,
+            memory_variance_std=mib(50),
+        ).run()
         rows.append(
             (
                 f"{mem_mib} MiB",
@@ -251,6 +214,47 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         )
     )
     return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Run a memory x strategy x seed grid over a worker pool."""
+    machine = resolve_machine(args.machine)
+    config = auto_tune(machine).as_config() if "mc" in args.strategies else None
+    base_exp = _experiment(args, strategy=args.strategies[0]).replace(config=config)
+    seeds = args.seeds if args.seeds else [args.seed]
+    experiments = []
+    for seed in seeds:
+        for mem_mib in args.memory_mib:
+            mem = mib(mem_mib)
+            for strategy in args.strategies:
+                experiments.append(
+                    base_exp.replace(
+                        strategy=strategy,
+                        seed=seed,
+                        cb_buffer=mem,
+                        memory_variance_mean=mem if args.variance_mib > 0 else None,
+                        memory_variance_std=mib(args.variance_mib)
+                        if args.variance_mib > 0
+                        else mib(50),
+                    )
+                )
+    campaign = Campaign(
+        experiments,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        results_path=args.results,
+        resume=args.resume,
+    )
+    progress = None
+    if args.verbose:
+        def progress(record: dict) -> None:
+            print(f"  [{record['index']}] {record.get('label', '?')}: "
+                  f"{record['status']}")
+    outcome = campaign.run(progress=progress)
+    print(outcome.summary())
+    if args.results:
+        print(f"results: {args.results}")
+    return 1 if outcome.errors else 0
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -306,13 +310,41 @@ def _build_parser() -> argparse.ArgumentParser:
                    default=[2, 8, 32, 128])
     p.set_defaults(fn=cmd_sweep)
 
+    p = sub.add_parser(
+        "campaign", parents=[common],
+        help="parallel experiment grid with plan caching",
+    )
+    p.add_argument("--memory-mib", type=int, nargs="+",
+                   default=[2, 8, 32, 128],
+                   help="memory budgets (MiB), one grid axis")
+    p.add_argument("--strategies", nargs="+", default=["two-phase", "mc"],
+                   choices=_STRATEGY_CHOICES,
+                   help="strategies to run at every point")
+    p.add_argument("--seeds", type=int, nargs="+",
+                   help="seeds axis (default: the single --seed)")
+    p.add_argument("--variance-mib", type=int, default=0,
+                   help="per-node memory variance std; mean tracks the "
+                        "memory budget (0 disables)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (1 = run inline)")
+    p.add_argument("--results", help="stream JSONL records to this file")
+    p.add_argument("--cache-dir", help="plan cache directory")
+    p.add_argument("--resume", action="store_true",
+                   help="skip points already completed in --results")
+    p.add_argument("--verbose", action="store_true",
+                   help="print one line per finished point")
+    p.set_defaults(fn=cmd_campaign)
+
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from exc
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests

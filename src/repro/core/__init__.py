@@ -5,6 +5,13 @@ from .config import MemoryConsciousConfig
 from .driver import MemoryConsciousCollectiveIO
 from .group_division import AggregationGroup, detect_serial, divide_groups
 from .partition_tree import PartitionNode, PartitionTree, offset_at_rank
+from .plans import (
+    CollectivePlan,
+    canonical_json,
+    plan_from_dict,
+    plan_to_dict,
+    spec_hash,
+)
 from .placement import (  # noqa: F401
     Assignment,
     PlacementStats,
@@ -29,6 +36,11 @@ __all__ = [
     "PartitionTree",
     "PartitionNode",
     "offset_at_rank",
+    "CollectivePlan",
+    "plan_to_dict",
+    "plan_from_dict",
+    "canonical_json",
+    "spec_hash",
     "Slot",
     "SlotPlan",
     "PlacementStats",

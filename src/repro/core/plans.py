@@ -1,0 +1,150 @@
+"""Plan objects: serializable output of the memory-conscious planner.
+
+A :class:`CollectivePlan` bundles what
+:meth:`~repro.core.driver.MemoryConsciousCollectiveIO.plan` produces —
+the file domains, the placement statistics, and the per-group member
+counts — into one value that can be handed back to
+:meth:`~repro.core.driver.MemoryConsciousCollectiveIO.run` to skip
+replanning, and that round-trips losslessly through JSON so campaign
+runs can cache plans on disk.
+
+Plans are cached keyed by a **spec hash**: the SHA-256 of the canonical
+JSON form of an experiment specification (:func:`spec_hash`). Because
+planning never mutates the context (it only *reads* per-node available
+memory; aggregation buffers are allocated and released during
+execution), running a deserialized plan on a freshly built context of
+the same spec is bit-identical to planning inline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..io.domains import FileDomain
+from ..util.intervals import Extent, ExtentList
+from .placement import PlacementStats
+
+__all__ = [
+    "CollectivePlan",
+    "plan_to_dict",
+    "plan_from_dict",
+    "canonical_json",
+    "spec_hash",
+]
+
+#: bump when the serialized layout changes; loaders reject other versions
+PLAN_FORMAT_VERSION = 1
+
+
+@dataclass(slots=True)
+class CollectivePlan:
+    """The planner's full decision set for one collective operation."""
+
+    domains: list[FileDomain]
+    stats: PlacementStats = field(default_factory=PlacementStats)
+    group_sizes: dict[int, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_tuple(
+        cls,
+        parts: tuple[list[FileDomain], PlacementStats, dict[int, int]],
+    ) -> "CollectivePlan":
+        """Wrap the ``plan()`` tuple (kept for existing callers)."""
+        domains, stats, group_sizes = parts
+        return cls(domains=list(domains), stats=stats, group_sizes=dict(group_sizes))
+
+    def as_tuple(self) -> tuple[list[FileDomain], PlacementStats, dict[int, int]]:
+        return self.domains, self.stats, self.group_sizes
+
+    @property
+    def n_domains(self) -> int:
+        return len(self.domains)
+
+    def to_dict(self) -> dict:
+        return plan_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CollectivePlan":
+        return plan_from_dict(data)
+
+
+def _domain_to_dict(domain: FileDomain) -> dict:
+    return {
+        "region": [domain.region.offset, domain.region.length],
+        "coverage": domain.coverage.to_pairs(),
+        "aggregator": domain.aggregator,
+        "buffer_bytes": domain.buffer_bytes,
+        "group_id": domain.group_id,
+    }
+
+
+def _domain_from_dict(data: Mapping[str, Any]) -> FileDomain:
+    offset, length = data["region"]
+    return FileDomain(
+        region=Extent(int(offset), int(length)),
+        coverage=ExtentList.from_pairs(
+            [(int(o), int(n)) for o, n in data["coverage"]]
+        ),
+        aggregator=int(data["aggregator"]),
+        buffer_bytes=int(data["buffer_bytes"]),
+        group_id=int(data["group_id"]),
+    )
+
+
+def plan_to_dict(plan: CollectivePlan) -> dict:
+    """Flatten a plan to JSON-safe data (lossless)."""
+    return {
+        "version": PLAN_FORMAT_VERSION,
+        "domains": [_domain_to_dict(d) for d in plan.domains],
+        "stats": {
+            "n_domains": plan.stats.n_domains,
+            "n_remerges": plan.stats.n_remerges,
+            "n_fallbacks": plan.stats.n_fallbacks,
+            "n_rebalanced": plan.stats.n_rebalanced,
+        },
+        "group_sizes": {str(k): v for k, v in plan.group_sizes.items()},
+    }
+
+
+def plan_from_dict(data: Mapping[str, Any]) -> CollectivePlan:
+    """Rebuild a plan written by :func:`plan_to_dict`.
+
+    Raises ``ValueError`` on a version mismatch so stale cache entries
+    are treated as misses rather than silently misinterpreted.
+    """
+    version = data.get("version")
+    if version != PLAN_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported plan format version {version!r} "
+            f"(expected {PLAN_FORMAT_VERSION})"
+        )
+    stats_d = data.get("stats", {})
+    stats = PlacementStats(
+        n_domains=int(stats_d.get("n_domains", 0)),
+        n_remerges=int(stats_d.get("n_remerges", 0)),
+        n_fallbacks=int(stats_d.get("n_fallbacks", 0)),
+        n_rebalanced=int(stats_d.get("n_rebalanced", 0)),
+    )
+    return CollectivePlan(
+        domains=[_domain_from_dict(d) for d in data["domains"]],
+        stats=stats,
+        group_sizes={int(k): int(v) for k, v in data.get("group_sizes", {}).items()},
+    )
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON text: sorted keys, no whitespace variance."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def spec_hash(spec: Mapping[str, Any]) -> str:
+    """Content hash of a JSON-safe specification mapping.
+
+    The same logical spec always hashes the same regardless of key
+    insertion order; any change to a field that could affect planning or
+    execution yields a different key.
+    """
+    return hashlib.sha256(canonical_json(spec).encode("utf-8")).hexdigest()

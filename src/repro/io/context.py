@@ -59,15 +59,24 @@ def make_context(
     hints: CollectiveHints | None = None,
     track_data: bool = False,
     seed: int | None = None,
+    memory_variance: tuple[int, int] | None = None,
 ) -> IOContext:
-    """Build a ready-to-use context for one job on one machine."""
+    """Build a ready-to-use context for one job on one machine.
+
+    ``memory_variance=(mean, std)`` applies the paper's per-node
+    available-memory model — Normal(mean, std), clipped to the node's
+    capacity — right after construction, drawing from the context's own
+    seeded RNG. This makes the whole context a pure function of its
+    arguments, which is what lets experiment specs be hashed and their
+    plans cached: same spec, same cluster state, same plan.
+    """
     cluster = Cluster(
         machine, n_procs, procs_per_node=procs_per_node, placement=placement
     )
     network = NetworkModel(machine)
     comm = SimComm(cluster, network)
     pfs = ParallelFileSystem(machine.storage, track_data=track_data)
-    return IOContext(
+    ctx = IOContext(
         cluster=cluster,
         comm=comm,
         network=network,
@@ -75,3 +84,7 @@ def make_context(
         hints=hints if hints is not None else CollectiveHints(),
         rng=make_rng(seed),
     )
+    if memory_variance is not None:
+        mean, std = memory_variance
+        ctx.cluster.apply_memory_variance(ctx.rng, mean_available=mean, std=std)
+    return ctx

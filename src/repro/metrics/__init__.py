@@ -7,6 +7,7 @@ from .export import (
     result_to_dict,
     telemetry_from_dict,
 )
+from .store import ResultStore, iter_records, load_records, records_to_entries
 from .reporting import (
     bandwidth_table,
     render_table,
@@ -35,4 +36,8 @@ __all__ = [
     "Telemetry",
     "RoundRecord",
     "DomainRoundCost",
+    "ResultStore",
+    "iter_records",
+    "load_records",
+    "records_to_entries",
 ]

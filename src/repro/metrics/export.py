@@ -88,8 +88,22 @@ def load_results(path: str | Path) -> dict:
 
 
 def load_telemetries(path: str | Path) -> list[tuple[dict, Telemetry | None]]:
-    """Load a dump and pair each result dict with its rebuilt telemetry."""
-    doc = load_results(path)
+    """Load a dump and pair each result dict with its rebuilt telemetry.
+
+    Accepts both formats the library writes: a :func:`dump_results`
+    document and a campaign JSONL results store (one record per line,
+    successful records carrying the same result schema nested under
+    ``"result"``).
+    """
+    text = Path(path).read_text()
+    try:
+        doc = json.loads(text)
+        if not (isinstance(doc, dict) and "results" in doc):
+            raise json.JSONDecodeError("not a dump_results document", text, 0)
+    except json.JSONDecodeError:
+        from .store import load_records, records_to_entries
+
+        return records_to_entries(load_records(path))
     out: list[tuple[dict, Telemetry | None]] = []
     for entry in doc["results"]:
         tele = (

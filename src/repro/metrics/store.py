@@ -1,0 +1,89 @@
+"""Append-only JSONL result store for campaign runs.
+
+One record per line, written as each sweep point completes, so a
+campaign killed halfway leaves a readable (and resumable) results file.
+Records are plain dicts with a small fixed envelope::
+
+    {"index": 3, "label": "...", "spec_hash": "...",
+     "status": "ok" | "error", "cache": "hit" | "miss" | null,
+     "wall_s": 0.41, "result": {...}, "error": null}
+
+``result`` (when ``status == "ok"``) is exactly the
+:func:`~repro.metrics.export.result_to_dict` schema — including the
+nested telemetry — so ``repro trace --from-json`` and the benchmark
+harness can reload campaign output with the same codepaths that read
+``dump_results`` documents.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterator
+
+from .export import telemetry_from_dict
+from .telemetry import Telemetry
+
+__all__ = ["ResultStore", "iter_records", "load_records", "records_to_entries"]
+
+
+class ResultStore:
+    """Streams campaign point records to a JSONL file."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def append(self, record: dict) -> None:
+        """Write one record as a single line (flushed immediately)."""
+        with self.path.open("a") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.flush()
+
+    def load(self) -> list[dict]:
+        """All records currently on disk (empty list if none)."""
+        if not self.path.exists():
+            return []
+        return list(iter_records(self.path))
+
+    def completed_hashes(self) -> set[str]:
+        """Spec hashes of points that already finished successfully."""
+        return {
+            r["spec_hash"]
+            for r in self.load()
+            if r.get("status") == "ok" and r.get("spec_hash")
+        }
+
+
+def iter_records(path: str | Path) -> Iterator[dict]:
+    """Yield records from a JSONL results file, skipping blank lines."""
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def load_records(path: str | Path) -> list[dict]:
+    """Read a whole JSONL results file."""
+    return list(iter_records(path))
+
+
+def records_to_entries(
+    records: list[dict],
+) -> list[tuple[dict[str, Any], Telemetry | None]]:
+    """Flatten successful records into ``(result dict, telemetry)`` pairs —
+    the shape :func:`~repro.metrics.export.load_telemetries` returns, so
+    renderers accept either source."""
+    out: list[tuple[dict[str, Any], Telemetry | None]] = []
+    for record in records:
+        result = record.get("result")
+        if record.get("status") != "ok" or not result:
+            continue
+        tele = (
+            telemetry_from_dict(result["telemetry"])
+            if "telemetry" in result
+            else None
+        )
+        out.append((result, tele))
+    return out

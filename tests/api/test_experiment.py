@@ -1,0 +1,161 @@
+"""The unified Experiment API: resolution, hashing, planning, running."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CollectiveHints,
+    Experiment,
+    IORWorkload,
+    MemoryConsciousCollectiveIO,
+    TwoPhaseCollectiveIO,
+    auto_tune,
+    make_context,
+    mib,
+    scaled_testbed,
+)
+from repro.api import resolve_machine, resolve_strategy, resolve_workload
+from repro.core import plan_from_dict, plan_to_dict
+from repro.metrics import result_to_dict
+from repro.util.errors import ConfigurationError
+
+SMALL = dict(
+    machine="testbed-4",
+    n_procs=8,
+    procs_per_node=2,
+    workload_params={"block_size": mib(1), "transfer_size": mib(1) // 4},
+    cb_buffer=mib(1),
+    seed=11,
+)
+
+
+class TestResolution:
+    def test_machine_presets_and_scaled(self):
+        assert resolve_machine("testbed").n_nodes == 640
+        assert resolve_machine("testbed-6").n_nodes == 6
+        model = scaled_testbed(3)
+        assert resolve_machine(model) is model
+
+    def test_unknown_machine_raises(self):
+        with pytest.raises(ConfigurationError):
+            resolve_machine("cray-1")
+        with pytest.raises(ConfigurationError):
+            resolve_machine("testbed-lots")
+
+    def test_workload_specs(self):
+        ior = resolve_workload("ior", 8, {"block_size": mib(2)})
+        assert ior.n_procs == 8 and ior.block_size == mib(2)
+        seg = resolve_workload("ior-segmented", 4, {"block_size": mib(1)})
+        assert seg.segmented
+        cp = resolve_workload("coll_perf", 8, {"array_edge": 16})
+        assert cp.n_procs == 8
+        inst = IORWorkload(2, block_size=mib(1))
+        assert resolve_workload(inst, 99) is inst
+        with pytest.raises(ConfigurationError):
+            resolve_workload("bonnie++", 8)
+
+    def test_strategy_specs(self):
+        machine = resolve_machine("testbed-4")
+        assert resolve_strategy("two-phase", machine).name == "two-phase"
+        mc = resolve_strategy("mc", machine)
+        assert isinstance(mc, MemoryConsciousCollectiveIO)
+        # explicit config wins over auto-tuning
+        cfg = auto_tune(machine).as_config().replace(nah=1)
+        assert resolve_strategy("mc", machine, cfg).config.nah == 1
+        inst = TwoPhaseCollectiveIO()
+        assert resolve_strategy(inst, machine) is inst
+        with pytest.raises(ConfigurationError):
+            resolve_strategy("quantum", machine)
+
+
+class TestExperiment:
+    def test_run_matches_manual_wiring(self):
+        exp = Experiment(strategy="two-phase", **SMALL)
+        via_api = exp.run()
+
+        machine = resolve_machine("testbed-4")
+        workload = IORWorkload(8, block_size=mib(1), transfer_size=mib(1) // 4)
+        ctx = make_context(
+            machine, 8, procs_per_node=2, seed=11,
+            hints=CollectiveHints(cb_buffer_size=mib(1)),
+        )
+        manual = TwoPhaseCollectiveIO().run(
+            ctx, ctx.pfs.open("exp.dat"), workload.requests(), kind="write"
+        )
+        assert result_to_dict(via_api) == result_to_dict(manual)
+
+    def test_variance_is_part_of_the_spec(self):
+        flat = Experiment(strategy="mc", **SMALL)
+        varied = flat.replace(memory_variance_mean=mib(1), memory_variance_std=mib(2))
+        assert flat.spec_hash() != varied.spec_hash()
+        # and the variance actually changes the simulated outcome
+        assert flat.run().elapsed != varied.run().elapsed
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Experiment(kind="append")
+
+    def test_replace_derives_new_spec(self):
+        a = Experiment(strategy="mc", **SMALL)
+        b = a.replace(cb_buffer=mib(2))
+        assert a.cb_buffer == mib(1) and b.cb_buffer == mib(2)
+        assert a.spec_hash() != b.spec_hash()
+
+
+class TestSpecHash:
+    def test_equivalent_forms_hash_identically(self):
+        by_name = Experiment(strategy="two-phase", **SMALL)
+        by_model = by_name.replace(machine=scaled_testbed(4))
+        by_instance = by_name.replace(
+            workload=IORWorkload(8, block_size=mib(1), transfer_size=mib(1) // 4),
+            strategy=TwoPhaseCollectiveIO(),
+        )
+        assert by_name.spec_hash() == by_model.spec_hash()
+        assert by_name.spec_hash() == by_instance.spec_hash()
+
+    def test_every_field_feeds_the_hash(self):
+        base = Experiment(strategy="mc", **SMALL)
+        for change in (
+            {"seed": 12},
+            {"kind": "read"},
+            {"cb_buffer": mib(2)},
+            {"workload_params": {"block_size": mib(2), "transfer_size": mib(1) // 4}},
+            {"n_procs": 4},
+            {"strategy": "two-phase"},
+        ):
+            assert base.replace(**change).spec_hash() != base.spec_hash(), change
+
+
+class TestPlanning:
+    def test_plan_replay_is_identical(self):
+        exp = Experiment(
+            strategy="mc", memory_variance_mean=mib(1), **SMALL
+        )
+        fresh = exp.run()
+        plan = exp.plan()
+        replayed = exp.run(plan=plan)
+        assert result_to_dict(fresh) == result_to_dict(replayed)
+
+    def test_plan_survives_json(self):
+        exp = Experiment(strategy="mc", memory_variance_mean=mib(1), **SMALL)
+        plan = exp.plan()
+        restored = plan_from_dict(plan_to_dict(plan))
+        assert restored.domains == plan.domains
+        assert restored.group_sizes == plan.group_sizes
+        assert result_to_dict(exp.run(plan=restored)) == result_to_dict(exp.run())
+
+    def test_plan_requires_planning_strategy(self):
+        with pytest.raises(ConfigurationError):
+            Experiment(strategy="two-phase", **SMALL).plan()
+        with pytest.raises(ConfigurationError):
+            Experiment(strategy="two-phase", **SMALL).run(
+                plan=Experiment(strategy="mc", **SMALL).plan()
+            )
+
+    def test_stale_plan_version_rejected(self):
+        exp = Experiment(strategy="mc", **SMALL)
+        data = plan_to_dict(exp.plan())
+        data["version"] = 999
+        with pytest.raises(ValueError):
+            plan_from_dict(data)

@@ -1,0 +1,162 @@
+"""Campaign runner: determinism, plan caching, failure isolation, resume."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import Campaign, Experiment, IORWorkload, mib
+from repro.campaign import PlanCache
+from repro.metrics.export import load_telemetries
+from repro.metrics.store import ResultStore, load_records
+
+BASE = Experiment(
+    machine="testbed-4",
+    n_procs=8,
+    procs_per_node=2,
+    workload_params={"block_size": mib(1), "transfer_size": mib(1) // 4},
+    cb_buffer=mib(1),
+    seed=3,
+)
+AXES = {"strategy": ["two-phase", "mc"], "seed": [3, 4]}
+
+
+class PoisonedWorkload(IORWorkload):
+    """Module-level (picklable) workload that blows up on first touch."""
+
+    def extents_for_rank(self, rank: int):
+        raise RuntimeError("poisoned point")
+
+
+def _essence(record: dict) -> str:
+    """A record minus its timing — the part that must be deterministic."""
+    return json.dumps(
+        {k: v for k, v in record.items() if k != "wall_s"}, sort_keys=True
+    )
+
+
+def test_from_grid_is_an_ordered_product():
+    camp = Campaign.from_grid(BASE, AXES)
+    assert len(camp) == 4
+    assert [(e.strategy, e.seed) for e in camp.experiments] == [
+        ("two-phase", 3), ("two-phase", 4), ("mc", 3), ("mc", 4),
+    ]
+
+
+def test_four_workers_byte_identical_to_one(tmp_path):
+    serial = Campaign.from_grid(BASE, AXES, workers=1).run()
+    parallel = Campaign.from_grid(BASE, AXES, workers=4).run()
+    assert [r["status"] for r in serial.records] == ["ok"] * 4
+    assert list(map(_essence, serial.records)) == list(
+        map(_essence, parallel.records)
+    )
+
+
+def test_cache_hit_miss_accounting(tmp_path):
+    cache_dir = tmp_path / "plans"
+    first = Campaign.from_grid(BASE, AXES, cache_dir=cache_dir).run()
+    # only mc points plan ahead; two-phase never touches the cache
+    assert (first.cache_misses, first.cache_hits) == (2, 0)
+    assert [r["cache"] for r in first.records] == [None, None, "miss", "miss"]
+    assert len(PlanCache(cache_dir)) == 2
+
+    second = Campaign.from_grid(BASE, AXES, cache_dir=cache_dir).run()
+    assert (second.cache_misses, second.cache_hits) == (0, 2)
+    # cached plans replay to the same results as planning from scratch
+    assert [r["result"] for r in first.records] == [
+        r["result"] for r in second.records
+    ]
+
+    uncached = Campaign.from_grid(BASE, AXES).run()
+    assert all(r["cache"] is None for r in uncached.records)
+    assert [r["result"] for r in uncached.records] == [
+        r["result"] for r in first.records
+    ]
+
+
+def test_corrupt_cache_entry_is_a_miss(tmp_path):
+    cache_dir = tmp_path / "plans"
+    mc = BASE.replace(strategy="mc")
+    clean = Campaign([mc], cache_dir=cache_dir).run()
+    PlanCache(cache_dir).path(mc.spec_hash()).write_text("not json{")
+    reread = Campaign([mc], cache_dir=cache_dir).run()
+    assert reread.cache_misses == 1 and reread.cache_hits == 0
+    assert reread.records[0]["result"] == clean.records[0]["result"]
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_poisoned_point_is_isolated(tmp_path, workers):
+    poisoned = BASE.replace(
+        strategy="mc", workload=PoisonedWorkload(8, block_size=mib(1))
+    )
+    camp = Campaign(
+        [BASE.replace(strategy="two-phase"), poisoned, BASE.replace(strategy="mc")],
+        workers=workers,
+        results_path=tmp_path / "camp.jsonl",
+    )
+    out = camp.run()
+    assert len(out.records) == 3  # the campaign survived
+    assert [r["status"] for r in out.records] == ["ok", "error", "ok"]
+    bad = out.records[1]
+    assert "poisoned point" in bad["error"] and "RuntimeError" in bad["error"]
+    assert bad["result"] is None and "poisoned point" in bad["traceback"]
+    # every record, including the failure, made it to the store (the JSONL
+    # is completion-ordered under a pool, so compare by index)
+    stored = {r["index"]: r["status"] for r in load_records(camp.results_path)}
+    assert stored == {0: "ok", 1: "error", 2: "ok"}
+
+
+def test_results_stream_to_jsonl_and_reload(tmp_path):
+    path = tmp_path / "camp.jsonl"
+    out = Campaign.from_grid(BASE, AXES, results_path=path).run()
+    stored = ResultStore(path).load()
+    assert list(map(_essence, stored)) == list(map(_essence, out.records))
+    # the telemetry loader used by `repro trace` understands the store
+    entries = load_telemetries(path)
+    assert len(entries) == 4
+    for (result, tele), rec in zip(entries, stored):
+        assert result["bandwidth_Bps"] == rec["result"]["bandwidth_Bps"]
+        assert tele is not None and len(tele.rounds) == result["n_rounds"]
+
+
+def test_resume_skips_completed_points(tmp_path):
+    path = tmp_path / "camp.jsonl"
+    first = Campaign.from_grid(BASE, AXES, results_path=path).run()
+
+    resumed = Campaign.from_grid(
+        BASE, AXES, results_path=path, resume=True
+    ).run()
+    assert resumed.n_skipped == 4
+    assert all(r.get("resumed") for r in resumed.records)
+    assert [r["result"] for r in resumed.records] == [
+        r["result"] for r in first.records
+    ]
+
+    # a fresh point joins a resumed grid: only it actually runs
+    wider = Campaign.from_grid(
+        BASE,
+        {"strategy": ["two-phase", "mc"], "seed": [3, 4, 5]},
+        results_path=path,
+        resume=True,
+    ).run()
+    assert wider.n_skipped == 4
+    assert [r["status"] for r in wider.records] == ["ok"] * 6
+
+
+def test_progress_callback_sees_every_record():
+    seen: list[int] = []
+    out = Campaign.from_grid(BASE, AXES).run(progress=lambda r: seen.append(r["index"]))
+    assert sorted(seen) == [r["index"] for r in out.records] == [0, 1, 2, 3]
+
+
+def test_summary_mentions_totals(tmp_path):
+    out = Campaign.from_grid(BASE, AXES, cache_dir=tmp_path / "plans").run()
+    text = out.summary()
+    assert "4 points: 4 ok, 0 errors" in text
+    assert "plan cache: 0 hits / 2 misses" in text
+
+
+def test_workers_must_be_positive():
+    with pytest.raises(ValueError):
+        Campaign([BASE], workers=0)

@@ -115,6 +115,45 @@ class TestTrace:
         assert len(lines) > 1
 
 
+class TestCampaign:
+    ARGS = [
+        "campaign", "--machine", "testbed-4", "--procs", "8",
+        "--procs-per-node", "2", "--block-mib", "2",
+        "--transfer-mib", "1", "--memory-mib", "1", "4",
+    ]
+
+    def test_grid_runs_and_summarizes(self, capsys):
+        assert main([*self.ARGS, "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign" in out
+        assert "4 points: 4 ok, 0 errors" in out
+
+    def test_cache_and_results_roundtrip(self, capsys, tmp_path):
+        results = tmp_path / "camp.jsonl"
+        cache = tmp_path / "plans"
+        extra = ["--results", str(results), "--cache-dir", str(cache),
+                 "--verbose"]
+        assert main([*self.ARGS, *extra]) == 0
+        out = capsys.readouterr().out
+        assert "plan cache: 0 hits / 2 misses" in out
+        assert "[0]" in out  # --verbose per-point lines
+
+        # resumed re-run touches nothing and reports the skips
+        assert main([*self.ARGS, *extra, "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "4 resumed" in out
+
+        # the store feeds `repro trace`
+        assert main(["trace", "--from-json", str(results)]) == 0
+        assert "per-round breakdown" in capsys.readouterr().out
+
+    def test_seeds_axis(self, capsys):
+        assert main([*self.ARGS, "--seeds", "7", "8",
+                     "--strategies", "mc"]) == 0
+        out = capsys.readouterr().out
+        assert "4 points: 4 ok, 0 errors" in out
+
+
 class TestSweep:
     def test_sweep_table(self, capsys):
         code = main(
