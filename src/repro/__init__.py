@@ -51,6 +51,7 @@ from .core import (
     auto_tune,
     divide_groups,
 )
+from .faults import FaultEvent, FaultRuntime, FaultSpec
 from .fs import FileImage, ParallelFileSystem, SimFile, StripingLayout
 from .io import (
     CollectiveFile,
@@ -96,6 +97,10 @@ __all__ = [
     "CampaignResult",
     "PlanCache",
     "CollectivePlan",
+    # faults
+    "FaultSpec",
+    "FaultEvent",
+    "FaultRuntime",
     # util
     "Extent",
     "ExtentList",

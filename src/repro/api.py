@@ -50,6 +50,7 @@ from .core import (
     auto_tune,
 )
 from .core.plans import spec_hash as _hash_spec
+from .faults import FaultRuntime, FaultSpec
 from .io import (
     CollectiveHints,
     CollectiveResult,
@@ -215,6 +216,11 @@ class Experiment:
         memory_variance_mean: when set, per-node available memory is
             drawn from Normal(mean, ``memory_variance_std``).
         config: MC tunables; ``None`` auto-tunes for the machine.
+        faults: when set, a :class:`~repro.faults.FaultSpec` injected
+            into the run — memory-pressure spikes, aggregator stalls,
+            OST degradation, transient aborts — with the round engine's
+            graceful-degradation reactions enabled. Collective
+            strategies only.
     """
 
     machine: MachineModel | str = "testbed"
@@ -233,12 +239,17 @@ class Experiment:
     workload_params: Mapping[str, Any] = field(default_factory=dict)
     track_data: bool = False
     file_name: str = "exp.dat"
+    faults: FaultSpec | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("write", "read"):
             raise ConfigurationError(f"kind must be 'write' or 'read', got {self.kind!r}")
         if self.n_procs <= 0:
             raise ConfigurationError(f"n_procs must be positive, got {self.n_procs}")
+        if self.faults is not None and not isinstance(self.faults, FaultSpec):
+            raise ConfigurationError(
+                f"faults must be a FaultSpec or None, got {type(self.faults).__name__}"
+            )
 
     # ------------------------------------------------------------- builders
     def replace(self, **changes: Any) -> "Experiment":
@@ -304,22 +315,44 @@ class Experiment:
             ctx = self.context()
         return strategy.build_plan(ctx, self.requests())
 
+    def fault_runtime(
+        self, ctx: IOContext, *, attempt: int = 0
+    ) -> FaultRuntime | None:
+        """Load this experiment's fault schedule against ``ctx``.
+
+        ``attempt`` salts the schedule so campaign retries of a
+        transiently-failed point see fresh conditions. Returns ``None``
+        when the experiment has no (or an empty) fault spec.
+        """
+        if self.faults is None or self.faults.is_empty:
+            return None
+        return FaultRuntime(self.faults, ctx, attempt=attempt)
+
     def run(
         self,
         *,
         ctx: IOContext | None = None,
         plan: CollectivePlan | None = None,
+        fault_attempt: int = 0,
     ) -> CollectiveResult:
         """Execute the experiment; returns the strategy's result.
 
         Pass ``ctx`` to run against a context you built (and want to
         inspect afterwards — e.g. byte verification against the file);
-        pass ``plan`` to replay a cached memory-conscious plan.
+        pass ``plan`` to replay a cached memory-conscious plan;
+        ``fault_attempt`` salts the fault schedule on campaign retries.
         """
         machine = self.resolve_machine()
         strategy = self.resolve_strategy(machine)
+        if self.faults is not None and not self.faults.is_empty:
+            if not strategy.supports_faults:
+                raise ConfigurationError(
+                    f"strategy {strategy.name!r} has no round engine to "
+                    "degrade; fault injection needs a collective strategy"
+                )
         if ctx is None:
             ctx = self.context()
+        faults = self.fault_runtime(ctx, attempt=fault_attempt)
         file = ctx.pfs.open(self.file_name)
         requests = self.requests()
         if plan is not None:
@@ -327,8 +360,10 @@ class Experiment:
                 raise ConfigurationError(
                     f"strategy {strategy.name!r} cannot replay a plan"
                 )
-            return strategy.run(ctx, file, requests, kind=self.kind, plan=plan)
-        return strategy.run(ctx, file, requests, kind=self.kind)
+            return strategy.run(
+                ctx, file, requests, kind=self.kind, plan=plan, faults=faults
+            )
+        return strategy.run(ctx, file, requests, kind=self.kind, faults=faults)
 
     # ---------------------------------------------------------- description
     def spec(self) -> dict:
@@ -363,6 +398,13 @@ class Experiment:
             ),
             "track_data": self.track_data,
             "file_name": self.file_name,
+            # Included only when set, so fault-free specs keep the hashes
+            # they had before the fault layer existed.
+            **(
+                {"faults": self.faults.to_dict()}
+                if self.faults is not None and not self.faults.is_empty
+                else {}
+            ),
         }
 
     def spec_hash(self) -> str:

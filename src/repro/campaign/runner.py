@@ -17,6 +17,18 @@ Design rules that make this safe to parallelize:
 * records stream to the results store as they arrive, so partial output
   survives interruption, and ``resume=True`` skips points whose spec
   hash already completed successfully.
+
+Fault-tolerant execution. Points carrying a
+:class:`~repro.faults.FaultSpec` can fail *transiently* (an injected
+abort raises :class:`~repro.util.errors.TransientFaultError`). The
+worker retries such points up to ``retries`` times, salting the fault
+schedule with the attempt number so each retry experiences fresh
+conditions — exactly like resubmitting a failed job. The record carries
+``attempts`` and ``transient_failures`` either way, so determinism tests
+can compare full histories. ``timeout_s`` bounds each point's host
+wall-clock: a point that exceeds it is killed and recorded as a timeout
+error (never retried — timeouts are a host-resource guard, not a
+simulated fault).
 """
 
 from __future__ import annotations
@@ -33,6 +45,7 @@ from ..api import Experiment
 from ..metrics.export import result_to_dict
 from ..metrics.reporting import render_table
 from ..metrics.store import ResultStore
+from ..util.errors import TransientFaultError
 from ..util.units import fmt_rate
 from .cache import PlanCache
 
@@ -40,15 +53,24 @@ __all__ = ["Campaign", "CampaignResult", "run_experiment_record"]
 
 
 def run_experiment_record(
-    index: int, experiment: Experiment, cache_dir: str | None = None
+    index: int,
+    experiment: Experiment,
+    cache_dir: str | None = None,
+    retries: int = 0,
 ) -> dict:
     """Execute one sweep point, returning its JSON-safe record.
 
     Module-level (not a closure) so worker pools can pickle it under any
-    start method. Errors are captured, not raised.
+    start method. Errors are captured, not raised. ``retries`` re-runs
+    the point after an injected :class:`TransientFaultError`, salting
+    the fault schedule with the attempt number; the final attempt's
+    failure (if all retry budget is spent) is recorded with
+    ``status="error"`` and ``transient=True``.
     """
     t0 = time.perf_counter()
     record: dict[str, Any] = {"index": index}
+    attempts = 0
+    transient_failures: list[str] = []
     try:
         record["label"] = experiment.label()
         key = experiment.spec_hash()
@@ -59,15 +81,28 @@ def run_experiment_record(
             cache = PlanCache(cache_dir)
             plan = cache.load(key)
             cache_state = "hit" if plan is not None else "miss"
-        if cache_state == "miss":
-            ctx = experiment.context()
-            plan = experiment.plan(ctx)
-            cache.store(key, plan)
-            # Reuse the context: planning only reads cluster state, so
-            # executing on it is identical to a fresh build.
-            result = experiment.run(ctx=ctx, plan=plan)
-        else:
-            result = experiment.run(plan=plan)
+        while True:
+            attempts += 1
+            try:
+                if cache_state == "miss" and attempts == 1:
+                    ctx = experiment.context()
+                    plan = experiment.plan(ctx)
+                    cache.store(key, plan)
+                    # Reuse the context: planning only reads cluster
+                    # state, so executing on it is identical to a fresh
+                    # build.
+                    result = experiment.run(ctx=ctx, plan=plan)
+                else:
+                    # Retries build a fresh context — the failed attempt
+                    # may have left reservations/derates behind.
+                    result = experiment.run(
+                        plan=plan, fault_attempt=attempts - 1
+                    )
+                break
+            except TransientFaultError as exc:
+                transient_failures.append(str(exc))
+                if attempts > retries:
+                    raise
         record.update(
             status="ok",
             cache=cache_state,
@@ -81,14 +116,93 @@ def run_experiment_record(
             result=None,
             error=f"{type(exc).__name__}: {exc}",
             traceback=traceback.format_exc(),
+            transient=isinstance(exc, TransientFaultError),
         )
+    record["attempts"] = attempts
+    if transient_failures:
+        record["transient_failures"] = transient_failures
     record["wall_s"] = time.perf_counter() - t0
     return record
 
 
-def _pool_entry(task: tuple[int, Experiment, str | None]) -> dict:
-    index, experiment, cache_dir = task
-    return run_experiment_record(index, experiment, cache_dir)
+def _pool_entry(task: tuple[int, Experiment, str | None, int]) -> dict:
+    index, experiment, cache_dir, retries = task
+    return run_experiment_record(index, experiment, cache_dir, retries)
+
+
+def _timeout_entry(
+    task: tuple[int, Experiment, str | None, int],
+    queue: "multiprocessing.Queue",
+) -> None:  # pragma: no cover - exercised in a child process
+    queue.put(_pool_entry(task))
+
+
+def _timeout_record(index: int, experiment: Experiment, timeout_s: float) -> dict:
+    return {
+        "index": index,
+        "label": experiment.label(),
+        "spec_hash": experiment.spec_hash(),
+        "status": "error",
+        "cache": None,
+        "result": None,
+        "error": f"TimeoutError: point exceeded {timeout_s:g}s wall-clock",
+        "transient": False,
+        "attempts": 1,
+        "wall_s": timeout_s,
+    }
+
+
+def _run_with_timeouts(
+    tasks: Sequence[tuple[int, Experiment, str | None, int]],
+    workers: int,
+    timeout_s: float,
+    consume: Callable[[dict], None],
+) -> None:
+    """Process-per-task scheduler enforcing a wall-clock bound per point.
+
+    A pool cannot kill a hung worker, so each point gets its own process
+    (join with timeout, terminate on expiry). Slightly more spawn
+    overhead than a pool — only used when ``timeout_s`` is set.
+    """
+    ctx = multiprocessing.get_context()
+    pending = list(tasks)
+    running: list[tuple[Any, Any, float, tuple]] = []
+    while pending or running:
+        while pending and len(running) < workers:
+            task = pending.pop(0)
+            queue = ctx.Queue(1)
+            proc = ctx.Process(target=_timeout_entry, args=(task, queue))
+            proc.start()
+            running.append((proc, queue, time.perf_counter(), task))
+        time.sleep(0.01)
+        still = []
+        for proc, queue, started, task in running:
+            if not queue.empty():
+                consume(queue.get())
+                proc.join()
+            elif not proc.is_alive():
+                # Exited: the record may still be in the pipe buffer.
+                try:
+                    consume(queue.get(timeout=0.2))
+                except Exception:  # noqa: BLE001 — queue.Empty or EOF
+                    # Died without producing a record (crash / OOM-kill).
+                    index, experiment, _, _ = task
+                    rec = _timeout_record(index, experiment, 0.0)
+                    rec["error"] = (
+                        f"RuntimeError: worker process died with exit code "
+                        f"{proc.exitcode}"
+                    )
+                    rec["wall_s"] = time.perf_counter() - started
+                    consume(rec)
+                proc.join()
+            elif time.perf_counter() - started > timeout_s:
+                proc.terminate()
+                proc.join()
+                index, experiment, _, _ = task
+                consume(_timeout_record(index, experiment, timeout_s))
+            else:
+                still.append((proc, queue, started, task))
+        running = still
 
 
 @dataclass(slots=True)
@@ -108,6 +222,11 @@ class CampaignResult:
         return [r for r in self.records if r["status"] == "error"]
 
     @property
+    def retried(self) -> list[dict]:
+        """Points that needed more than one attempt (fault retries)."""
+        return [r for r in self.records if r.get("attempts", 1) > 1]
+
+    @property
     def cache_hits(self) -> int:
         return sum(1 for r in self.records if r.get("cache") == "hit")
 
@@ -125,6 +244,8 @@ class CampaignResult:
         for r in self.records:
             if r["status"] == "ok":
                 outcome = fmt_rate(r["result"]["bandwidth_Bps"])
+                if r.get("attempts", 1) > 1:
+                    outcome += f" (attempt {r['attempts']})"
             else:
                 outcome = r["error"].splitlines()[0][:48]
             rows.append(
@@ -146,6 +267,8 @@ class CampaignResult:
             f"{len(self.errors)} errors; plan cache: {self.cache_hits} hits / "
             f"{self.cache_misses} misses"
         )
+        if self.retried:
+            totals += f"; {len(self.retried)} retried"
         if self.n_skipped:
             totals += f"; {self.n_skipped} resumed"
         totals += f"; wall {self.wall_s:.2f}s"
@@ -166,6 +289,12 @@ class Campaign:
             in memory only.
         resume: skip points whose spec hash already has a successful
             record in ``results_path``, reusing the stored record.
+        retries: per-point retry budget for injected transient failures
+            (:class:`TransientFaultError`); each retry salts the fault
+            schedule with its attempt number.
+        timeout_s: per-point host wall-clock bound. ``None`` (default)
+            keeps the plain pool path; a value switches to a
+            process-per-task scheduler that can kill a hung point.
     """
 
     def __init__(
@@ -176,14 +305,22 @@ class Campaign:
         cache_dir: str | Path | None = None,
         results_path: str | Path | None = None,
         resume: bool = False,
+        retries: int = 0,
+        timeout_s: float | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {timeout_s}")
         self.experiments = list(experiments)
         self.workers = workers
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
         self.results_path = Path(results_path) if results_path is not None else None
         self.resume = resume
+        self.retries = retries
+        self.timeout_s = timeout_s
 
     @classmethod
     def from_grid(
@@ -226,7 +363,7 @@ class Campaign:
                 if rec.get("status") == "ok" and rec.get("spec_hash"):
                     done_records[rec["spec_hash"]] = rec
 
-        tasks: list[tuple[int, Experiment, str | None]] = []
+        tasks: list[tuple[int, Experiment, str | None, int]] = []
         by_index: dict[int, dict] = {}
         n_skipped = 0
         for index, exp in enumerate(self.experiments):
@@ -239,7 +376,7 @@ class Campaign:
                     by_index[index] = reused
                     n_skipped += 1
                     continue
-            tasks.append((index, exp, self.cache_dir))
+            tasks.append((index, exp, self.cache_dir, self.retries))
 
         def consume(record: dict) -> None:
             by_index[record["index"]] = record
@@ -248,7 +385,11 @@ class Campaign:
             if progress is not None:
                 progress(record)
 
-        if self.workers == 1 or len(tasks) <= 1:
+        if self.timeout_s is not None and tasks:
+            _run_with_timeouts(
+                tasks, min(self.workers, len(tasks)), self.timeout_s, consume
+            )
+        elif self.workers == 1 or len(tasks) <= 1:
             for task in tasks:
                 consume(_pool_entry(task))
         else:

@@ -32,11 +32,13 @@ from .analysis import DESIGN_2010, DESIGN_2018, memory_per_core_factor, projecti
 from .api import Experiment, resolve_machine
 from .campaign import Campaign
 from .core import auto_tune
+from .faults import FaultSpec
 from .metrics import (
     dump_results,
     load_telemetries,
     render_table,
     telemetry_counter_lines,
+    telemetry_fault_table,
     telemetry_resource_table,
     telemetry_round_table,
 )
@@ -49,6 +51,31 @@ __all__ = ["main"]
 _STRATEGY_CHOICES = ["independent", "sieving", "two-phase", "mc"]
 
 
+def _variance(mean_bytes: int | None, variance_mib: int) -> tuple[int | None, int]:
+    """The single source of truth for ``--variance-mib``.
+
+    Returns the ``(memory_variance_mean, memory_variance_std)`` pair:
+    variance is *on* (mean tracks the memory budget, std as requested)
+    only when ``variance_mib > 0`` and there is a budget to track;
+    ``--variance-mib 0`` disables it entirely — no silent 50 MiB
+    fallback on any code path.
+    """
+    if variance_mib > 0 and mean_bytes is not None:
+        return mean_bytes, mib(variance_mib)
+    return None, 0
+
+
+def _parse_faults(text: str | None) -> FaultSpec | None:
+    """Parse ``--faults``: compact form, or ``@file.json`` for a dump."""
+    if text is None:
+        return None
+    if text.startswith("@"):
+        import json
+
+        return FaultSpec.from_dict(json.loads(Path(text[1:]).read_text()))
+    return FaultSpec.parse(text)
+
+
 def _experiment(args: argparse.Namespace, *, strategy: str | None = None) -> Experiment:
     """Build the Experiment an argparse namespace describes."""
     params: dict = {}
@@ -59,8 +86,9 @@ def _experiment(args: argparse.Namespace, *, strategy: str | None = None) -> Exp
     elif args.workload == "coll_perf":
         params["array_edge"] = args.array_edge
     memory_mib = getattr(args, "memory_mib", None)
-    variance_mib = getattr(args, "variance_mib", 0)
+    variance_mib = getattr(args, "variance_mib", None) or 0
     cb_buffer = mib(memory_mib) if isinstance(memory_mib, int) else None
+    variance_mean, variance_std = _variance(cb_buffer, variance_mib)
     return Experiment(
         machine=args.machine,
         workload=args.workload,
@@ -70,10 +98,11 @@ def _experiment(args: argparse.Namespace, *, strategy: str | None = None) -> Exp
         seed=args.seed,
         kind=args.kind,
         cb_buffer=cb_buffer,
-        memory_variance_mean=cb_buffer if variance_mib > 0 else None,
-        memory_variance_std=mib(variance_mib) if variance_mib > 0 else mib(50),
+        memory_variance_mean=variance_mean,
+        memory_variance_std=variance_std,
         workload_params=params,
         file_name="cli.dat",
+        faults=_parse_faults(getattr(args, "faults", None)),
     )
 
 
@@ -137,6 +166,11 @@ def _render_telemetry(label: str, tele: Telemetry) -> None:
     print(
         telemetry_resource_table(tele, title=f"{label}: per-resource utilization")
     )
+    fault_table = telemetry_fault_table(tele, title=f"{label}: faults and recoveries")
+    if fault_table:
+        print()
+        print(fault_table)
+        print(f"  total recovery cost: {tele.recovery_cost_s * 1e3:.3f} ms")
     counters = telemetry_counter_lines(tele)
     if counters:
         print("counters:")
@@ -186,16 +220,21 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     config = auto_tune(machine).as_config()
     base_exp = _experiment(args, strategy="two-phase")
     workload = base_exp.resolve_workload()
+    # The sweep's MC arm has always run with memory variance on (mean =
+    # budget, std = 50 MiB); keep that default, but honour an explicit
+    # --variance-mib — including 0 to genuinely disable it.
+    variance_mib = 50 if args.variance_mib is None else args.variance_mib
     rows = []
     for mem_mib in args.memory_mib:
         mem = mib(mem_mib)
+        variance_mean, variance_std = _variance(mem, variance_mib)
         base = base_exp.replace(cb_buffer=mem).run()
         mc = base_exp.replace(
             strategy="mc",
             config=config,
             cb_buffer=mem,
-            memory_variance_mean=mem,
-            memory_variance_std=mib(50),
+            memory_variance_mean=variance_mean,
+            memory_variance_std=variance_std,
         ).run()
         rows.append(
             (
@@ -226,16 +265,15 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     for seed in seeds:
         for mem_mib in args.memory_mib:
             mem = mib(mem_mib)
+            variance_mean, variance_std = _variance(mem, args.variance_mib or 0)
             for strategy in args.strategies:
                 experiments.append(
                     base_exp.replace(
                         strategy=strategy,
                         seed=seed,
                         cb_buffer=mem,
-                        memory_variance_mean=mem if args.variance_mib > 0 else None,
-                        memory_variance_std=mib(args.variance_mib)
-                        if args.variance_mib > 0
-                        else mib(50),
+                        memory_variance_mean=variance_mean,
+                        memory_variance_std=variance_std,
                     )
                 )
     campaign = Campaign(
@@ -244,6 +282,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         results_path=args.results,
         resume=args.resume,
+        retries=args.retries,
+        timeout_s=args.timeout,
     )
     progress = None
     if args.verbose:
@@ -277,6 +317,13 @@ def _build_parser() -> argparse.ArgumentParser:
     common.add_argument("--transfer-mib", type=int, default=2)
     common.add_argument("--array-edge", type=int, default=240)
     common.add_argument("--kind", default="write", choices=["write", "read"])
+    # Default None = command-specific default (sweep keeps its historic
+    # 50 MiB; everything else is off). A plain default here would be
+    # unsafe: argparse parent parsers share action objects, so a
+    # set_defaults() on one subparser would leak to all of them.
+    common.add_argument("--variance-mib", type=int, default=None,
+                        help="per-node memory variance std (MiB); the mean "
+                             "tracks the memory budget; 0 disables variance")
 
     p = sub.add_parser("tune", help="calibrate Nah/Msg_ind/Msg_group")
     p.add_argument("--machine", default="testbed")
@@ -287,7 +334,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strategy", default="mc",
                    choices=["independent", "sieving", "two-phase", "mc"])
     p.add_argument("--memory-mib", type=int, default=16)
-    p.add_argument("--variance-mib", type=int, default=0)
+    p.add_argument("--faults",
+                   help='fault schedule: compact form ("mem=2,stall=1,seed=5") '
+                        "or @spec.json")
     p.add_argument("--trace", action="store_true")
     p.set_defaults(fn=cmd_run)
 
@@ -298,7 +347,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strategy", default="mc",
                    choices=["independent", "sieving", "two-phase", "mc"])
     p.add_argument("--memory-mib", type=int, default=16)
-    p.add_argument("--variance-mib", type=int, default=0)
+    p.add_argument("--faults",
+                   help='fault schedule: compact form ("mem=2,stall=1,seed=5") '
+                        "or @spec.json")
     p.add_argument("--json", help="also dump result + telemetry JSON here")
     p.add_argument("--csv", help="also write the flat breakdown CSV here")
     p.add_argument("--from-json", dest="from_json",
@@ -322,9 +373,15 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="strategies to run at every point")
     p.add_argument("--seeds", type=int, nargs="+",
                    help="seeds axis (default: the single --seed)")
-    p.add_argument("--variance-mib", type=int, default=0,
-                   help="per-node memory variance std; mean tracks the "
-                        "memory budget (0 disables)")
+    p.add_argument("--faults",
+                   help="fault schedule applied to every point: compact form "
+                        '("mem=2,stall=1,seed=5") or @spec.json')
+    p.add_argument("--retries", type=int, default=0,
+                   help="per-point retries after an injected transient "
+                        "failure (each retry re-salts the fault schedule)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-point wall-clock timeout in seconds "
+                        "(switches to a killable process-per-point scheduler)")
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes (1 = run inline)")
     p.add_argument("--results", help="stream JSONL records to this file")

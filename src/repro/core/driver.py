@@ -21,7 +21,7 @@ difference is attributable to these planning decisions.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..fs.pfs import IOKind, SimFile
 from ..io.base import IOStrategy
@@ -43,6 +43,9 @@ from .placement import (
     rebalance,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.runtime import FaultRuntime
+
 __all__ = ["MemoryConsciousCollectiveIO"]
 
 # Planning-cost model: building and walking the partition tree plus the
@@ -55,6 +58,7 @@ class MemoryConsciousCollectiveIO(IOStrategy):
     """The memory-conscious strategy (MC-CIO)."""
 
     name = "memory-conscious"
+    supports_faults = True
 
     def __init__(self, config: MemoryConsciousConfig | None = None) -> None:
         self.config = config if config is not None else MemoryConsciousConfig()
@@ -111,6 +115,7 @@ class MemoryConsciousCollectiveIO(IOStrategy):
         *,
         kind: IOKind,
         plan: CollectivePlan | None = None,
+        faults: "FaultRuntime | None" = None,
     ) -> CollectiveResult:
         """Execute the access; ``plan`` replays a precomputed (possibly
         cached) plan instead of running components 1-4 again.
@@ -135,6 +140,7 @@ class MemoryConsciousCollectiveIO(IOStrategy):
             strategy=self.name,
             planning_time=planning_time,
             group_sizes=group_sizes,
+            faults=faults,
         )
         result.extras.update(
             n_groups=len(group_sizes),

@@ -1,0 +1,27 @@
+"""Fault injection and graceful degradation (`repro.faults`).
+
+The planner samples per-node memory *once* at plan time; this package is
+what stresses that plan with the thing it exists to survive — memory
+that changes or disappears mid-run. It has two halves:
+
+* the **injection** side (:class:`FaultSpec`, :class:`FaultEvent`): a
+  seeded, declarative description of memory-pressure spikes, aggregator
+  stalls, transient OST degradation, and transient aborts, expanded into
+  a concrete, deterministic schedule of events;
+* the **runtime** side (:class:`FaultRuntime`): the schedule loaded into
+  the discrete-event engine (:class:`~repro.sim.engine.Simulator`) so
+  events fire as the round engine's progress clock advances, plus the
+  live fault state (capacity derates, pressured nodes) the engine reacts
+  to — shrinking a pressured aggregator's collective buffer or remerging
+  its file domain onto a neighbour with headroom, with every recovery
+  priced through the flow model.
+
+The reaction logic itself lives in :mod:`repro.io.rounds` (it mutates
+engine state); this package owns the schedule, the clock, and the
+bookkeeping.
+"""
+
+from .runtime import FaultRuntime, FaultState
+from .spec import FaultEvent, FaultSpec
+
+__all__ = ["FaultEvent", "FaultSpec", "FaultRuntime", "FaultState"]

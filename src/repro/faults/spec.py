@@ -1,0 +1,284 @@
+"""Declarative, seeded fault specifications.
+
+A :class:`FaultSpec` is a frozen value describing *what can go wrong*
+during one collective operation: explicit pinned :class:`FaultEvent`
+entries plus knobs for a seeded random schedule (how many memory
+pressure spikes, aggregator stalls, OST degradations, and whether the
+run may abort with a transient failure). :meth:`FaultSpec.schedule`
+expands the spec into the concrete, time-sorted event list for a given
+cluster shape — a pure function of ``(spec, n_nodes, n_osts, attempt)``,
+so identical specs always produce byte-identical schedules regardless
+of process or worker count.
+
+Specs round-trip losslessly through JSON (:meth:`FaultSpec.to_dict` /
+:meth:`FaultSpec.from_dict`) so they can be hashed into an experiment's
+``spec_hash`` and carried by campaign records, and they parse from the
+compact ``--faults`` CLI form (:meth:`FaultSpec.parse`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..util.errors import FaultError
+from ..util.units import kib
+
+__all__ = ["FaultEvent", "FaultSpec", "EVENT_KINDS"]
+
+#: The fault taxonomy (see DESIGN.md §9 for semantics).
+EVENT_KINDS = ("mem_pressure", "agg_stall", "ost_degrade", "abort")
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """One concrete fault: *kind* strikes *target* at *time*.
+
+    Attributes:
+        kind: one of :data:`EVENT_KINDS`.
+        time: seconds on the round engine's progress clock (transfer
+            phase start = 0).
+        target: node id (``mem_pressure``/``agg_stall``) or OST index
+            (``ost_degrade``); ignored for ``abort``.
+        fraction: ``mem_pressure`` only — fraction of the node's memory
+            capacity newly claimed by the pressure spike.
+        factor: ``agg_stall``/``ost_degrade`` only — capacity derate
+            (2.0 = half speed) while the fault is active.
+        duration: seconds the fault stays active; 0 means permanent for
+            the rest of the operation.
+    """
+
+    kind: str
+    time: float
+    target: int = 0
+    fraction: float = 0.0
+    factor: float = 1.0
+    duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise FaultError(
+                f"unknown fault kind {self.kind!r}; choose from {EVENT_KINDS}"
+            )
+        if self.time < 0:
+            raise FaultError(f"fault scheduled in the past: {self.time}")
+        if not 0.0 <= self.fraction <= 1.0:
+            raise FaultError(f"fraction {self.fraction} outside [0, 1]")
+        if self.factor < 1.0:
+            raise FaultError(f"factor {self.factor} < 1 would speed things up")
+        if self.duration < 0:
+            raise FaultError(f"negative duration {self.duration}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "time": self.time,
+            "target": self.target,
+            "fraction": self.fraction,
+            "factor": self.factor,
+            "duration": self.duration,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultEvent":
+        return cls(
+            kind=str(data["kind"]),
+            time=float(data["time"]),
+            target=int(data.get("target", 0)),
+            fraction=float(data.get("fraction", 0.0)),
+            factor=float(data.get("factor", 1.0)),
+            duration=float(data.get("duration", 0.0)),
+        )
+
+
+#: CLI shorthand -> FaultSpec field (``--faults "mem=2,stall=1,seed=5"``).
+_PARSE_ALIASES = {
+    "mem": "mem_pressure",
+    "stall": "stalls",
+    "ost": "ost_degrade",
+    "abort": "abort_prob",
+}
+
+_INT_FIELDS = {"seed", "mem_pressure", "stalls", "ost_degrade", "shrink_floor"}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Everything that can go wrong in one run, plus how to react.
+
+    ``events`` pins explicit faults; the count/shape knobs add seeded
+    random ones on top. All times are seconds on the engine's progress
+    clock and random event times are drawn uniformly over ``horizon``.
+
+    ``shrink_floor`` is the reaction policy's one tunable: a pressured
+    aggregator whose remaining memory still holds at least this many
+    bytes shrinks its collective buffer in place (more, smaller rounds);
+    below it, the domain is remerged onto a neighbour with headroom.
+    """
+
+    seed: int = 0
+    events: tuple[FaultEvent, ...] = ()
+    mem_pressure: int = 0
+    pressure_fraction: float = 0.6
+    stalls: int = 0
+    stall_factor: float = 4.0
+    stall_duration: float = 2e-3
+    ost_degrade: int = 0
+    ost_factor: float = 4.0
+    ost_duration: float = 5e-3
+    abort_prob: float = 0.0
+    horizon: float = 20e-3
+    shrink_floor: int = field(default_factory=lambda: kib(64))
+
+    def __post_init__(self) -> None:
+        for name in ("mem_pressure", "stalls", "ost_degrade"):
+            if getattr(self, name) < 0:
+                raise FaultError(f"{name} must be >= 0")
+        if not 0.0 <= self.abort_prob <= 1.0:
+            raise FaultError(f"abort_prob {self.abort_prob} outside [0, 1]")
+        if not 0.0 <= self.pressure_fraction <= 1.0:
+            raise FaultError(
+                f"pressure_fraction {self.pressure_fraction} outside [0, 1]"
+            )
+        if self.horizon <= 0:
+            raise FaultError(f"horizon must be positive, got {self.horizon}")
+        if self.shrink_floor < 1:
+            raise FaultError(f"shrink_floor must be >= 1, got {self.shrink_floor}")
+        if not isinstance(self.events, tuple):
+            object.__setattr__(self, "events", tuple(self.events))
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the spec can never produce an event."""
+        return (
+            not self.events
+            and self.mem_pressure == 0
+            and self.stalls == 0
+            and self.ost_degrade == 0
+            and self.abort_prob == 0.0
+        )
+
+    def replace(self, **changes: Any) -> "FaultSpec":
+        return replace(self, **changes)
+
+    # ----------------------------------------------------------- schedule
+    def schedule(
+        self, n_nodes: int, n_osts: int, *, attempt: int = 0
+    ) -> list[FaultEvent]:
+        """Expand into the concrete, time-sorted event list.
+
+        Deterministic in ``(self, n_nodes, n_osts, attempt)``; the
+        ``attempt`` salt lets campaign retries of a transiently-failed
+        point experience fresh conditions without touching the spec.
+        """
+        if n_nodes < 1:
+            raise FaultError("schedule needs at least one node")
+        rng = np.random.default_rng(
+            np.random.SeedSequence(
+                entropy=int(self.seed) & (2**63 - 1),
+                spawn_key=(0xFA17, int(attempt)),
+            )
+        )
+        out = list(self.events)
+        for _ in range(self.mem_pressure):
+            out.append(
+                FaultEvent(
+                    kind="mem_pressure",
+                    time=float(rng.uniform(0.0, self.horizon)),
+                    target=int(rng.integers(0, n_nodes)),
+                    fraction=self.pressure_fraction,
+                )
+            )
+        for _ in range(self.stalls):
+            out.append(
+                FaultEvent(
+                    kind="agg_stall",
+                    time=float(rng.uniform(0.0, self.horizon)),
+                    target=int(rng.integers(0, n_nodes)),
+                    factor=self.stall_factor,
+                    duration=self.stall_duration,
+                )
+            )
+        for _ in range(self.ost_degrade):
+            if n_osts < 1:
+                break
+            out.append(
+                FaultEvent(
+                    kind="ost_degrade",
+                    time=float(rng.uniform(0.0, self.horizon)),
+                    target=int(rng.integers(0, n_osts)),
+                    factor=self.ost_factor,
+                    duration=self.ost_duration,
+                )
+            )
+        if self.abort_prob > 0.0 and rng.random() < self.abort_prob:
+            out.append(
+                FaultEvent(kind="abort", time=float(rng.uniform(0.0, self.horizon)))
+            )
+        out.sort(key=lambda e: (e.time, e.kind, e.target))
+        return out
+
+    # ------------------------------------------------------ serialization
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe canonical form (hashed into ``Experiment.spec_hash``)."""
+        return {
+            "seed": self.seed,
+            "events": [e.to_dict() for e in self.events],
+            "mem_pressure": self.mem_pressure,
+            "pressure_fraction": self.pressure_fraction,
+            "stalls": self.stalls,
+            "stall_factor": self.stall_factor,
+            "stall_duration": self.stall_duration,
+            "ost_degrade": self.ost_degrade,
+            "ost_factor": self.ost_factor,
+            "ost_duration": self.ost_duration,
+            "abort_prob": self.abort_prob,
+            "horizon": self.horizon,
+            "shrink_floor": self.shrink_floor,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise FaultError(f"unknown FaultSpec fields {sorted(unknown)}")
+        kwargs = dict(data)
+        kwargs["events"] = tuple(
+            FaultEvent.from_dict(e) for e in data.get("events", ())
+        )
+        return cls(**kwargs)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse the compact CLI form: ``"mem=2,stall=1,ost=1,seed=5"``.
+
+        Keys are FaultSpec field names or the aliases ``mem``/``stall``/
+        ``ost``/``abort``; values parse as int or float per field. A bare
+        key (``"mem"``) means 1 event of that kind.
+        """
+        kwargs: dict[str, Any] = {}
+        for part in filter(None, (p.strip() for p in text.split(","))):
+            key, _, value = part.partition("=")
+            name = _PARSE_ALIASES.get(key, key)
+            if name not in {f.name for f in fields(cls)} or name == "events":
+                raise FaultError(
+                    f"unknown --faults key {key!r}; known: "
+                    f"{sorted(_PARSE_ALIASES)} or FaultSpec field names"
+                )
+            if not value:
+                if name in ("mem_pressure", "stalls", "ost_degrade"):
+                    kwargs[name] = 1
+                    continue
+                raise FaultError(f"--faults key {key!r} needs a value")
+            try:
+                kwargs[name] = (
+                    int(value) if name in _INT_FIELDS else float(value)
+                )
+            except ValueError:
+                raise FaultError(
+                    f"bad value {value!r} for --faults key {key!r}"
+                ) from None
+        return cls(**kwargs)

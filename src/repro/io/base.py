@@ -3,12 +3,16 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..fs.pfs import IOKind, SimFile
 from ..mpi.requests import AccessRequest
+from ..util.errors import ConfigurationError
 from .context import IOContext
 from .result import CollectiveResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.runtime import FaultRuntime
 
 __all__ = ["IOStrategy"]
 
@@ -24,6 +28,10 @@ class IOStrategy(ABC):
     #: Short identifier used in results, traces and benchmark tables.
     name: str = "abstract"
 
+    #: Whether this strategy runs the two-phase round engine and can
+    #: therefore host the fault-injection / degradation layer.
+    supports_faults: bool = False
+
     @abstractmethod
     def run(
         self,
@@ -32,17 +40,34 @@ class IOStrategy(ABC):
         requests: Sequence[AccessRequest],
         *,
         kind: IOKind,
+        faults: "FaultRuntime | None" = None,
     ) -> CollectiveResult:
         """Execute the access and return timing + statistics."""
 
+    def _check_faults(self, faults: "FaultRuntime | None") -> None:
+        """Reject fault schedules on strategies with no round engine."""
+        if faults is not None and not self.supports_faults:
+            raise ConfigurationError(
+                f"strategy {self.name!r} has no round engine to degrade; "
+                "fault injection needs a collective (two-phase) strategy"
+            )
+
     def write(
-        self, ctx: IOContext, file: SimFile, requests: Sequence[AccessRequest]
+        self,
+        ctx: IOContext,
+        file: SimFile,
+        requests: Sequence[AccessRequest],
+        faults: "FaultRuntime | None" = None,
     ) -> CollectiveResult:
         """Collective write entry point."""
-        return self.run(ctx, file, requests, kind="write")
+        return self.run(ctx, file, requests, kind="write", faults=faults)
 
     def read(
-        self, ctx: IOContext, file: SimFile, requests: Sequence[AccessRequest]
+        self,
+        ctx: IOContext,
+        file: SimFile,
+        requests: Sequence[AccessRequest],
+        faults: "FaultRuntime | None" = None,
     ) -> CollectiveResult:
         """Collective read entry point."""
-        return self.run(ctx, file, requests, kind="read")
+        return self.run(ctx, file, requests, kind="read", faults=faults)

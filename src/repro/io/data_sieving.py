@@ -11,7 +11,7 @@ altogether.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..fs.pfs import IOKind, SimFile
 from ..metrics.telemetry import RoundRecord, Telemetry
@@ -22,6 +22,9 @@ from ..util.intervals import ExtentList
 from .base import IOStrategy
 from .context import IOContext
 from .result import CollectiveResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.runtime import FaultRuntime
 
 __all__ = ["DataSievingIO"]
 
@@ -38,7 +41,9 @@ class DataSievingIO(IOStrategy):
         requests: Sequence[AccessRequest],
         *,
         kind: IOKind,
+        faults: "FaultRuntime | None" = None,
     ) -> CollectiveResult:
+        self._check_faults(faults)
         sieve = ctx.hints.sieve_buffer_size
         trace = TraceRecorder()
         caps_read = ctx.capacity_map("read")

@@ -10,7 +10,7 @@ collective win.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..metrics.telemetry import RoundRecord, Telemetry
 from ..sim.flows import Flow, solve_phase
@@ -20,6 +20,9 @@ from ..mpi.requests import AccessRequest
 from .base import IOStrategy
 from .context import IOContext
 from .result import CollectiveResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.runtime import FaultRuntime
 
 __all__ = ["IndependentIO"]
 
@@ -36,7 +39,9 @@ class IndependentIO(IOStrategy):
         requests: Sequence[AccessRequest],
         *,
         kind: IOKind,
+        faults: "FaultRuntime | None" = None,
     ) -> CollectiveResult:
+        self._check_faults(faults)
         trace = TraceRecorder()
         caps = ctx.capacity_map(kind)
         flows: list[Flow] = []

@@ -38,10 +38,30 @@ For homogeneous plans (the baseline's identical per-node domains) this
 agrees with a strictly synchronized model; for heterogeneous plans it
 lets fast aggregators finish early instead of idling.
 
+Fault injection and graceful degradation. When a
+:class:`~repro.faults.runtime.FaultRuntime` is supplied, the engine
+advances the fault clock to its own progress estimate before every
+round, firing scheduled events (memory-pressure spikes, aggregator
+stalls, OST degradation, transient aborts). The reaction side lives in
+:class:`_DegradationController`: a pressured aggregator whose buffer no
+longer fits either **shrinks** its collective buffer in place (more,
+smaller rounds) or — below the spec's ``shrink_floor`` — **remerges**
+its remaining file domain onto the nearest aggregator with memory
+headroom, the paper's remerge applied at run time. Every reaction is
+priced: a re-coordination barrier + allgather, plus shipping the staged
+buffer through the flow model for a remerge; active stalls/degradations
+derate the affected resource's capacity in the per-round chain costs.
+Degradation is therefore never free — a faulted run's makespan strictly
+exceeds its fault-free twin whenever any reaction fires. The engine's
+round geometry is tracked as *remaining coverage* per domain (windows
+are sliced off the front), which reduces exactly to the classic
+``domain.window(r)`` schedule when buffers never change.
+
 While executing, the engine feeds a :class:`~repro.metrics.telemetry.
 Telemetry` registry — per-round, per-domain shuffle/I/O/sync spans,
-per-resource byte charges, message counts, paging slowdowns — attached
-to the returned result so costs stay attributable per component.
+per-resource byte charges, message counts, paging slowdowns, and one
+:class:`~repro.metrics.telemetry.FaultSpan` per fault/recovery — so
+``repro trace`` can show what degraded and what it cost.
 
 Keeping one engine for both strategies guarantees that measured
 differences come from *planning decisions* (domains, aggregators,
@@ -50,19 +70,23 @@ buffers, groups) and not from divergent cost accounting.
 
 from __future__ import annotations
 
-from typing import Hashable, Sequence
+from typing import TYPE_CHECKING, Hashable, Sequence
 
-from ..cluster.network import membw
+from ..cluster.network import BISECTION, membw, nic_in, nic_out
 from ..fs.pfs import IOKind, SimFile
-from ..metrics.telemetry import DomainRoundCost, RoundRecord, Telemetry
+from ..metrics.telemetry import DomainRoundCost, FaultSpan, RoundRecord, Telemetry
 from ..mpi.requests import AccessRequest
 from ..sim.flows import Flow
 from ..sim.trace import TraceRecorder
 from ..util.errors import CollectiveIOError
+from ..util.intervals import ExtentList
 from .context import IOContext
 from .domains import FileDomain
 from .result import AggregatorInfo, CollectiveResult
 from .shuffle import plan_exchange, shuffle_flows
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.runtime import FaultRuntime
 
 __all__ = ["execute_collective", "PAGING_PENALTY_FACTOR"]
 
@@ -72,6 +96,10 @@ __all__ = ["execute_collective", "PAGING_PENALTY_FACTOR"]
 # baseline can trigger this because it sizes buffers without looking at
 # memory; the memory-conscious strategy avoids it by construction.
 PAGING_PENALTY_FACTOR = 4.0
+
+# Re-coordination after a mid-run degradation exchanges one small
+# control record per participant (new buffer size / new domain owner).
+_RECOORD_BYTES = 16
 
 
 def _allocate_buffers(
@@ -99,8 +127,14 @@ def _allocate_buffers(
     return slowdowns
 
 
-def _release_buffers(ctx: IOContext, domains: Sequence[FileDomain]) -> None:
+def _release_buffers(
+    ctx: IOContext,
+    domains: Sequence[FileDomain],
+    released: frozenset[int] | set[int] = frozenset(),
+) -> None:
     for idx, domain in enumerate(domains):
+        if idx in released:
+            continue
         node = ctx.cluster.node_of_rank(domain.aggregator)
         node.memory.release(f"aggbuf:{idx}")
 
@@ -120,6 +154,217 @@ def _move_data(
                 req.scatter_payload(piece.piece, data)
 
 
+class _DegradationController:
+    """Reaction side of the fault layer, operating on live engine state.
+
+    Owns no engine state itself — it mutates the lists the round loop
+    reads (``remaining``, ``buffers``, ``candidates``, ``released``) and
+    charges every reaction through the context's cost models. All
+    decisions are pure functions of engine + fault state, so faulted
+    runs stay exactly deterministic.
+    """
+
+    def __init__(
+        self,
+        faults: "FaultRuntime",
+        ctx: IOContext,
+        domains: Sequence[FileDomain],
+        remaining: list[ExtentList],
+        buffers: list[int],
+        candidates: list[list],
+        caps: dict[Hashable, float],
+        domain_sync: list[float],
+        telemetry: Telemetry,
+        released: set[int],
+    ) -> None:
+        self.faults = faults
+        self.ctx = ctx
+        self.domains = domains
+        self.remaining = remaining
+        self.buffers = buffers
+        self.candidates = candidates
+        self.caps = caps
+        self.domain_sync = domain_sync
+        self.telemetry = telemetry
+        self.released = released
+        self.shrink_floor = max(1, faults.spec.shrink_floor)
+
+    # ------------------------------------------------------------ pricing
+    def eff_cap(self, key: Hashable) -> float:
+        """Capacity of ``key`` after active fault derates."""
+        return self.caps[key] / self.faults.state.derate(key)
+
+    # ------------------------------------------------------------- rounds
+    def begin_round(self, now: float, round_index: int) -> float:
+        """Fire due events and react; returns the recovery cost charged.
+
+        May raise :class:`~repro.util.errors.TransientFaultError` when an
+        abort event fires.
+        """
+        for ev in self.faults.advance(now):
+            target_kind = "ost" if ev.kind == "ost_degrade" else "node"
+            note = (
+                f"fraction={ev.fraction:g}" if ev.kind == "mem_pressure"
+                else (f"duration={ev.duration:g}s" if ev.duration > 0 else "")
+            )
+            self.telemetry.record_fault(
+                FaultSpan(
+                    kind=ev.kind,
+                    t_s=now,
+                    round_index=round_index,
+                    target=f"{target_kind}:{ev.target}",
+                    factor=ev.factor,
+                    note=note,
+                )
+            )
+            self.telemetry.count("fault_events")
+        pressured, self.faults.state.pressured_nodes = (
+            self.faults.state.pressured_nodes,
+            [],
+        )
+        cost = 0.0
+        for node_id in pressured:
+            cost += self._react_to_pressure(node_id, now, round_index)
+        return cost
+
+    # ---------------------------------------------------------- reactions
+    def _react_to_pressure(
+        self, node_id: int, now: float, round_index: int
+    ) -> float:
+        node = self.ctx.cluster.nodes[node_id]
+        cost = 0.0
+        for i, domain in enumerate(self.domains):
+            if i in self.released or self.remaining[i].is_empty:
+                continue
+            if self.ctx.comm.node_of(domain.aggregator) != node_id:
+                continue
+            # What this buffer could hold if resized to fit right now.
+            headroom = node.memory.available + self.buffers[i]
+            if headroom >= self.buffers[i]:
+                continue  # the spike left this buffer unharmed
+            if headroom >= self.shrink_floor:
+                cost += self._shrink(i, node, int(headroom), now, round_index)
+            else:
+                cost += self._remerge(i, node, now, round_index)
+        return cost
+
+    def _recoordination_time(self, i: int) -> float:
+        """Group barrier + control-record allgather after a degradation."""
+        return self.domain_sync[i] + self.ctx.comm.allgather_time(_RECOORD_BYTES)
+
+    def _shrink(
+        self, i: int, node, new_buffer: int, now: float, round_index: int
+    ) -> float:
+        """Shrink domain ``i``'s collective buffer to what still fits."""
+        old = self.buffers[i]
+        node.memory.release(f"aggbuf:{i}")
+        node.memory.allocate(f"aggbuf:{i}", new_buffer, allow_oversubscribe=True)
+        self.buffers[i] = new_buffer
+        cost = self._recoordination_time(i)
+        self.telemetry.record_fault(
+            FaultSpan(
+                kind="recovery:shrink",
+                t_s=now,
+                round_index=round_index,
+                target=f"domain:{i}",
+                nbytes=new_buffer,
+                cost_s=cost,
+                note=f"buffer {old} -> {new_buffer} B on node {node.node_id}",
+            )
+        )
+        self.telemetry.count("recoveries_shrink")
+        return cost
+
+    def _remerge(self, i: int, node, now: float, round_index: int) -> float:
+        """Hand domain ``i``'s remaining coverage to a neighbour with room."""
+        taker = self._pick_taker(i, node.node_id)
+        if taker is None:
+            return self._page(i, node, now, round_index)
+        moved = self.remaining[i].total
+        self.remaining[taker] = self.remaining[taker].union(self.remaining[i])
+        self.remaining[i] = ExtentList.empty()
+        self.candidates[taker] = list(self.candidates[taker]) + list(
+            self.candidates[i]
+        )
+        self.candidates[i] = []
+        node.memory.release(f"aggbuf:{i}")
+        self.released.add(i)
+        # The staged (already shuffled) round buffer must be re-shipped to
+        # the new owner; price it through the flow model's resource path.
+        src = node.node_id
+        dst = self.ctx.comm.node_of(self.domains[taker].aggregator)
+        ship = min(self.buffers[i], moved)
+        ship_time = 0.0
+        if ship > 0:
+            if src != dst:
+                path = (membw(src), nic_out(src), BISECTION, nic_in(dst), membw(dst))
+                ship_time = max(ship / self.eff_cap(key) for key in path)
+            else:
+                ship_time = 2.0 * ship / self.eff_cap(membw(src))
+        cost = self._recoordination_time(i) + ship_time
+        self.telemetry.record_fault(
+            FaultSpan(
+                kind="recovery:remerge",
+                t_s=now,
+                round_index=round_index,
+                target=f"domain:{i}",
+                nbytes=moved,
+                cost_s=cost,
+                note=f"remaining coverage remerged onto domain {taker} "
+                f"(node {dst})",
+            )
+        )
+        self.telemetry.count("recoveries_remerge")
+        return cost
+
+    def _pick_taker(self, i: int, bad_node: int) -> int | None:
+        """Nearest-by-offset live domain on a node with memory headroom."""
+        env_i = self.remaining[i].envelope()
+        best: int | None = None
+        best_key: tuple[float, float, int] | None = None
+        for j, domain in enumerate(self.domains):
+            if j == i or j in self.released:
+                continue
+            node_j = self.ctx.comm.node_of(domain.aggregator)
+            if node_j == bad_node:
+                continue
+            avail = self.ctx.cluster.nodes[node_j].memory.available
+            if avail < 0:
+                continue  # already oversubscribed; don't pile on
+            env_j = (
+                self.remaining[j].envelope()
+                if not self.remaining[j].is_empty
+                else domain.region
+            )
+            gap = float(
+                max(env_j.offset - env_i.end, env_i.offset - env_j.end, 0)
+            )
+            key = (gap, -float(avail), j)
+            if best_key is None or key < best_key:
+                best, best_key = j, key
+        return best
+
+    def _page(self, i: int, node, now: float, round_index: int) -> float:
+        """No taker exists: run oversubscribed and pay paging on the bus."""
+        over = node.memory.oversubscribed_bytes
+        frac = over / max(node.memory.in_use, 1)
+        slowdown = 1.0 + PAGING_PENALTY_FACTOR * frac
+        self.faults.state.set_paging(membw(node.node_id), slowdown)
+        self.telemetry.record_paging(node.node_id, slowdown)
+        self.telemetry.record_fault(
+            FaultSpan(
+                kind="recovery:paging",
+                t_s=now,
+                round_index=round_index,
+                target=f"node:{node.node_id}",
+                factor=slowdown,
+                note="no neighbour with headroom; running oversubscribed",
+            )
+        )
+        self.telemetry.count("recoveries_paging")
+        return 0.0
+
+
 def execute_collective(
     ctx: IOContext,
     file: SimFile,
@@ -130,6 +375,7 @@ def execute_collective(
     strategy: str,
     planning_time: float = 0.0,
     group_sizes: dict[int, int] | None = None,
+    faults: "FaultRuntime | None" = None,
 ) -> CollectiveResult:
     """Run the generic two-phase schedule over the planned domains.
 
@@ -137,6 +383,8 @@ def execute_collective(
     memory-conscious planner pays for group division and placement).
     ``group_sizes`` maps group_id -> participant count, used to price
     per-round synchronization within groups instead of globally.
+    ``faults`` plugs in a fault schedule plus the graceful-degradation
+    reactions (see the module docstring); ``None`` runs fault-free.
     """
     for domain in domains:
         ctx.comm.check_rank(domain.aggregator)
@@ -163,7 +411,7 @@ def execute_collective(
     # Each domain's candidate requests, pre-intersected with its
     # coverage once — per-round windows are subsets of the coverage, so
     # per-round intersections run on these (much smaller) pieces.
-    candidates: list[list[tuple[AccessRequest, "ExtentList"]]] = []
+    candidates: list[list[tuple[AccessRequest, ExtentList]]] = []
     for domain in domains:
         env = domain.coverage.envelope()
         cands = []
@@ -179,7 +427,7 @@ def execute_collective(
         candidates.append(cands)
 
     request_by_rank = {r.rank: r for r in requests}
-    total_rounds = max((d.rounds() for d in domains), default=0)
+    planned_rounds = max((d.rounds() for d in domains), default=0)
     intra_total = 0
     inter_total = 0
     track = ctx.pfs.track_data
@@ -207,6 +455,7 @@ def execute_collective(
     resource_load: dict[Hashable, float] = {}
     chain_time = [0.0 for _ in domains]
     latency_total = 0.0
+    recovery_total = 0.0
     shuffle_bytes_total = 0
     io_bytes_total = 0
 
@@ -220,17 +469,77 @@ def execute_collective(
         "aggregator_nodes", len({ctx.comm.node_of(d.aggregator) for d in domains})
     )
 
+    # Degradation state: windows are sliced off the front of each
+    # domain's remaining coverage, so shrinks (smaller slices) and
+    # remerges (remaining moved to a neighbour) compose naturally. With
+    # no faults this reduces exactly to ``domain.window(r)``.
+    remaining: list[ExtentList] = [d.coverage for d in domains]
+    buffers: list[int] = [d.buffer_bytes for d in domains]
+    released: set[int] = set()
+    controller: _DegradationController | None = None
+    max_rounds = planned_rounds
+    if faults is not None:
+        controller = _DegradationController(
+            faults, ctx, domains, remaining, buffers, candidates,
+            caps, domain_sync, telemetry, released,
+        )
+        # Runaway guard: even a fully shrunk schedule must terminate.
+        floor = max(1, min([controller.shrink_floor, *(b for b in buffers if b > 0)]))
+        total_cov = sum(d.covered_bytes for d in domains)
+        max_rounds = planned_rounds + 16 + total_cov // floor
+    cap_of = caps.__getitem__ if controller is None else controller.eff_cap
+
+    # Derate-weighted twin of ``resource_load``: while a stall/OST fault
+    # is active, each byte crossing the derated resource counts for
+    # ``derate`` bytes of drain work, so transient capacity loss shows up
+    # in the aggregate bound too (identical to the nominal load when no
+    # fault is ever active — unfaulted runs alias the same dict).
+    resource_load_eff: dict[Hashable, float] = (
+        resource_load if controller is None else {}
+    )
+
+    def _eff_bound() -> float:
+        return max(
+            (load / caps[key] for key, load in resource_load_eff.items()),
+            default=0.0,
+        )
+
     def _accumulate(flows: list[Flow]) -> None:
         for flow in flows:
             for key in flow.resources:
-                resource_load[key] = resource_load.get(key, 0.0) + flow.charge_on(key)
+                charge = flow.charge_on(key)
+                resource_load[key] = resource_load.get(key, 0.0) + charge
+                if controller is not None:
+                    resource_load_eff[key] = resource_load_eff.get(
+                        key, 0.0
+                    ) + charge * controller.faults.state.derate(key)
 
+    r = 0
     try:
-        for r in range(total_rounds):
-            windows = [d.window(r) for d in domains]
+        while True:
+            if controller is not None:
+                # Progress estimate so far: same expression as the final
+                # makespan, evaluated on the rounds already executed.
+                now = (
+                    max(max(chain_time, default=0.0), _eff_bound())
+                    + latency_total
+                    + recovery_total
+                )
+                recovery_total += controller.begin_round(now, r)
+            windows = [
+                ExtentList.empty()
+                if (i in released or remaining[i].is_empty)
+                else remaining[i].slice_bytes(0, buffers[i])
+                for i in range(len(domains))
+            ]
             active = [(i, w) for i, w in enumerate(windows) if not w.is_empty]
             if not active:
-                continue
+                break
+            if r >= max_rounds:
+                raise CollectiveIOError(
+                    f"round schedule failed to terminate after {r} rounds "
+                    f"(planned {planned_rounds}); degradation runaway?"
+                )
             pieces = plan_exchange(candidates, windows, domains)
             two_layer = ctx.hints.two_layer_shuffle
             sh_flows, intra, inter = shuffle_flows(
@@ -289,7 +598,7 @@ def execute_collective(
             for i, _ in active:
                 sh_cost = max(
                     (
-                        round_sh_load[key] / caps[key]
+                        round_sh_load[key] / cap_of(key)
                         for flow in flows_by_domain.get(i, [])
                         for key in flow.resources
                     ),
@@ -297,7 +606,7 @@ def execute_collective(
                 )
                 io_cost = max(
                     (
-                        round_io_load[key] / caps[key]
+                        round_io_load[key] / cap_of(key)
                         for flow in io_flows_by_domain[i]
                         for key in flow.resources
                     ),
@@ -339,8 +648,14 @@ def execute_collective(
                 # Even without byte tracking, the file's logical size grows.
                 for i, window in active:
                     file.apply_write(window, None)
+
+            for i, window in active:
+                remaining[i] = remaining[i].slice_bytes(
+                    window.total, remaining[i].total
+                )
+            r += 1
     finally:
-        _release_buffers(ctx, domains)
+        _release_buffers(ctx, domains, released)
 
     resource_bound = max(
         (load / caps[key] for key, load in resource_load.items()),
@@ -348,9 +663,10 @@ def execute_collective(
     )
     # The critical chain already includes each aggregator's own group's
     # per-round barriers; the message-startup latency accumulated per
-    # round (at that round's message count) is added on top.
+    # round (at that round's message count) is added on top. Faulted
+    # runs pay the derate-weighted resource bound (>= nominal).
     critical_chain = max(chain_time, default=0.0)
-    transfer_time = max(resource_bound, critical_chain)
+    transfer_time = max(_eff_bound(), critical_chain)
     trace.record(
         "transfer",
         transfer_time + latency_total,
@@ -359,8 +675,16 @@ def execute_collective(
         resource_bound=resource_bound,
         critical_chain=critical_chain,
         latency=latency_total,
-        rounds=total_rounds,
+        rounds=r,
     )
+    if recovery_total > 0:
+        # Degradations are priced, not free: the re-coordination time is
+        # serial with the transfer (the affected group stops to reshape).
+        trace.record(
+            "recovery",
+            recovery_total,
+            recoveries=len(telemetry.recovery_spans),
+        )
 
     infos = [
         AggregatorInfo(
@@ -379,7 +703,7 @@ def execute_collective(
         strategy=strategy,
         elapsed=trace.now,
         nbytes=app_bytes,
-        n_rounds=total_rounds,
+        n_rounds=r,
         aggregators=infos,
         shuffle_intra_bytes=intra_total,
         shuffle_inter_bytes=inter_total,

@@ -15,7 +15,7 @@ The reference implementation the paper compares against:
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..fs.pfs import IOKind, SimFile
 from ..mpi.requests import AccessRequest
@@ -25,6 +25,9 @@ from .context import IOContext
 from .domains import even_domains
 from .result import CollectiveResult
 from .rounds import execute_collective
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.runtime import FaultRuntime
 
 __all__ = ["TwoPhaseCollectiveIO", "default_aggregators"]
 
@@ -46,6 +49,7 @@ class TwoPhaseCollectiveIO(IOStrategy):
     """The normal two-phase collective I/O of ROMIO (the baseline)."""
 
     name = "two-phase"
+    supports_faults = True
 
     def run(
         self,
@@ -54,6 +58,7 @@ class TwoPhaseCollectiveIO(IOStrategy):
         requests: Sequence[AccessRequest],
         *,
         kind: IOKind,
+        faults: "FaultRuntime | None" = None,
     ) -> CollectiveResult:
         hints = ctx.hints
         aggregators = default_aggregators(ctx, hints.cb_nodes_per_node)
@@ -71,4 +76,5 @@ class TwoPhaseCollectiveIO(IOStrategy):
             domains,
             kind=kind,
             strategy=self.name,
+            faults=faults,
         )

@@ -12,6 +12,7 @@ from .reporting import (
     bandwidth_table,
     render_table,
     telemetry_counter_lines,
+    telemetry_fault_table,
     telemetry_resource_table,
     telemetry_round_table,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "telemetry_round_table",
     "telemetry_resource_table",
     "telemetry_counter_lines",
+    "telemetry_fault_table",
     "result_to_dict",
     "dump_results",
     "load_results",

@@ -18,6 +18,7 @@ __all__ = [
     "telemetry_round_table",
     "telemetry_resource_table",
     "telemetry_counter_lines",
+    "telemetry_fault_table",
 ]
 
 
@@ -127,6 +128,38 @@ def telemetry_resource_table(
             )
         )
     return "\n".join(lines)
+
+
+def telemetry_fault_table(
+    tele: Telemetry, *, title: str = "faults and recoveries"
+) -> str:
+    """One row per fault/recovery span, in firing order.
+
+    Empty string when the run recorded no fault spans, so callers can
+    print it unconditionally.
+    """
+    if not tele.faults:
+        return ""
+    rows = []
+    for span in tele.faults:
+        detail = span.note
+        if span.nbytes:
+            detail = f"{fmt_bytes(span.nbytes)}; {detail}" if detail else fmt_bytes(
+                span.nbytes
+            )
+        rows.append(
+            (
+                f"{span.t_s * 1e3:.3f}",
+                span.round_index if span.round_index >= 0 else "-",
+                span.kind,
+                span.target,
+                f"{span.factor:.2f}" if span.factor != 1.0 else "-",
+                f"{span.cost_s * 1e3:.3f}" if span.cost_s else "-",
+                detail,
+            )
+        )
+    headers = ["t ms", "round", "kind", "target", "factor", "cost ms", "detail"]
+    return render_table(headers, rows, title=title)
 
 
 def telemetry_counter_lines(tele: Telemetry) -> str:

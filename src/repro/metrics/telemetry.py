@@ -27,6 +27,7 @@ from typing import Any, Hashable, Mapping
 
 __all__ = [
     "DomainRoundCost",
+    "FaultSpan",
     "RoundRecord",
     "Telemetry",
     "key_to_str",
@@ -91,6 +92,53 @@ class DomainRoundCost:
             io_s=float(data["io_s"]),
             sync_s=float(data["sync_s"]),
             messages=int(data["messages"]),
+        )
+
+
+@dataclass(slots=True)
+class FaultSpan:
+    """One fault or recovery action observed during execution.
+
+    ``kind`` is either a fault-event kind (``mem_pressure``,
+    ``agg_stall``, ``ost_degrade``) or a reaction
+    (``recovery:shrink``, ``recovery:remerge``, ``recovery:paging``).
+    ``t_s`` is the engine's progress clock when it happened; ``cost_s``
+    is the re-coordination cost charged for a recovery (0 for raw
+    faults, whose cost shows up as derated round times instead).
+    """
+
+    kind: str
+    t_s: float
+    target: str = ""  # "node:3", "ost:1", "domain:2"
+    round_index: int = -1
+    factor: float = 1.0
+    nbytes: int = 0
+    cost_s: float = 0.0
+    note: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "t_s": self.t_s,
+            "target": self.target,
+            "round": self.round_index,
+            "factor": self.factor,
+            "nbytes": self.nbytes,
+            "cost_s": self.cost_s,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpan":
+        return cls(
+            kind=str(data["kind"]),
+            t_s=float(data["t_s"]),
+            target=str(data.get("target", "")),
+            round_index=int(data.get("round", -1)),
+            factor=float(data.get("factor", 1.0)),
+            nbytes=int(data.get("nbytes", 0)),
+            cost_s=float(data.get("cost_s", 0.0)),
+            note=str(data.get("note", "")),
         )
 
 
@@ -181,11 +229,16 @@ class Telemetry:
         self.rounds: list[RoundRecord] = []
         self.paging: dict[int, float] = {}  # node_id -> membw slowdown
         self.capacities: dict[Hashable, float] = {}
+        self.faults: list[FaultSpan] = []  # fault + recovery spans, in order
 
     # ------------------------------------------------------------ feeding
     def count(self, name: str, value: float = 1.0) -> None:
         """Add ``value`` to counter ``name`` (created at zero)."""
         self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def record_fault(self, span: FaultSpan) -> None:
+        """Append one fault/recovery span (chronological order)."""
+        self.faults.append(span)
 
     def record_paging(self, node_id: int, slowdown: float) -> None:
         """Note that ``node_id`` pages with the given membw slowdown."""
@@ -222,6 +275,21 @@ class Telemetry:
     @property
     def latency_s(self) -> float:
         return sum(r.latency_s for r in self.rounds)
+
+    @property
+    def recovery_spans(self) -> list[FaultSpan]:
+        """The reaction-side spans (``recovery:*``) only."""
+        return [f for f in self.faults if f.kind.startswith("recovery:")]
+
+    @property
+    def fault_spans(self) -> list[FaultSpan]:
+        """The injected-fault spans (everything but ``recovery:*``)."""
+        return [f for f in self.faults if not f.kind.startswith("recovery:")]
+
+    @property
+    def recovery_cost_s(self) -> float:
+        """Total re-coordination time charged for degradations."""
+        return sum(f.cost_s for f in self.recovery_spans)
 
     def resource_totals(self) -> dict[Hashable, float]:
         """Bytes charged per resource, shuffle + I/O, all rounds."""
@@ -299,6 +367,7 @@ class Telemetry:
             "paging": {str(node): s for node, s in self.paging.items()},
             "capacities": _encode_resource_map(self.capacities),
             "rounds": [r.to_dict() for r in self.rounds],
+            "faults": [f.to_dict() for f in self.faults],
         }
 
     @classmethod
@@ -308,6 +377,8 @@ class Telemetry:
         tele.paging = {int(k): float(v) for k, v in data["paging"].items()}
         tele.capacities = _decode_resource_map(data["capacities"])
         tele.rounds = [RoundRecord.from_dict(r) for r in data["rounds"]]
+        # "faults" is absent in pre-fault-layer dumps; default to none.
+        tele.faults = [FaultSpan.from_dict(f) for f in data.get("faults", [])]
         return tele
 
     def to_csv(self) -> str:

@@ -80,3 +80,16 @@ class MemoryPressureError(CollectiveIOError):
 
 class WorkloadError(ReproError, ValueError):
     """Invalid benchmark workload specification."""
+
+
+class FaultError(ReproError, RuntimeError):
+    """Invalid fault specification or fault-layer misuse."""
+
+
+class TransientFaultError(FaultError):
+    """An injected transient failure aborted the run.
+
+    Campaign runners treat this as retryable: the same experiment can be
+    re-attempted (with a fresh attempt salt feeding the fault schedule)
+    rather than recorded as a hard error.
+    """

@@ -1,12 +1,14 @@
-"""Campaign runner: determinism, plan caching, failure isolation, resume."""
+"""Campaign runner: determinism, plan caching, failure isolation, resume,
+fault retries, and per-point timeouts."""
 
 from __future__ import annotations
 
 import json
+import time
 
 import pytest
 
-from repro import Campaign, Experiment, IORWorkload, mib
+from repro import Campaign, Experiment, FaultSpec, IORWorkload, mib
 from repro.campaign import PlanCache
 from repro.metrics.export import load_telemetries
 from repro.metrics.store import ResultStore, load_records
@@ -160,3 +162,103 @@ def test_summary_mentions_totals(tmp_path):
 def test_workers_must_be_positive():
     with pytest.raises(ValueError):
         Campaign([BASE], workers=0)
+
+
+# ------------------------------------------------------- fault handling
+FAULTS = FaultSpec(
+    seed=9, mem_pressure=1, pressure_fraction=1.0, stalls=1, ost_degrade=1
+)
+
+
+class SleepyWorkload(IORWorkload):
+    """Module-level (picklable) workload that hangs on first touch."""
+
+    def extents_for_rank(self, rank: int):
+        time.sleep(60)
+        return super().extents_for_rank(rank)
+
+
+def test_faulted_grid_byte_identical_across_workers():
+    faulted = BASE.replace(faults=FAULTS)
+    serial = Campaign.from_grid(faulted, AXES, workers=1).run()
+    parallel = Campaign.from_grid(faulted, AXES, workers=4).run()
+    assert [r["status"] for r in serial.records] == ["ok"] * 4
+    # identical seed + FaultSpec -> byte-identical fault schedules,
+    # results, and spec hashes regardless of worker count
+    assert list(map(_essence, serial.records)) == list(
+        map(_essence, parallel.records)
+    )
+    hashes = [r["spec_hash"] for r in serial.records]
+    assert hashes == [r["spec_hash"] for r in parallel.records]
+    assert len(set(hashes)) == 4
+    # the fault spec is part of the identity: hashes moved off the
+    # fault-free grid's
+    clean = Campaign.from_grid(BASE, AXES, workers=1).run()
+    assert set(hashes).isdisjoint(r["spec_hash"] for r in clean.records)
+
+
+def test_transient_abort_retried_to_success():
+    flaky = BASE.replace(
+        strategy="two-phase", faults=FaultSpec(seed=1, abort_prob=0.5)
+    )
+    # this seed aborts on attempt 0 and comes up clean on attempt 1
+    assert any(e.kind == "abort" for e in flaky.faults.schedule(4, 8, attempt=0))
+    assert not any(
+        e.kind == "abort" for e in flaky.faults.schedule(4, 8, attempt=1)
+    )
+    out = Campaign([flaky], retries=2).run()
+    rec = out.records[0]
+    assert rec["status"] == "ok"
+    assert rec["attempts"] == 2
+    assert len(rec["transient_failures"]) == 1
+    assert "transient" in rec["transient_failures"][0]
+    assert out.retried == [rec]
+    assert "1 retried" in out.summary()
+
+
+def test_retry_budget_exhaustion_is_a_transient_error():
+    doomed = BASE.replace(
+        strategy="two-phase", faults=FaultSpec(seed=1, abort_prob=1.0)
+    )
+    out = Campaign([doomed], retries=2).run()
+    rec = out.records[0]
+    assert rec["status"] == "error"
+    assert rec["transient"] is True
+    assert rec["attempts"] == 3
+    assert len(rec["transient_failures"]) == 3
+    assert "TransientFaultError" in rec["error"]
+
+
+def test_retries_also_work_across_a_pool():
+    flaky = BASE.replace(
+        strategy="two-phase", faults=FaultSpec(seed=1, abort_prob=0.5)
+    )
+    out = Campaign([BASE, flaky], workers=2, retries=2).run()
+    assert [r["status"] for r in out.records] == ["ok", "ok"]
+    assert [r["attempts"] for r in out.records] == [1, 2]
+
+
+def test_timeout_scheduler_passes_healthy_points():
+    out = Campaign.from_grid(BASE, {"seed": [3, 4]}, timeout_s=120).run()
+    assert [r["status"] for r in out.records] == ["ok", "ok"]
+    # timeout records must stay byte-identical to the inline path
+    inline = Campaign.from_grid(BASE, {"seed": [3, 4]}).run()
+    assert list(map(_essence, out.records)) == list(map(_essence, inline.records))
+
+
+def test_timeout_kills_a_hung_point():
+    hung = BASE.replace(
+        strategy="two-phase", workload=SleepyWorkload(8, block_size=mib(1))
+    )
+    out = Campaign([BASE, hung], timeout_s=3.0).run()
+    assert [r["status"] for r in out.records] == ["ok", "error"]
+    bad = out.records[1]
+    assert "TimeoutError" in bad["error"] and bad["result"] is None
+    assert bad["transient"] is False
+
+
+def test_retry_and_timeout_validation():
+    with pytest.raises(ValueError):
+        Campaign([BASE], retries=-1)
+    with pytest.raises(ValueError):
+        Campaign([BASE], timeout_s=0.0)

@@ -6,11 +6,32 @@ Small clusters/machines keep tests fast; anything performance-shaped
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.cluster import scaled_testbed, testbed_640
 from repro.io import CollectiveHints, make_context
 from repro.util import mib
+
+# Hypothesis profiles: "dev" keeps the default tier-1 run fast; "ci" is
+# the bounded-seed 200-example sweep the property CI job selects via
+# REPRO_HYPOTHESIS_PROFILE=ci. Tests that pin their own max_examples
+# (the oldest conservation properties) are unaffected.
+settings.register_profile(
+    "dev",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "ci",
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

@@ -1,0 +1,253 @@
+"""FaultRuntime + the round engine's graceful-degradation reactions.
+
+Each reaction path is pinned with an explicit event schedule on a known
+cluster shape (testbed-4, 8 procs, 2/node, 24 GiB/node):
+
+* full pressure on one aggregator node -> its domain remerges onto a
+  neighbour (``recovery:remerge``);
+* pressure leaving a few hundred KiB of headroom -> the buffer shrinks
+  in place (``recovery:shrink``, more and smaller rounds);
+* full pressure everywhere -> no taker exists, the engine falls back to
+  paging (``recovery:paging``);
+* stalls/OST derates have no reaction, they just slow the run down;
+* ``abort`` raises :class:`TransientFaultError` for the campaign layer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Experiment, FaultEvent, FaultRuntime, FaultSpec, mib
+from repro.cluster.network import membw
+from repro.faults.runtime import FaultState
+from repro.fs.pfs import ost_key
+from repro.metrics.telemetry import Telemetry
+from repro.util.errors import ConfigurationError, TransientFaultError
+
+BASE = Experiment(
+    machine="testbed-4",
+    strategy="two-phase",
+    n_procs=8,
+    procs_per_node=2,
+    workload_params={"block_size": mib(2), "transfer_size": mib(1) // 2},
+    cb_buffer=mib(1) // 2,
+    seed=3,
+)
+
+
+def _events(*events: FaultEvent) -> FaultSpec:
+    return FaultSpec(events=tuple(events))
+
+
+def _pressure(target: int, fraction: float = 1.0, time: float = 1e-3) -> FaultEvent:
+    return FaultEvent(
+        kind="mem_pressure", time=time, target=target, fraction=fraction
+    )
+
+
+# ----------------------------------------------------------- FaultState
+def test_derates_compose_and_pop_individually():
+    state = FaultState()
+    key = membw(0)
+    state.push_derate(key, 2.0)
+    state.push_derate(key, 3.0)
+    assert state.derate(key) == pytest.approx(6.0)
+    state.pop_derate(key, 2.0)
+    assert state.derate(key) == pytest.approx(3.0)
+    state.pop_derate(key, 3.0)
+    assert state.derate(key) == 1.0
+    assert not state.any_active
+
+
+def test_paging_replaces_not_stacks():
+    state = FaultState()
+    state.set_paging(membw(1), 1.5)
+    state.set_paging(membw(1), 1.2)
+    assert state.derate(membw(1)) == pytest.approx(1.2)
+    assert state.any_active
+    state.clear_paging(membw(1))
+    assert state.derate(membw(1)) == 1.0
+
+
+# --------------------------------------------------------- FaultRuntime
+def test_pressure_reserves_memory_and_queues_the_node():
+    ctx = BASE.context()
+    runtime = FaultRuntime(_events(_pressure(0, fraction=0.5)), ctx)
+    node = ctx.cluster.nodes[0]
+    before = node.memory.reserved
+    assert runtime.advance(0.5e-3) == []  # not due yet
+    fired = runtime.advance(2e-3)
+    assert [e.kind for e in fired] == ["mem_pressure"]
+    assert node.memory.reserved == before + node.memory.capacity // 2
+    assert runtime.state.pressured_nodes == [0]
+
+
+def test_transient_derate_restores_after_duration():
+    ctx = BASE.context()
+    runtime = FaultRuntime(
+        _events(
+            FaultEvent(
+                kind="agg_stall", time=1e-3, target=2, factor=4.0, duration=2e-3
+            )
+        ),
+        ctx,
+    )
+    runtime.advance(1.5e-3)
+    assert runtime.state.derate(membw(2)) == pytest.approx(4.0)
+    runtime.advance(10e-3)
+    assert runtime.state.derate(membw(2)) == 1.0
+
+
+def test_ost_degrade_targets_the_ost_key():
+    ctx = BASE.context()
+    runtime = FaultRuntime(
+        _events(FaultEvent(kind="ost_degrade", time=0.0, target=1, factor=2.0)),
+        ctx,
+    )
+    runtime.advance(0.0)
+    assert runtime.state.derate(ost_key(1)) == pytest.approx(2.0)
+
+
+def test_abort_raises_transient_fault():
+    ctx = BASE.context()
+    runtime = FaultRuntime(_events(FaultEvent(kind="abort", time=1e-3)), ctx)
+    with pytest.raises(TransientFaultError, match="attempt 0"):
+        runtime.advance(5e-3)
+
+
+def test_clock_never_runs_backwards():
+    ctx = BASE.context()
+    runtime = FaultRuntime(_events(_pressure(1)), ctx)
+    assert [e.kind for e in runtime.advance(5e-3)] == ["mem_pressure"]
+    reached = runtime.sim.now
+    assert runtime.advance(1e-3) == []  # no-op: nothing re-fires
+    assert runtime.sim.now >= reached
+
+
+# ------------------------------------------------- engine: degradation
+def _run(spec: FaultSpec | None, exp: Experiment = BASE):
+    faulted = exp.replace(faults=spec)
+    ctx = faulted.context()
+    res = faulted.run(ctx=ctx)
+    # whatever degraded, every aggregation buffer must be released
+    assert all(n.memory.in_use == 0 for n in ctx.cluster.nodes)
+    assert res.shuffle_bytes == res.nbytes
+    return res
+
+
+def test_full_pressure_on_aggregator_remerges_its_domain():
+    base = _run(None)
+    res = _run(_events(_pressure(0, fraction=1.0)))
+    tele = res.telemetry
+    assert tele.counters["fault_events"] == 1
+    assert tele.counters["recoveries_remerge"] == 1
+    spans = {s.kind for s in tele.faults}
+    assert spans == {"mem_pressure", "recovery:remerge"}
+    remerge = [s for s in tele.recovery_spans if s.kind == "recovery:remerge"][0]
+    assert remerge.nbytes > 0 and remerge.cost_s > 0
+    # the victim's bytes moved to a neighbour: more rounds, more time
+    assert res.n_rounds > base.n_rounds
+    assert res.elapsed > base.elapsed
+
+
+def test_partial_pressure_shrinks_the_buffer_in_place():
+    base = _run(None)
+    # leave ~256 KiB of the 24 GiB node: above the 64 KiB shrink floor,
+    # below the 512 KiB buffer -> shrink, not remerge
+    res = _run(_events(_pressure(0, fraction=1 - 1e-5)))
+    tele = res.telemetry
+    assert tele.counters["recoveries_shrink"] == 1
+    assert "recoveries_remerge" not in tele.counters
+    shrink = [s for s in tele.recovery_spans if s.kind == "recovery:shrink"][0]
+    assert shrink.cost_s > 0
+    # a smaller buffer means strictly more rounds to cover the domain
+    assert res.n_rounds > base.n_rounds
+
+
+def test_cluster_wide_pressure_falls_back_to_paging():
+    base = _run(None)
+    res = _run(
+        _events(*(_pressure(node, fraction=1.0) for node in range(4)))
+    )
+    tele = res.telemetry
+    assert tele.counters["fault_events"] == 4
+    assert tele.counters["recoveries_paging"] == 4
+    assert not any(s.kind == "recovery:remerge" for s in tele.faults)
+    assert res.elapsed > base.elapsed
+
+
+@pytest.mark.parametrize(
+    "event",
+    [
+        FaultEvent(kind="agg_stall", time=1e-3, target=0, factor=8.0),
+        FaultEvent(kind="ost_degrade", time=1e-3, target=0, factor=8.0),
+    ],
+    ids=["agg_stall", "ost_degrade"],
+)
+def test_derate_faults_strictly_slow_the_run(event):
+    base = _run(None)
+    res = _run(_events(event))
+    tele = res.telemetry
+    assert tele.counters["fault_events"] == 1
+    assert [s.kind for s in tele.fault_spans] == [event.kind]
+    assert tele.recovery_spans == []
+    assert res.elapsed > base.elapsed
+    assert res.n_rounds == base.n_rounds
+
+
+def test_mc_strategy_degrades_too():
+    # 2 MiB/node of available memory makes the MC planner's buffers
+    # small enough for a multi-round run the fault can interrupt
+    mc = BASE.replace(
+        strategy="mc", memory_variance_mean=mib(2), memory_variance_std=0
+    )
+    base = _run(None, mc)
+    res = _run(_events(_pressure(0, fraction=1.0)), mc)
+    tele = res.telemetry
+    assert tele.counters["recoveries_remerge"] == 1
+    assert res.n_rounds > base.n_rounds
+    assert res.elapsed > base.elapsed
+
+
+def test_faulted_runs_are_deterministic():
+    from repro.metrics.export import result_to_dict
+
+    spec = FaultSpec(
+        seed=11, mem_pressure=2, pressure_fraction=1.0, stalls=1, ost_degrade=1
+    )
+    a = _run(spec)
+    b = _run(spec)
+    assert result_to_dict(a) == result_to_dict(b)
+
+
+def test_fault_spans_survive_telemetry_round_trip():
+    res = _run(_events(_pressure(0, fraction=1.0)))
+    tele = res.telemetry
+    again = Telemetry.from_dict(tele.to_dict())
+    assert [s.to_dict() for s in again.faults] == [
+        s.to_dict() for s in tele.faults
+    ]
+    assert again.recovery_cost_s == pytest.approx(tele.recovery_cost_s)
+
+
+# --------------------------------------------------------- API guards
+@pytest.mark.parametrize("strategy", ["independent", "sieving"])
+def test_non_collective_strategies_reject_faults(strategy):
+    exp = BASE.replace(strategy=strategy, faults=_events(_pressure(0)))
+    with pytest.raises(ConfigurationError, match="no round engine"):
+        exp.run()
+
+
+def test_experiment_faults_must_be_a_spec():
+    with pytest.raises(ConfigurationError, match="FaultSpec"):
+        BASE.replace(faults="mem=1")  # type: ignore[arg-type]
+
+
+def test_spec_hash_only_moves_when_faults_can_fire():
+    clean = BASE.spec_hash()
+    assert BASE.replace(faults=FaultSpec()).spec_hash() == clean
+    assert (
+        BASE.replace(faults=_events(_pressure(0))).spec_hash() != clean
+    )
+    assert "faults" not in BASE.spec()
+    assert "faults" in BASE.replace(faults=_events(_pressure(0))).spec()

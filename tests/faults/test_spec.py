@@ -1,0 +1,188 @@
+"""FaultSpec/FaultEvent: schedules, parsing, serialization, validation.
+
+The schedule is the determinism keystone of the whole fault layer: a
+pure function of ``(spec, n_nodes, n_osts, attempt)``, so campaign
+workers and retries can rebuild byte-identical fault timelines without
+shipping anything but the spec.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import FaultEvent, FaultSpec
+from repro.faults.spec import EVENT_KINDS
+from repro.util import kib
+from repro.util.errors import FaultError
+
+FULL = FaultSpec(
+    seed=42, mem_pressure=3, stalls=2, ost_degrade=2, abort_prob=0.5,
+    events=(FaultEvent(kind="agg_stall", time=1e-3, target=1, factor=2.0),),
+)
+
+
+# ------------------------------------------------------------- schedule
+def test_schedule_is_deterministic():
+    a = FULL.schedule(8, 16)
+    b = FULL.schedule(8, 16)
+    assert a == b
+
+
+def test_schedule_is_time_sorted_and_in_range():
+    events = FULL.schedule(8, 16)
+    assert events == sorted(events, key=lambda e: (e.time, e.kind, e.target))
+    for ev in events:
+        assert 0.0 <= ev.time <= FULL.horizon
+        if ev.kind in ("mem_pressure", "agg_stall"):
+            assert 0 <= ev.target < 8
+        elif ev.kind == "ost_degrade":
+            assert 0 <= ev.target < 16
+
+
+def test_attempt_salts_the_random_events():
+    first = FULL.schedule(8, 16, attempt=0)
+    second = FULL.schedule(8, 16, attempt=1)
+    assert first != second
+    # the pinned explicit event survives every attempt untouched
+    for sched in (first, second):
+        assert FULL.events[0] in sched
+
+
+def test_explicit_events_ignore_the_attempt_salt():
+    spec = FaultSpec(events=(
+        FaultEvent(kind="mem_pressure", time=2e-3, target=3, fraction=0.5),
+        FaultEvent(kind="ost_degrade", time=1e-3, target=1, factor=4.0),
+    ))
+    assert spec.schedule(4, 8, attempt=0) == spec.schedule(4, 8, attempt=7)
+    # and come back time-sorted
+    assert [e.time for e in spec.schedule(4, 8)] == [1e-3, 2e-3]
+
+
+def test_schedule_needs_a_node():
+    with pytest.raises(FaultError):
+        FULL.schedule(0, 8)
+
+
+def test_ost_events_dropped_without_osts():
+    spec = FaultSpec(seed=1, ost_degrade=3)
+    assert spec.schedule(4, 0) == []
+
+
+@given(
+    seed=st.integers(0, 1 << 32),
+    mem=st.integers(0, 4),
+    stalls=st.integers(0, 4),
+    osts=st.integers(0, 4),
+    abort_prob=st.floats(0.0, 1.0),
+    attempt=st.integers(0, 3),
+    n_nodes=st.integers(1, 64),
+    n_osts=st.integers(1, 64),
+)
+def test_schedule_determinism_property(
+    seed, mem, stalls, osts, abort_prob, attempt, n_nodes, n_osts
+):
+    spec = FaultSpec(
+        seed=seed, mem_pressure=mem, stalls=stalls, ost_degrade=osts,
+        abort_prob=abort_prob,
+    )
+    a = spec.schedule(n_nodes, n_osts, attempt=attempt)
+    b = spec.schedule(n_nodes, n_osts, attempt=attempt)
+    assert a == b
+    counted = mem + stalls + osts
+    aborts = sum(1 for e in a if e.kind == "abort")
+    assert aborts <= 1
+    assert len(a) == counted + aborts
+    assert a == sorted(a, key=lambda e: (e.time, e.kind, e.target))
+    for ev in a:
+        assert ev.kind in EVENT_KINDS
+        if ev.kind in ("mem_pressure", "agg_stall"):
+            assert 0 <= ev.target < n_nodes
+        elif ev.kind == "ost_degrade":
+            assert 0 <= ev.target < n_osts
+
+
+# ------------------------------------------------------- serialization
+def test_spec_round_trips_through_dict():
+    assert FaultSpec.from_dict(FULL.to_dict()) == FULL
+
+
+def test_event_round_trips_through_dict():
+    ev = FaultEvent(
+        kind="ost_degrade", time=3e-3, target=5, factor=2.5, duration=1e-3
+    )
+    assert FaultEvent.from_dict(ev.to_dict()) == ev
+
+
+def test_from_dict_rejects_unknown_fields():
+    with pytest.raises(FaultError, match="unknown FaultSpec fields"):
+        FaultSpec.from_dict({"seed": 1, "blast_radius": 9000})
+
+
+# --------------------------------------------------------------- parse
+def test_parse_compact_form():
+    spec = FaultSpec.parse("mem=2,stall=1,ost=3,seed=5")
+    assert (spec.mem_pressure, spec.stalls, spec.ost_degrade, spec.seed) == (
+        2, 1, 3, 5,
+    )
+
+
+def test_parse_bare_key_means_one_event():
+    assert FaultSpec.parse("mem").mem_pressure == 1
+    assert FaultSpec.parse("stall,ost").stalls == 1
+
+
+def test_parse_accepts_field_names_and_floats():
+    spec = FaultSpec.parse("abort=0.25,pressure_fraction=0.3,shrink_floor=4096")
+    assert spec.abort_prob == 0.25
+    assert spec.pressure_fraction == 0.3
+    assert spec.shrink_floor == 4096
+
+
+@pytest.mark.parametrize(
+    "text", ["explode=1", "abort", "mem=lots", "events=x"]
+)
+def test_parse_rejects_garbage(text):
+    with pytest.raises(FaultError):
+        FaultSpec.parse(text)
+
+
+# ---------------------------------------------------------- validation
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"kind": "meteor_strike", "time": 0.0},
+        {"kind": "mem_pressure", "time": -1.0},
+        {"kind": "mem_pressure", "time": 0.0, "fraction": 1.5},
+        {"kind": "agg_stall", "time": 0.0, "factor": 0.5},
+        {"kind": "agg_stall", "time": 0.0, "duration": -1e-3},
+    ],
+)
+def test_event_validation(kwargs):
+    with pytest.raises(FaultError):
+        FaultEvent(**kwargs)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"mem_pressure": -1},
+        {"abort_prob": 1.5},
+        {"pressure_fraction": -0.1},
+        {"horizon": 0.0},
+        {"shrink_floor": 0},
+    ],
+)
+def test_spec_validation(kwargs):
+    with pytest.raises(FaultError):
+        FaultSpec(**kwargs)
+
+
+def test_is_empty():
+    assert FaultSpec().is_empty
+    assert FaultSpec(seed=9, shrink_floor=kib(1)).is_empty  # knobs alone inject nothing
+    assert not FaultSpec(abort_prob=0.1).is_empty
+    assert not FaultSpec(
+        events=(FaultEvent(kind="abort", time=0.0),)
+    ).is_empty

@@ -5,18 +5,27 @@ conserve bytes everywhere: shuffle totals equal requested bytes, OST
 accounting covers every byte exactly once, and the transfer phase's
 resource loads are consistent with the byte flow (network carries at
 least the inter-node shuffle, OSTs at least the file bytes).
+
+The faulted variant injects random memory-pressure/stall/OST-degrade
+schedules on top of the same workloads: whatever the degradation
+controller did — shrink, remerge, paging — every conservation invariant
+must still hold, and every aggregation buffer must be released.
 """
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.cluster import scaled_testbed
 from repro.core import MemoryConsciousCollectiveIO, MemoryConsciousConfig
+from repro.faults import FaultEvent, FaultRuntime, FaultSpec
 from repro.io import CollectiveHints, TwoPhaseCollectiveIO, make_context
 from repro.mpi import AccessRequest
 from repro.util import ExtentList, kib, mib
+
+pytestmark = pytest.mark.slow
 
 CFG = MemoryConsciousConfig(
     msg_ind=kib(128), msg_group=kib(512), nah=2, mem_min=kib(32),
@@ -98,3 +107,73 @@ def test_byte_conservation(chunks, seed, mem_kib, strategy_kind):
     assert tele.shuffle_inter_bytes == res.shuffle_inter_bytes
     assert tele.io_bytes == total
     assert tele.total_bytes == res.shuffle_bytes + total
+
+
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    chunks=st.lists(
+        st.tuples(st.integers(0, 1 << 17), st.integers(1, 1 << 11)),
+        min_size=2,
+        max_size=24,
+    ),
+    seed=st.integers(0, 1 << 16),
+    mem_kib=st.integers(16, 1024),
+    strategy_kind=st.sampled_from(["two-phase", "mc"]),
+    fault_seed=st.integers(0, 1 << 16),
+    n_pressure=st.integers(0, 2),
+    fraction=st.floats(0.0, 1.0),
+    n_stalls=st.integers(0, 2),
+    n_ost=st.integers(0, 2),
+)
+def test_byte_conservation_under_faults(
+    chunks, seed, mem_kib, strategy_kind, fault_seed, n_pressure, fraction,
+    n_stalls, n_ost,
+):
+    ctx = _ctx(seed, mem_kib)
+    reqs, claimed = _requests(chunks)
+    if claimed.is_empty:
+        return
+    strategy = (
+        TwoPhaseCollectiveIO()
+        if strategy_kind == "two-phase"
+        else MemoryConsciousCollectiveIO(CFG)
+    )
+    # a pinned full spike at t=0 guarantees the reaction machinery runs
+    # even on single-round schedules; the seeded knobs add more on top
+    spec = FaultSpec(
+        seed=fault_seed,
+        events=(
+            FaultEvent(kind="mem_pressure", time=0.0, target=0, fraction=1.0),
+        ),
+        mem_pressure=n_pressure,
+        pressure_fraction=fraction,
+        stalls=n_stalls,
+        ost_degrade=n_ost,
+        horizon=2e-3,
+    )
+    runtime = FaultRuntime(spec, ctx)
+    res = strategy.run(
+        ctx, ctx.pfs.open("f"), reqs, kind="write", faults=runtime
+    )
+    total = claimed.total
+
+    # Same six conservation invariants as the fault-free property —
+    # degradation may reshape the schedule, never the bytes.
+    assert res.shuffle_bytes == total
+    assert int(ctx.pfs.ost_utilization().sum()) == total
+    transfer = res.trace.phases("transfer")[0]
+    ost_load = sum(
+        v for k, v in transfer.resource_bytes.items()
+        if isinstance(k, tuple) and k[0] == "ost"
+    )
+    assert ost_load >= total - 1e-6
+    assert all(n.memory.in_use == 0 for n in ctx.cluster.nodes)
+    assert 0 < res.elapsed < float("inf")
+    tele = res.telemetry
+    assert tele is not None
+    assert tele.io_bytes == total
+    assert tele.total_bytes == res.shuffle_bytes + total
+    # the pinned spike must have been observed and reacted to
+    assert tele.counters.get("fault_events", 0) >= 1
+    assert tele.fault_spans
+    assert tele.recovery_cost_s >= 0.0

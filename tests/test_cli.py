@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
+from repro import FaultEvent, FaultSpec
 from repro.cli import main
 
 
@@ -168,3 +171,81 @@ class TestSweep:
         assert "two-phase" in out
         assert "improvement" in out
         assert "1 MiB" in out and "4 MiB" in out
+
+
+class TestVarianceFlag:
+    RUN = [
+        "run", "--machine", "testbed-4", "--procs", "8",
+        "--procs-per-node", "2", "--block-mib", "1",
+        "--transfer-mib", "1", "--memory-mib", "1", "--strategy", "mc",
+    ]
+    SWEEP = [
+        "sweep", "--machine", "testbed-4", "--procs", "8",
+        "--procs-per-node", "2", "--block-mib", "2",
+        "--transfer-mib", "1", "--memory-mib", "4",
+    ]
+
+    def test_run_defaults_to_no_variance(self, capsys):
+        # sweep's historic 50 MiB default must not leak into `run`
+        # through the shared parent parser: no flag == explicit 0
+        assert main(self.RUN) == 0
+        plain = capsys.readouterr().out
+        assert main([*self.RUN, "--variance-mib", "0"]) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_sweep_keeps_its_historic_default(self, capsys):
+        assert main(self.SWEEP) == 0
+        default = capsys.readouterr().out
+        assert main([*self.SWEEP, "--variance-mib", "50"]) == 0
+        assert capsys.readouterr().out == default
+
+    def test_sweep_variance_zero_really_disables(self, capsys):
+        assert main(self.SWEEP) == 0
+        default = capsys.readouterr().out
+        assert main([*self.SWEEP, "--variance-mib", "0"]) == 0
+        assert capsys.readouterr().out != default
+
+
+class TestFaultsFlag:
+    RUN = [
+        "run", "--machine", "testbed-4", "--procs", "8",
+        "--procs-per-node", "2", "--block-mib", "2",
+        "--transfer-mib", "1", "--memory-mib", "1",
+        "--strategy", "two-phase",
+    ]
+
+    def test_compact_form_smoke(self, capsys):
+        assert main([*self.RUN, "--faults", "mem=1,seed=2"]) == 0
+        assert "write" in capsys.readouterr().out
+
+    def test_trace_renders_recoveries_from_spec_file(self, capsys, tmp_path):
+        spec = FaultSpec(
+            events=(
+                FaultEvent(
+                    kind="mem_pressure", time=1e-3, target=0, fraction=1.0
+                ),
+            ),
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        args = ["trace", *self.RUN[1:], "--faults", f"@{path}"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "faults and recoveries" in out
+        assert "mem_pressure" in out
+        assert "recovery" in out
+        assert "total recovery cost" in out
+
+    def test_campaign_applies_faults_to_every_point(self, capsys):
+        args = [
+            "campaign", "--machine", "testbed-4", "--procs", "8",
+            "--procs-per-node", "2", "--block-mib", "2",
+            "--transfer-mib", "1", "--memory-mib", "1", "4",
+            "--faults", "mem=1,seed=2",
+        ]
+        assert main(args) == 0
+        assert "4 points: 4 ok, 0 errors" in capsys.readouterr().out
+
+    def test_bad_faults_string_exits(self):
+        with pytest.raises(SystemExit, match="--faults"):
+            main([*self.RUN, "--faults", "explode=1"])
