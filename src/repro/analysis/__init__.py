@@ -1,6 +1,16 @@
-"""Analysis: Table 1 projection model and the analytic two-phase model."""
+"""Analysis: projection/analytic models plus the static-analysis passes.
 
-from .model import CollectivePrediction, predict_two_phase
+Two families live here:
+
+* **models** — the Table 1 exascale projection and the analytic
+  two-phase cost model (:mod:`repro.analysis.model`,
+  :mod:`repro.analysis.exascale`);
+* **static analysis** — the plan verifier
+  (:mod:`repro.analysis.verify`, rules ``PV1xx``) and the
+  determinism/unit lint (:mod:`repro.analysis.lint`, rules ``L2xx``),
+  both reporting :class:`~repro.analysis.violations.Violation` records.
+"""
+
 from .exascale import (
     DESIGN_2010,
     DESIGN_2018,
@@ -9,6 +19,10 @@ from .exascale import (
     memory_per_core_factor,
     projection_table,
 )
+from .lint import LINT_RULES, RESTRICTED_PACKAGES, lint_file, lint_paths
+from .model import CollectivePrediction, predict_two_phase
+from .verify import verify_cache_dir, verify_plan, verify_plan_file
+from .violations import Report, Violation
 
 __all__ = [
     "SystemDesign",
@@ -19,4 +33,13 @@ __all__ = [
     "memory_per_core_factor",
     "CollectivePrediction",
     "predict_two_phase",
+    "Violation",
+    "Report",
+    "verify_plan",
+    "verify_plan_file",
+    "verify_cache_dir",
+    "lint_file",
+    "lint_paths",
+    "LINT_RULES",
+    "RESTRICTED_PACKAGES",
 ]

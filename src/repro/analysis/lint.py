@@ -1,0 +1,360 @@
+"""AST lint pass enforcing the project rules determinism depends on.
+
+The round engine and the campaign runner promise bit-identical results
+for identical specs at any worker count. That promise rests on coding
+rules no general-purpose linter knows about; this pass enforces them
+over the source tree with Python's :mod:`ast` — no third-party
+dependency, so it runs in tier-1 tests and CI alike:
+
+========  ==========================================================
+rule      what it catches
+========  ==========================================================
+L200      file does not parse (reported, never raised)
+L201      unseeded randomness in the deterministic packages
+          (``core``/``io``/``sim``/``faults``): module-level
+          ``random.*`` calls, legacy ``numpy.random.*`` global-state
+          calls, or ``random.Random()`` with no seed — everything
+          must flow through seeded generators
+          (:func:`repro.util.rng.make_rng`)
+L202      wall-clock reads (``time.time``, ``datetime.now``, ...)
+          in the deterministic packages; simulated time comes from
+          the engine clock, host profiling belongs outside
+L203      bytes-vs-MiB unit mixing: arithmetic/comparison between
+          ``*_mib``-suffixed and ``*_bytes``-suffixed identifiers,
+          converting an already-byte value with ``mib()``, or
+          binding a ``mib()`` result (bytes!) to a ``*_mib`` name
+L204      ``object.__setattr__`` on a frozen spec outside
+          ``__post_init__`` — silent spec mutation breaks the
+          spec-hash identity the plan cache keys on
+L205      ``sim.run()`` without a horizon argument where the
+          receiver is a simulator — an unbounded drain can hang a
+          campaign point past its timeout budget
+========  ==========================================================
+
+Suppress a finding by appending ``# repro-lint: disable=L203`` (comma
+list, or ``disable=all``) to the flagged line. Suppressions are
+deliberate and grep-able, exactly like ``noqa``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from .violations import Report, Violation
+
+__all__ = ["LINT_RULES", "RESTRICTED_PACKAGES", "lint_paths", "lint_file"]
+
+#: rule code -> one-line description (rendered by ``repro lint --rules``)
+LINT_RULES: dict[str, str] = {
+    "L200": "file does not parse",
+    "L201": "unseeded random/numpy.random use in deterministic packages",
+    "L202": "wall-clock read (time.time/datetime.now) in deterministic packages",
+    "L203": "bytes-vs-MiB unit mixing on suffixed identifiers",
+    "L204": "object.__setattr__ on frozen spec outside __post_init__",
+    "L205": "simulator .run() without a bounded horizon",
+}
+
+#: packages whose results must be a pure function of the experiment spec
+RESTRICTED_PACKAGES = frozenset({"core", "io", "sim", "faults"})
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9,\s]+)")
+
+# numpy.random attributes that are *not* hidden global state
+_NP_RANDOM_OK = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64", "Philox"}
+)
+_WALLCLOCK_TIME = frozenset({"time", "time_ns"})
+_WALLCLOCK_DATETIME = frozenset({"now", "utcnow", "today"})
+_SIZE_HELPERS = frozenset({"kib", "mib", "gib", "tib"})
+_MIBISH = ("_kib", "_mib", "_gib", "_tib")
+
+
+def _dotted(node: ast.expr) -> tuple[str, ...] | None:
+    """``a.b.c`` as ``("a", "b", "c")``; None for non-name chains."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    """The identifier a unit suffix would live on (name or attribute)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _unit_category(name: str | None) -> str | None:
+    if name is None:
+        return None
+    lowered = name.lower()
+    if lowered.endswith("_bytes"):
+        return "bytes"
+    if lowered.endswith(_MIBISH):
+        return "mib"
+    return None
+
+
+class _FileLinter(ast.NodeVisitor):
+    """Collects violations for one parsed source file."""
+
+    def __init__(self, rel_path: str, lines: list[str], restricted: bool) -> None:
+        self.rel_path = rel_path
+        self.lines = lines
+        self.restricted = restricted
+        self.violations: list[Violation] = []
+        self._func_stack: list[str] = []
+
+    # ------------------------------------------------------------ helpers
+    def _suppressed(self, line: int, rule: str) -> bool:
+        if not 1 <= line <= len(self.lines):
+            return False
+        match = _SUPPRESS_RE.search(self.lines[line - 1])
+        if match is None:
+            return False
+        codes = {c.strip().upper() for c in match.group(1).split(",")}
+        return "ALL" in codes or rule in codes
+
+    def _flag(self, rule: str, node: ast.AST, message: str, **detail: object) -> None:
+        line = getattr(node, "lineno", 0)
+        if self._suppressed(line, rule):
+            return
+        self.violations.append(
+            Violation(
+                rule=rule,
+                message=message,
+                file=self.rel_path,
+                line=line,
+                detail=dict(detail),
+            )
+        )
+
+    # ----------------------------------------------------------- visitors
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._func_stack.append(node.name)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._func_stack.append(node.name)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = _dotted(node.func)
+        if chain is not None:
+            if self.restricted:
+                self._check_rng(node, chain)
+                self._check_wallclock(node, chain)
+            self._check_setattr(node, chain)
+            self._check_sim_run(node, chain)
+        self._check_unit_call(node)
+        self.generic_visit(node)
+
+    def _check_rng(self, node: ast.Call, chain: tuple[str, ...]) -> None:
+        if chain[0] == "random" and len(chain) == 2:
+            if chain[1] == "Random":
+                if not node.args and not node.keywords:
+                    self._flag(
+                        "L201", node,
+                        "random.Random() without a seed is unseeded global-ish "
+                        "state; pass an explicit seed",
+                    )
+                return
+            self._flag(
+                "L201", node,
+                f"random.{chain[1]}() draws from the unseeded global RNG; "
+                "use util.rng.make_rng(seed)",
+                call=".".join(chain),
+            )
+        elif (
+            len(chain) >= 3
+            and chain[0] in ("np", "numpy")
+            and chain[1] == "random"
+            and chain[2] not in _NP_RANDOM_OK
+        ):
+            self._flag(
+                "L201", node,
+                f"{'.'.join(chain)}() uses numpy's legacy global RNG; "
+                "use np.random.default_rng(seed) / util.rng.make_rng",
+                call=".".join(chain),
+            )
+
+    def _check_wallclock(self, node: ast.Call, chain: tuple[str, ...]) -> None:
+        is_time = chain[0] == "time" and chain[-1] in _WALLCLOCK_TIME
+        is_datetime = chain[-1] in _WALLCLOCK_DATETIME and any(
+            part in ("datetime", "date") for part in chain[:-1]
+        )
+        if is_time or is_datetime:
+            self._flag(
+                "L202", node,
+                f"{'.'.join(chain)}() reads the host wall clock inside a "
+                "deterministic package; use the engine's simulated clock",
+                call=".".join(chain),
+            )
+
+    def _check_setattr(self, node: ast.Call, chain: tuple[str, ...]) -> None:
+        if chain != ("object", "__setattr__"):
+            return
+        enclosing = self._func_stack[-1] if self._func_stack else "<module>"
+        if enclosing != "__post_init__":
+            self._flag(
+                "L204", node,
+                f"object.__setattr__ in {enclosing}() mutates a frozen spec "
+                "after construction; frozen specs may only self-adjust in "
+                "__post_init__",
+                function=enclosing,
+            )
+
+    def _check_sim_run(self, node: ast.Call, chain: tuple[str, ...]) -> None:
+        if chain[-1] != "run" or len(chain) < 2:
+            return
+        receiver = chain[-2]
+        if receiver not in ("sim", "simulator"):
+            return
+        has_horizon = bool(node.args) or any(
+            kw.arg == "until" for kw in node.keywords
+        )
+        if not has_horizon:
+            self._flag(
+                "L205", node,
+                f"{'.'.join(chain)}() drains the event queue with no horizon; "
+                "pass until=<clamped horizon>",
+            )
+
+    def _check_unit_call(self, node: ast.Call) -> None:
+        func_name = node.func.id if isinstance(node.func, ast.Name) else None
+        if func_name in _SIZE_HELPERS and len(node.args) == 1:
+            arg_name = _terminal_name(node.args[0])
+            if _unit_category(arg_name) == "bytes":
+                self._flag(
+                    "L203", node,
+                    f"{func_name}({arg_name}) converts a value already in "
+                    "bytes; double conversion",
+                    argument=arg_name,
+                )
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        # Addition/subtraction across unit families is always a bug;
+        # multiplication/division is how conversions are written.
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            left = _unit_category(_terminal_name(node.left))
+            right = _unit_category(_terminal_name(node.right))
+            if left and right and left != right:
+                self._flag(
+                    "L203", node,
+                    f"mixing {_terminal_name(node.left)} and "
+                    f"{_terminal_name(node.right)} in one expression mixes "
+                    "MiB-family and byte units",
+                )
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        categories = [_unit_category(_terminal_name(op)) for op in operands]
+        seen = {c for c in categories if c}
+        if len(seen) > 1:
+            names = [
+                _terminal_name(op)
+                for op, c in zip(operands, categories)
+                if c is not None
+            ]
+            self._flag(
+                "L203", node,
+                f"comparison between {' and '.join(str(n) for n in names)} "
+                "mixes MiB-family and byte units",
+            )
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if (
+            len(node.targets) == 1
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Name)
+            and node.value.func.id in _SIZE_HELPERS
+        ):
+            target = _terminal_name(node.targets[0])
+            if _unit_category(target) == "mib":
+                self._flag(
+                    "L203", node,
+                    f"{target} = {node.value.func.id}(...) binds a byte count "
+                    "to a MiB-suffixed name",
+                    target=target,
+                )
+        self.generic_visit(node)
+
+
+def _is_restricted(rel_parts: tuple[str, ...]) -> bool:
+    return any(part in RESTRICTED_PACKAGES for part in rel_parts[:-1])
+
+
+def lint_file(
+    path: str | Path,
+    *,
+    root: str | Path | None = None,
+    rules: Iterable[str] | None = None,
+) -> list[Violation]:
+    """Lint one file; returns its violations (possibly empty)."""
+    path = Path(path)
+    root = Path(root) if root is not None else path.parent
+    try:
+        rel = path.relative_to(root)
+    except ValueError:
+        rel = Path(path.name)
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Violation(
+                rule="L200",
+                message=f"file does not parse: {exc.msg}",
+                file=str(rel),
+                line=exc.lineno or 0,
+            )
+        ]
+    linter = _FileLinter(str(rel), source.splitlines(), _is_restricted(rel.parts))
+    linter.visit(tree)
+    out = linter.violations
+    if rules is not None:
+        selected = {r.upper() for r in rules}
+        out = [v for v in out if v.rule in selected]
+    return sorted(out, key=lambda v: (v.file or "", v.line or 0, v.rule))
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    *,
+    rules: Iterable[str] | None = None,
+) -> Report:
+    """Lint every ``.py`` file under ``paths``; returns one Report.
+
+    Each directory argument is scanned recursively and acts as the
+    root for both display paths and restricted-package detection, so
+    ``lint_paths(["src/repro"])`` treats ``src/repro/core/...`` as the
+    deterministic ``core`` package.
+    """
+    report = Report(subject=", ".join(str(p) for p in paths))
+    for base in paths:
+        base = Path(base)
+        if base.is_dir():
+            files = sorted(base.rglob("*.py"))
+            root: Path | None = base
+        else:
+            files = [base]
+            root = base.parent
+        for file in files:
+            if "__pycache__" in file.parts:
+                continue
+            for violation in lint_file(file, root=root, rules=rules):
+                report.add(violation)
+    return report

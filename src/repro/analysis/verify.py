@@ -1,0 +1,378 @@
+"""Static verification of collective plans against the paper's invariants.
+
+Since plans are cached by content hash (PR 2) and replayed across
+campaigns, a stale, hand-edited, or corrupted plan would silently price
+wrong results — the engine itself never re-checks what the planner
+guaranteed. :func:`verify_plan` re-derives those guarantees *statically*
+from the serialized plan, without building a context or executing
+anything:
+
+========  ==========================================================
+rule      invariant (paper section)
+========  ==========================================================
+PV100     file/JSON readable at all
+PV101     plan format version matches the loader's
+PV102     domain record well-formed (fields, types, signs)
+PV103     coverage stays inside the domain region (§3.2)
+PV104     coverage extents normalized: sorted, disjoint, non-empty
+PV105     no byte belongs to two domains (disjoint tiling, §3.1/3.2)
+PV106     aggregation groups do not straddle: distinct groups own
+          disjoint file regions (§3.1, Figure 4)
+PV107     non-remerged domains hold <= n_leaves * Msg_ind covered
+          bytes (§3.2 partition bound, modulo recorded remerges)
+PV108     every domain's buffer satisfies Mem_min (capped by its
+          covered bytes) — remerge's whole purpose (§3.3)
+PV109     no buffer larger than the domain's covered bytes
+PV110     byte conservation: the union of domain coverages equals
+          the workload's aggregate access set exactly
+PV111     the plan's recorded spec hash matches the cache key it
+          was loaded under
+PV112     placement stats agree with per-domain provenance (warning)
+========  ==========================================================
+
+The verifier operates on the *dict* form (what sits in the cache) so a
+malformed entry produces violations rather than exceptions; a
+:class:`~repro.core.plans.CollectivePlan` is accepted and converted.
+``repro check-plan`` exposes it on the command line and the campaign
+runner calls it on every cache hit before replaying.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Mapping
+from pathlib import Path
+from typing import Any
+
+from ..core.plans import PLAN_FORMAT_VERSION, CollectivePlan, plan_to_dict
+from ..util.intervals import ExtentList
+from .violations import Report, Violation
+
+__all__ = ["verify_plan", "verify_plan_file", "verify_cache_dir"]
+
+
+def _err(report: Report, rule: str, message: str, **kw: Any) -> None:
+    detail = kw.pop("detail", {})
+    report.add(Violation(rule=rule, message=message, detail=detail, **kw))
+
+
+def _warn(report: Report, rule: str, message: str, **kw: Any) -> None:
+    detail = kw.pop("detail", {})
+    report.add(
+        Violation(rule=rule, message=message, severity="warning", detail=detail, **kw)
+    )
+
+
+def _as_int(value: Any) -> int | None:
+    """``value`` as an int when it genuinely is one (bool excluded)."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        return None
+    return value
+
+
+def _check_domain_shape(report: Report, i: int, dom: Any) -> dict[str, Any] | None:
+    """PV102: validate one domain record's structure.
+
+    Returns a normalized ``{"lo", "hi", "pairs", "covered", ...}`` dict
+    when usable, ``None`` when too malformed for the semantic checks.
+    """
+    if not isinstance(dom, Mapping):
+        _err(report, "PV102", f"domain record is {type(dom).__name__}, not an object",
+             domain=i)
+        return None
+    region = dom.get("region")
+    if (
+        not isinstance(region, (list, tuple))
+        or len(region) != 2
+        or _as_int(region[0]) is None
+        or _as_int(region[1]) is None
+    ):
+        _err(report, "PV102", "region is not an [offset, length] integer pair",
+             domain=i, detail={"region": region})
+        return None
+    lo, length = int(region[0]), int(region[1])
+    if lo < 0 or length <= 0:
+        _err(report, "PV102", f"region [{lo}, {lo + length}) is empty or negative",
+             domain=i, detail={"offset": lo, "length": length})
+        return None
+    pairs_raw = dom.get("coverage")
+    if not isinstance(pairs_raw, (list, tuple)):
+        _err(report, "PV102", "coverage is not a list of (offset, length) pairs",
+             domain=i)
+        return None
+    pairs: list[tuple[int, int]] = []
+    for pair in pairs_raw:
+        if (
+            not isinstance(pair, (list, tuple))
+            or len(pair) != 2
+            or _as_int(pair[0]) is None
+            or _as_int(pair[1]) is None
+        ):
+            _err(report, "PV102", "coverage entry is not an integer pair",
+                 domain=i, detail={"entry": pair})
+            return None
+        pairs.append((int(pair[0]), int(pair[1])))
+    out: dict[str, Any] = {"lo": lo, "hi": lo + length, "pairs": pairs}
+    for key, minimum in (("aggregator", 0), ("buffer_bytes", 0), ("n_leaves", 1)):
+        value = _as_int(dom.get(key, minimum))
+        if value is None or value < minimum:
+            _err(report, "PV102", f"{key} must be an integer >= {minimum}",
+                 domain=i, detail={key: dom.get(key)})
+            return None
+        out[key] = value
+    group_id = _as_int(dom.get("group_id", 0))
+    if group_id is None:
+        _err(report, "PV102", "group_id must be an integer", domain=i,
+             detail={"group_id": dom.get("group_id")})
+        return None
+    out["group_id"] = group_id
+    out["remerged"] = bool(dom.get("remerged", False))
+    return out
+
+
+def _check_coverage(report: Report, i: int, dom: dict[str, Any]) -> bool:
+    """PV103/PV104: extent sanity and region containment for one domain."""
+    ok = True
+    prev_end: int | None = None
+    for offset, length in dom["pairs"]:
+        if offset < 0 or length <= 0:
+            _err(report, "PV104",
+                 f"coverage extent ({offset}, {length}) is empty or negative",
+                 domain=i, detail={"offset": offset, "length": length})
+            ok = False
+            continue
+        if prev_end is not None and offset <= prev_end:
+            _err(report, "PV104",
+                 "coverage extents are unsorted, overlapping, or uncoalesced",
+                 domain=i, detail={"prev_end": prev_end, "offset": offset})
+            ok = False
+        prev_end = offset + length
+        if offset < dom["lo"] or offset + length > dom["hi"]:
+            _err(report, "PV103",
+                 f"coverage [{offset}, {offset + length}) escapes region "
+                 f"[{dom['lo']}, {dom['hi']})",
+                 domain=i,
+                 detail={"extent": [offset, length],
+                         "region": [dom["lo"], dom["hi"] - dom["lo"]]})
+            ok = False
+    dom["covered"] = sum(length for _, length in dom["pairs"] if length > 0)
+    return ok
+
+
+def _check_overlaps(report: Report, domains: list[tuple[int, dict[str, Any]]]) -> None:
+    """PV105: sweep all coverage extents for cross-domain double ownership."""
+    events: list[tuple[int, int, int]] = []  # (start, end, domain index)
+    for i, dom in domains:
+        for offset, length in dom["pairs"]:
+            if length > 0 and offset >= 0:
+                events.append((offset, offset + length, i))
+    events.sort()
+    prev_end = -1
+    prev_owner = -1
+    for start, end, owner in events:
+        if start < prev_end and owner != prev_owner:
+            overlap = min(end, prev_end) - start
+            _err(report, "PV105",
+                 f"domains {prev_owner} and {owner} both cover "
+                 f"[{start}, {start + overlap})",
+                 domain=owner,
+                 detail={"other": prev_owner, "offset": start, "bytes": overlap})
+        if end > prev_end:
+            prev_end, prev_owner = end, owner
+
+
+def _check_group_tiling(
+    report: Report, domains: list[tuple[int, dict[str, Any]]]
+) -> None:
+    """PV106: distinct aggregation groups must own disjoint file regions.
+
+    Domains merged across groups carry ``group_id == -1`` and are exempt
+    (a slot may serve several groups); every non-negative group id must
+    occupy a file interval disjoint from every other group's.
+    """
+    envelopes: dict[int, tuple[int, int]] = {}
+    for _, dom in domains:
+        gid = dom["group_id"]
+        if gid < 0 or not dom["pairs"]:
+            continue
+        lo = min(o for o, _ in dom["pairs"])
+        hi = max(o + n for o, n in dom["pairs"])
+        if gid in envelopes:
+            old_lo, old_hi = envelopes[gid]
+            envelopes[gid] = (min(old_lo, lo), max(old_hi, hi))
+        else:
+            envelopes[gid] = (lo, hi)
+    ordered = sorted(envelopes.items(), key=lambda kv: kv[1])
+    for (gid_a, (lo_a, hi_a)), (gid_b, (lo_b, hi_b)) in zip(ordered, ordered[1:]):
+        if lo_b < hi_a:
+            _err(report, "PV106",
+                 f"group {gid_b} straddles into group {gid_a}'s region: "
+                 f"[{lo_b}, {hi_b}) overlaps [{lo_a}, {hi_a})",
+                 detail={"groups": [gid_a, gid_b],
+                         "overlap": [lo_b, min(hi_a, hi_b)]})
+
+
+def verify_plan(
+    plan: CollectivePlan | Mapping[str, Any],
+    *,
+    expected_spec_hash: str | None = None,
+    workload_extents: ExtentList | Iterable[tuple[int, int]] | None = None,
+    subject: str = "plan",
+) -> Report:
+    """Statically check one plan; returns a :class:`Report`.
+
+    ``expected_spec_hash`` enables the identity check (PV111) — pass the
+    cache key the plan was loaded under. ``workload_extents`` enables
+    byte conservation (PV110) — pass the workload's aggregate access
+    set (:func:`repro.io.domains.aggregate_access`).
+    """
+    if isinstance(plan, CollectivePlan):
+        plan = plan_to_dict(plan)
+    report = Report(subject=subject)
+    if not isinstance(plan, Mapping):
+        _err(report, "PV100", f"plan is {type(plan).__name__}, not an object")
+        return report
+
+    version = plan.get("version")
+    if version != PLAN_FORMAT_VERSION:
+        _err(report, "PV101",
+             f"plan format version {version!r} != {PLAN_FORMAT_VERSION}",
+             detail={"found": version, "expected": PLAN_FORMAT_VERSION})
+
+    raw_domains = plan.get("domains")
+    if not isinstance(raw_domains, list) or not raw_domains:
+        _err(report, "PV102", "plan carries no domain list")
+        return report
+
+    config = plan.get("config") if isinstance(plan.get("config"), Mapping) else {}
+    msg_ind = _as_int(config.get("msg_ind", 0)) or 0
+    mem_min = _as_int(config.get("mem_min", 0)) or 0
+
+    domains: list[tuple[int, dict[str, Any]]] = []
+    for i, raw in enumerate(raw_domains):
+        dom = _check_domain_shape(report, i, raw)
+        if dom is None:
+            continue
+        _check_coverage(report, i, dom)
+        domains.append((i, dom))
+
+    for i, dom in domains:
+        covered = dom["covered"]
+        if covered == 0:
+            _err(report, "PV104", "domain covers zero bytes", domain=i)
+            continue
+        if dom["buffer_bytes"] == 0:
+            _err(report, "PV102", "non-empty domain with zero buffer", domain=i)
+        if dom["buffer_bytes"] > covered:
+            _err(report, "PV109",
+                 f"buffer {dom['buffer_bytes']} B exceeds the domain's "
+                 f"{covered} covered bytes",
+                 domain=i,
+                 detail={"buffer_bytes": dom["buffer_bytes"], "covered": covered})
+        if msg_ind > 0 and not dom["remerged"] and covered > dom["n_leaves"] * msg_ind:
+            _err(report, "PV107",
+                 f"non-remerged domain covers {covered} B > "
+                 f"{dom['n_leaves']} leaves x Msg_ind {msg_ind} B",
+                 domain=i,
+                 detail={"covered": covered, "n_leaves": dom["n_leaves"],
+                         "msg_ind": msg_ind})
+        if mem_min > 0 and dom["buffer_bytes"] < min(mem_min, covered):
+            _err(report, "PV108",
+                 f"buffer {dom['buffer_bytes']} B below Mem_min "
+                 f"{mem_min} B (domain covers {covered} B)",
+                 domain=i,
+                 detail={"buffer_bytes": dom["buffer_bytes"], "mem_min": mem_min,
+                         "covered": covered})
+
+    _check_overlaps(report, domains)
+    _check_group_tiling(report, domains)
+
+    if workload_extents is not None and domains:
+        if not isinstance(workload_extents, ExtentList):
+            workload_extents = ExtentList.from_pairs(list(workload_extents))
+        union = ExtentList.from_pairs(
+            [
+                (offset, length)
+                for _, dom in domains
+                for offset, length in dom["pairs"]
+                if length > 0 and offset >= 0
+            ]
+        )
+        missing = workload_extents.subtract(union)
+        extra = union.subtract(workload_extents)
+        if not missing.is_empty:
+            _err(report, "PV110",
+                 f"{missing.total} workload bytes not covered by any domain",
+                 detail={"missing_bytes": missing.total,
+                         "first_gap": missing.to_pairs()[:4]})
+        if not extra.is_empty:
+            _err(report, "PV110",
+                 f"domains cover {extra.total} bytes the workload never "
+                 "requested",
+                 detail={"extra_bytes": extra.total,
+                         "first_extra": extra.to_pairs()[:4]})
+
+    recorded_hash = str(plan.get("spec_hash", "") or "")
+    if expected_spec_hash and recorded_hash and recorded_hash != expected_spec_hash:
+        _err(report, "PV111",
+             "plan was built for a different spec than the key it was "
+             "loaded under",
+             detail={"recorded": recorded_hash, "expected": expected_spec_hash})
+
+    stats = plan.get("stats")
+    if isinstance(stats, Mapping) and domains:
+        n_leaves_total = sum(dom["n_leaves"] for _, dom in domains)
+        recorded = _as_int(stats.get("n_domains"))
+        if recorded is not None and recorded != n_leaves_total:
+            _warn(report, "PV112",
+                  f"stats.n_domains={recorded} but domains carry "
+                  f"{n_leaves_total} leaves",
+                  detail={"stats": recorded, "provenance": n_leaves_total})
+        n_remerges = _as_int(stats.get("n_remerges"))
+        n_remerged_domains = sum(1 for _, dom in domains if dom["remerged"])
+        if n_remerges is not None and n_remerged_domains > n_remerges:
+            _warn(report, "PV112",
+                  f"{n_remerged_domains} domains claim remerge provenance but "
+                  f"stats record only {n_remerges} remerges",
+                  detail={"stats": n_remerges, "provenance": n_remerged_domains})
+    return report
+
+
+def verify_plan_file(
+    path: str | Path,
+    *,
+    expected_spec_hash: str | None = None,
+    workload_extents: ExtentList | Iterable[tuple[int, int]] | None = None,
+) -> Report:
+    """Load ``path`` as JSON and verify it (unreadable file -> PV100)."""
+    path = Path(path)
+    report = Report(subject=str(path))
+    try:
+        data = json.loads(path.read_text())
+    except OSError as exc:
+        _err(report, "PV100", f"cannot read plan file: {exc}")
+        return report
+    except json.JSONDecodeError as exc:
+        _err(report, "PV100", f"plan file is not valid JSON: {exc}")
+        return report
+    inner = verify_plan(
+        data,
+        expected_spec_hash=expected_spec_hash,
+        workload_extents=workload_extents,
+        subject=str(path),
+    )
+    return inner
+
+
+def verify_cache_dir(root: str | Path) -> list[Report]:
+    """Verify every ``*.plan.json`` entry of a plan-cache directory.
+
+    Each entry's file stem is its spec-hash key, so the identity check
+    (PV111) runs automatically against the file name.
+    """
+    root = Path(root)
+    reports: list[Report] = []
+    for path in sorted(root.glob("*.plan.json")):
+        key = path.name[: -len(".plan.json")]
+        reports.append(verify_plan_file(path, expected_spec_hash=key))
+    return reports

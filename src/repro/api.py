@@ -32,9 +32,10 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Any, Mapping
+from typing import Any
 
 from .cluster import (
     MachineModel,
@@ -252,7 +253,7 @@ class Experiment:
             )
 
     # ------------------------------------------------------------- builders
-    def replace(self, **changes: Any) -> "Experiment":
+    def replace(self, **changes: Any) -> Experiment:
         """Copy with modified fields (grid construction primitive)."""
         return dataclasses.replace(self, **changes)
 
@@ -313,7 +314,12 @@ class Experiment:
             )
         if ctx is None:
             ctx = self.context()
-        return strategy.build_plan(ctx, self.requests())
+        plan = strategy.build_plan(ctx, self.requests())
+        # Stamp the plan with the experiment identity it was built for,
+        # so cached copies can be checked against the cache key they are
+        # loaded under (repro.analysis.verify PV111).
+        plan.spec_hash = self.spec_hash()
+        return plan
 
     def fault_runtime(
         self, ctx: IOContext, *, attempt: int = 0

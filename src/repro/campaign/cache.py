@@ -6,6 +6,12 @@ two workers planning the same point concurrently cannot interleave
 bytes — last writer wins with an identical payload (plans are pure
 functions of the spec). Unreadable or version-mismatched entries are
 treated as misses, never as errors.
+
+Loading only guarantees the entry *parses*; semantic validity (the
+paper's invariants, spec-hash identity) is the static verifier's job —
+the campaign runner checks every hit with
+:func:`repro.analysis.verify_plan` and calls :meth:`PlanCache.delete`
+to purge entries that fail, demoting them to misses.
 """
 
 from __future__ import annotations
@@ -47,6 +53,18 @@ class PlanCache:
         tmp.write_text(json.dumps(plan_to_dict(plan), sort_keys=True))
         os.replace(tmp, target)
         return target
+
+    def delete(self, key: str) -> bool:
+        """Remove ``key``'s entry; True when a file was actually removed.
+
+        Concurrent delete is fine (another worker may have purged the
+        same poisoned entry first).
+        """
+        try:
+            self.path(key).unlink()
+            return True
+        except OSError:
+            return False
 
     def __contains__(self, key: str) -> bool:
         return self.path(key).exists()

@@ -37,12 +37,15 @@ import itertools
 import multiprocessing
 import time
 import traceback
+from collections.abc import Callable, Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Iterable, Mapping, Sequence
+from typing import Any
 
+from ..analysis.verify import verify_plan
 from ..api import Experiment
 from ..metrics.export import result_to_dict
+from ..metrics.telemetry import PLAN_CACHE_REJECTS
 from ..metrics.reporting import render_table
 from ..metrics.store import ResultStore
 from ..util.errors import TransientFaultError
@@ -80,11 +83,25 @@ def run_experiment_record(
         if cache_dir is not None and experiment.supports_plan_cache():
             cache = PlanCache(cache_dir)
             plan = cache.load(key)
-            cache_state = "hit" if plan is not None else "miss"
+            if plan is not None:
+                # A parseable entry may still be semantically poisoned
+                # (stale format, tampered domains, wrong spec). Verify
+                # the paper's invariants before trusting the replay;
+                # rejects purge the entry and demote to a miss.
+                report = verify_plan(plan, expected_spec_hash=key, subject=key)
+                if report.ok:
+                    cache_state = "hit"
+                else:
+                    cache.delete(key)
+                    plan = None
+                    cache_state = "rejected"
+                    record["cache_reject_rules"] = report.by_rule()
+            else:
+                cache_state = "miss"
         while True:
             attempts += 1
             try:
-                if cache_state == "miss" and attempts == 1:
+                if cache_state in ("miss", "rejected") and attempts == 1:
                     ctx = experiment.context()
                     plan = experiment.plan(ctx)
                     cache.store(key, plan)
@@ -103,6 +120,8 @@ def run_experiment_record(
                 transient_failures.append(str(exc))
                 if attempts > retries:
                     raise
+        if cache_state == "rejected" and result.telemetry is not None:
+            result.telemetry.count(PLAN_CACHE_REJECTS)
         record.update(
             status="ok",
             cache=cache_state,
@@ -132,7 +151,7 @@ def _pool_entry(task: tuple[int, Experiment, str | None, int]) -> dict:
 
 def _timeout_entry(
     task: tuple[int, Experiment, str | None, int],
-    queue: "multiprocessing.Queue",
+    queue: multiprocessing.Queue,
 ) -> None:  # pragma: no cover - exercised in a child process
     queue.put(_pool_entry(task))
 
@@ -232,7 +251,15 @@ class CampaignResult:
 
     @property
     def cache_misses(self) -> int:
-        return sum(1 for r in self.records if r.get("cache") == "miss")
+        """Points that had to plan from scratch (true misses + rejects)."""
+        return sum(
+            1 for r in self.records if r.get("cache") in ("miss", "rejected")
+        )
+
+    @property
+    def cache_rejects(self) -> int:
+        """Cached plans the static verifier refused to replay."""
+        return sum(1 for r in self.records if r.get("cache") == "rejected")
 
     def results(self) -> list[dict]:
         """The per-point result payloads of successful points."""
@@ -267,6 +294,8 @@ class CampaignResult:
             f"{len(self.errors)} errors; plan cache: {self.cache_hits} hits / "
             f"{self.cache_misses} misses"
         )
+        if self.cache_rejects:
+            totals += f" ({self.cache_rejects} rejected by verifier)"
         if self.retried:
             totals += f"; {len(self.retried)} retried"
         if self.n_skipped:
@@ -328,7 +357,7 @@ class Campaign:
         base: Experiment,
         axes: Mapping[str, Iterable[Any]],
         **options: Any,
-    ) -> "Campaign":
+    ) -> Campaign:
         """Cartesian product of ``base.replace(...)`` over ``axes``.
 
         ``axes`` maps :class:`Experiment` field names to value lists;

@@ -13,7 +13,12 @@ Gives the library a shell-level surface for the common workflows:
   print the result summary and phase trace;
 * ``trace``    — execute one operation (or load a ``dump_results`` JSON
   / campaign JSONL store) and render the per-round / per-resource
-  telemetry breakdown.
+  telemetry breakdown;
+* ``check-plan`` — statically verify serialized collective plans (a
+  ``*.plan.json`` file or a whole plan-cache directory) against the
+  paper's invariants; non-zero exit on any violation;
+* ``lint``     — run the determinism/unit AST lint over the source tree;
+  non-zero exit on any violation.
 
 All execution commands build :class:`~repro.api.Experiment` specs — the
 same objects the benchmark harness and the campaign runner use — so the
@@ -25,8 +30,8 @@ from __future__ import annotations
 
 import argparse
 import sys
+from collections.abc import Sequence
 from pathlib import Path
-from typing import Sequence
 
 from .analysis import DESIGN_2010, DESIGN_2018, memory_per_core_factor, projection_table
 from .api import Experiment, resolve_machine
@@ -297,6 +302,58 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 1 if outcome.errors else 0
 
 
+def cmd_check_plan(args: argparse.Namespace) -> int:
+    """Verify one plan file or every entry of a cache directory."""
+    import json
+
+    from .analysis import verify_cache_dir, verify_plan_file
+
+    target = Path(args.path)
+    if target.is_dir():
+        reports = verify_cache_dir(target)
+        if not reports:
+            print(f"no *.plan.json entries under {target}", file=sys.stderr)
+            return 1
+    else:
+        reports = [verify_plan_file(target)]
+    if args.format == "json":
+        print(json.dumps([r.to_dict() for r in reports], indent=2))
+    else:
+        for report in reports:
+            print(report.render())
+    bad = [r for r in reports if not r.ok]
+    if bad:
+        print(
+            f"{len(bad)} of {len(reports)} plan(s) violate invariants",
+            file=sys.stderr,
+        )
+    return 1 if bad else 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the determinism/unit lint over source paths."""
+    import json
+
+    from .analysis import LINT_RULES, lint_paths
+
+    if args.rules:
+        for code, summary in sorted(LINT_RULES.items()):
+            print(f"{code}  {summary}")
+        return 0
+    paths = args.paths
+    if not paths:
+        default = Path("src/repro")
+        # Outside a checkout, fall back to the installed package tree.
+        paths = [default if default.is_dir() else Path(__file__).parent]
+    select = args.select.split(",") if args.select else None
+    report = lint_paths(paths, rules=select)
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Memory-conscious collective I/O reproduction"
@@ -391,6 +448,30 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true",
                    help="print one line per finished point")
     p.set_defaults(fn=cmd_campaign)
+
+    p = sub.add_parser(
+        "check-plan",
+        help="statically verify a plan file or plan-cache directory",
+    )
+    p.add_argument("path",
+                   help="a *.plan.json file or a plan-cache directory")
+    p.add_argument("--format", default="text", choices=["text", "json"],
+                   help="report format (json is machine-readable)")
+    p.set_defaults(fn=cmd_check_plan)
+
+    p = sub.add_parser(
+        "lint",
+        help="determinism/unit AST lint over the source tree",
+    )
+    p.add_argument("paths", nargs="*", type=Path,
+                   help="files or directories to lint (default: src/repro)")
+    p.add_argument("--select",
+                   help="comma-separated rule codes to enable (default: all)")
+    p.add_argument("--format", default="text", choices=["text", "json"],
+                   help="report format (json is machine-readable)")
+    p.add_argument("--rules", action="store_true",
+                   help="list the rule codes and exit")
+    p.set_defaults(fn=cmd_lint)
 
     return parser
 

@@ -93,11 +93,11 @@ class MachineModel:
     def total_memory(self) -> int:
         return self.n_nodes * self.node.mem_capacity
 
-    def with_storage(self, **changes) -> "MachineModel":
+    def with_storage(self, **changes) -> MachineModel:
         """Copy with modified storage parameters."""
         return replace(self, storage=replace(self.storage, **changes))
 
-    def with_node(self, **changes) -> "MachineModel":
+    def with_node(self, **changes) -> MachineModel:
         """Copy with modified node parameters."""
         return replace(self, node=replace(self.node, **changes))
 

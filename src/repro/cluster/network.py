@@ -18,7 +18,7 @@ Resource keys (shared with :mod:`repro.fs`):
 from __future__ import annotations
 
 import math
-from typing import Hashable
+from collections.abc import Hashable
 
 from ..util.validation import check_non_negative
 from .machine import MachineModel

@@ -12,7 +12,8 @@ under it — one of the ablations exercises exactly that.
 
 from __future__ import annotations
 
-from typing import Iterator, Literal
+from collections.abc import Iterator
+from typing import Literal
 
 import numpy as np
 

@@ -67,6 +67,6 @@ class MemoryConsciousConfig:
                 f"buffer_floor {self.buffer_floor} exceeds msg_ind {self.msg_ind}"
             )
 
-    def replace(self, **changes) -> "MemoryConsciousConfig":
+    def replace(self, **changes) -> MemoryConsciousConfig:
         """Copy with modified fields."""
         return replace(self, **changes)

@@ -21,7 +21,8 @@ difference is attributable to these planning decisions.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from ..fs.pfs import IOKind, SimFile
 from ..io.base import IOStrategy
@@ -104,8 +105,16 @@ class MemoryConsciousCollectiveIO(IOStrategy):
         ctx: IOContext,
         requests: Sequence[AccessRequest],
     ) -> CollectivePlan:
-        """Like :meth:`plan`, but packaged as a serializable value."""
-        return CollectivePlan.from_tuple(self.plan(ctx, requests))
+        """Like :meth:`plan`, but packaged as a serializable value.
+
+        The packaged plan carries the tunables it was built under
+        (``msg_ind``, ``mem_min``) so the static verifier can re-check
+        the paper's invariants against the right bounds.
+        """
+        plan = CollectivePlan.from_tuple(self.plan(ctx, requests))
+        plan.msg_ind = self.config.msg_ind
+        plan.mem_min = self.config.mem_min
+        return plan
 
     def run(
         self,
@@ -115,7 +124,7 @@ class MemoryConsciousCollectiveIO(IOStrategy):
         *,
         kind: IOKind,
         plan: CollectivePlan | None = None,
-        faults: "FaultRuntime | None" = None,
+        faults: FaultRuntime | None = None,
     ) -> CollectiveResult:
         """Execute the access; ``plan`` replays a precomputed (possibly
         cached) plan instead of running components 1-4 again.

@@ -21,8 +21,8 @@ the mode; ``off`` yields a single global group (the ablation baseline).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Sequence
 
 from ..mpi.comm import SimComm
 from ..mpi.requests import AccessRequest

@@ -25,7 +25,7 @@ does, and property tests hammer it.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Optional
+from collections.abc import Callable, Iterator
 
 import numpy as np
 
@@ -61,15 +61,15 @@ class PartitionNode:
         lo: int,
         hi: int,
         coverage: ExtentList | None = None,
-        parent: Optional["PartitionNode"] = None,
+        parent: PartitionNode | None = None,
     ) -> None:
         if hi <= lo:
             raise PartitionError(f"empty region [{lo}, {hi})")
         self.lo = lo
         self.hi = hi
         self.coverage = coverage  # leaves only
-        self.left: Optional[PartitionNode] = None
-        self.right: Optional[PartitionNode] = None
+        self.left: PartitionNode | None = None
+        self.right: PartitionNode | None = None
         self.parent = parent
 
     @property
@@ -106,7 +106,7 @@ class PartitionTree:
         *,
         region: Extent | None = None,
         align: Callable[[int], int] | None = None,
-    ) -> "PartitionTree":
+    ) -> PartitionTree:
         """Recursively bisect until each leaf covers <= ``msg_ind`` bytes.
 
         ``align`` optionally snaps split offsets (e.g. to stripe-unit
@@ -156,7 +156,7 @@ class PartitionTree:
         """Leaves in file-offset order (in-order traversal)."""
         out: list[PartitionNode] = []
         stack: list[PartitionNode] = []
-        node: Optional[PartitionNode] = self.root
+        node: PartitionNode | None = self.root
         while node is not None or stack:
             while node is not None:
                 if node.is_leaf:

@@ -37,8 +37,8 @@ single file domain processed in buffer-sized rounds
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, replace
-from typing import Sequence
 
 from ..io.context import IOContext
 from ..io.domains import FileDomain
@@ -69,7 +69,7 @@ class PlacementStats:
     n_fallbacks: int = 0
     n_rebalanced: int = 0
 
-    def merge(self, other: "PlacementStats") -> None:
+    def merge(self, other: PlacementStats) -> None:
         self.n_domains += other.n_domains
         self.n_remerges += other.n_remerges
         self.n_fallbacks += other.n_fallbacks
@@ -99,7 +99,7 @@ class SlotPlan:
             self.by_node.setdefault(slot.node_id, []).append(slot)
 
     @classmethod
-    def build(cls, ctx: IOContext, config: MemoryConsciousConfig) -> "SlotPlan":
+    def build(cls, ctx: IOContext, config: MemoryConsciousConfig) -> SlotPlan:
         if not config.dynamic_placement:
             # Ablation A3: memory-oblivious placement — one aggregator
             # slot per node with the hinted buffer size, exactly like the
@@ -167,6 +167,9 @@ class Assignment:
     # candidate host -> ((rank, bytes-in-leaf), ...) for every
     # intersecting process; used for affinity and by the rebalancer.
     host_ranks: dict[int, tuple[tuple[int, int], ...]]
+    # True when this leaf absorbed a removed neighbour (tree surgery);
+    # such leaves may legitimately exceed Msg_ind covered bytes.
+    remerged: bool = False
 
     @property
     def nbytes(self) -> int:
@@ -214,6 +217,7 @@ def place_group(
         requests_by_rank[r] for r in group.member_ranks if r in requests_by_rank
     ]
     assigned: dict[int, Assignment] = {}  # id(leaf) -> assignment
+    remerged_ids: set[int] = set()  # id(leaf) for remerge takers
 
     guard = 4 * max(tree.n_leaves, 1) + 8
     while True:
@@ -237,6 +241,8 @@ def place_group(
             if config.enable_remerge and leaf.parent is not None:
                 taker = tree.remove_leaf(leaf)
                 stats.n_remerges += 1
+                remerged_ids.discard(id(leaf))
+                remerged_ids.add(id(taker))
                 prior = assigned.pop(id(taker), None)
                 if prior is not None:
                     # The taker already absorbed `covered`; undo its old
@@ -254,6 +260,7 @@ def place_group(
             coverage=leaf.coverage,
             group_id=group.group_id,
             host_ranks=hosts,
+            remerged=id(leaf) in remerged_ids,
         )
 
     assignments = [assigned[id(leaf)] for leaf in tree.leaves()]
@@ -370,6 +377,8 @@ def build_domains(
                 aggregator=rank,
                 buffer_bytes=min(slot.buffer_bytes, max(coverage.total, 1)),
                 group_id=group_ids.pop() if len(group_ids) == 1 else -1,
+                n_leaves=len(items),
+                remerged=any(a.remerged for a in items),
             )
         )
     domains.sort(key=lambda d: d.region.offset)

@@ -14,14 +14,21 @@ planning never mutates the context (it only *reads* per-node available
 memory; aggregation buffers are allocated and released during
 execution), running a deserialized plan on a freshly built context of
 the same spec is bit-identical to planning inline.
+
+Format version 2 additionally records what the static plan verifier
+(:mod:`repro.analysis.verify`) needs to re-check the paper's invariants
+without replanning: per-domain provenance (``n_leaves``, ``remerged``),
+the planner tunables the plan was built under (``msg_ind``,
+``mem_min``), and the spec hash the plan was produced for.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+from collections.abc import Mapping
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any
 
 from ..io.domains import FileDomain
 from ..util.intervals import Extent, ExtentList
@@ -29,6 +36,7 @@ from .placement import PlacementStats
 
 __all__ = [
     "CollectivePlan",
+    "PLAN_FORMAT_VERSION",
     "plan_to_dict",
     "plan_from_dict",
     "canonical_json",
@@ -36,22 +44,32 @@ __all__ = [
 ]
 
 #: bump when the serialized layout changes; loaders reject other versions
-PLAN_FORMAT_VERSION = 1
+PLAN_FORMAT_VERSION = 2
 
 
 @dataclass(slots=True)
 class CollectivePlan:
-    """The planner's full decision set for one collective operation."""
+    """The planner's full decision set for one collective operation.
+
+    ``msg_ind`` / ``mem_min`` record the tunables the plan was built
+    under (0 = unknown, e.g. a hand-built plan); ``spec_hash`` is the
+    experiment identity the plan was produced for ("" = unstamped).
+    Both are advisory metadata: execution ignores them, the static
+    verifier uses them.
+    """
 
     domains: list[FileDomain]
     stats: PlacementStats = field(default_factory=PlacementStats)
     group_sizes: dict[int, int] = field(default_factory=dict)
+    msg_ind: int = 0
+    mem_min: int = 0
+    spec_hash: str = ""
 
     @classmethod
     def from_tuple(
         cls,
         parts: tuple[list[FileDomain], PlacementStats, dict[int, int]],
-    ) -> "CollectivePlan":
+    ) -> CollectivePlan:
         """Wrap the ``plan()`` tuple (kept for existing callers)."""
         domains, stats, group_sizes = parts
         return cls(domains=list(domains), stats=stats, group_sizes=dict(group_sizes))
@@ -63,21 +81,23 @@ class CollectivePlan:
     def n_domains(self) -> int:
         return len(self.domains)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return plan_to_dict(self)
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, Any]) -> "CollectivePlan":
+    def from_dict(cls, data: Mapping[str, Any]) -> CollectivePlan:
         return plan_from_dict(data)
 
 
-def _domain_to_dict(domain: FileDomain) -> dict:
+def _domain_to_dict(domain: FileDomain) -> dict[str, Any]:
     return {
         "region": [domain.region.offset, domain.region.length],
         "coverage": domain.coverage.to_pairs(),
         "aggregator": domain.aggregator,
         "buffer_bytes": domain.buffer_bytes,
         "group_id": domain.group_id,
+        "n_leaves": domain.n_leaves,
+        "remerged": domain.remerged,
     }
 
 
@@ -91,10 +111,12 @@ def _domain_from_dict(data: Mapping[str, Any]) -> FileDomain:
         aggregator=int(data["aggregator"]),
         buffer_bytes=int(data["buffer_bytes"]),
         group_id=int(data["group_id"]),
+        n_leaves=int(data.get("n_leaves", 1)),
+        remerged=bool(data.get("remerged", False)),
     )
 
 
-def plan_to_dict(plan: CollectivePlan) -> dict:
+def plan_to_dict(plan: CollectivePlan) -> dict[str, Any]:
     """Flatten a plan to JSON-safe data (lossless)."""
     return {
         "version": PLAN_FORMAT_VERSION,
@@ -106,6 +128,8 @@ def plan_to_dict(plan: CollectivePlan) -> dict:
             "n_rebalanced": plan.stats.n_rebalanced,
         },
         "group_sizes": {str(k): v for k, v in plan.group_sizes.items()},
+        "config": {"msg_ind": plan.msg_ind, "mem_min": plan.mem_min},
+        "spec_hash": plan.spec_hash,
     }
 
 
@@ -128,10 +152,14 @@ def plan_from_dict(data: Mapping[str, Any]) -> CollectivePlan:
         n_fallbacks=int(stats_d.get("n_fallbacks", 0)),
         n_rebalanced=int(stats_d.get("n_rebalanced", 0)),
     )
+    config_d = data.get("config", {})
     return CollectivePlan(
         domains=[_domain_from_dict(d) for d in data["domains"]],
         stats=stats,
         group_sizes={int(k): int(v) for k, v in data.get("group_sizes", {}).items()},
+        msg_ind=int(config_d.get("msg_ind", 0)),
+        mem_min=int(config_d.get("mem_min", 0)),
+        spec_hash=str(data.get("spec_hash", "")),
     )
 
 

@@ -22,7 +22,8 @@ overlapping windows compose and restores can never drift numerically.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Hashable
+from collections.abc import Hashable
+from typing import TYPE_CHECKING
 
 from ..cluster.network import membw
 from ..fs.pfs import ost_key
@@ -80,7 +81,7 @@ class FaultRuntime:
     def __init__(
         self,
         spec: FaultSpec,
-        ctx: "IOContext",
+        ctx: IOContext,
         *,
         attempt: int = 0,
     ) -> None:

@@ -18,8 +18,9 @@ compact ``--faults`` CLI form (:meth:`FaultSpec.parse`).
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, field, fields, replace
-from typing import Any, Mapping
+from typing import Any
 
 import numpy as np
 
@@ -82,7 +83,7 @@ class FaultEvent:
         }
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, Any]) -> "FaultEvent":
+    def from_dict(cls, data: Mapping[str, Any]) -> FaultEvent:
         return cls(
             kind=str(data["kind"]),
             time=float(data["time"]),
@@ -160,7 +161,7 @@ class FaultSpec:
             and self.abort_prob == 0.0
         )
 
-    def replace(self, **changes: Any) -> "FaultSpec":
+    def replace(self, **changes: Any) -> FaultSpec:
         return replace(self, **changes)
 
     # ----------------------------------------------------------- schedule
@@ -240,7 +241,7 @@ class FaultSpec:
         }
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> FaultSpec:
         known = {f.name for f in fields(cls)}
         unknown = set(data) - known
         if unknown:
@@ -252,7 +253,7 @@ class FaultSpec:
         return cls(**kwargs)
 
     @classmethod
-    def parse(cls, text: str) -> "FaultSpec":
+    def parse(cls, text: str) -> FaultSpec:
         """Parse the compact CLI form: ``"mem=2,stall=1,ost=1,seed=5"``.
 
         Keys are FaultSpec field names or the aliases ``mem``/``stall``/

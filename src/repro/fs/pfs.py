@@ -12,8 +12,9 @@ contention between the shuffle and the storage path in one solver.
 
 from __future__ import annotations
 
+from collections.abc import Hashable
 from dataclasses import dataclass
-from typing import Hashable, Literal
+from typing import Literal
 
 import numpy as np
 
@@ -49,7 +50,7 @@ class SimFile:
 
     __slots__ = ("name", "pfs", "image", "_size")
 
-    def __init__(self, name: str, pfs: "ParallelFileSystem") -> None:
+    def __init__(self, name: str, pfs: ParallelFileSystem) -> None:
         self.name = name
         self.pfs = pfs
         self.image: FileImage | None = FileImage() if pfs.track_data else None

@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from ..fs.pfs import IOKind, SimFile
 from ..mpi.requests import AccessRequest
@@ -40,11 +41,11 @@ class IOStrategy(ABC):
         requests: Sequence[AccessRequest],
         *,
         kind: IOKind,
-        faults: "FaultRuntime | None" = None,
+        faults: FaultRuntime | None = None,
     ) -> CollectiveResult:
         """Execute the access and return timing + statistics."""
 
-    def _check_faults(self, faults: "FaultRuntime | None") -> None:
+    def _check_faults(self, faults: FaultRuntime | None) -> None:
         """Reject fault schedules on strategies with no round engine."""
         if faults is not None and not self.supports_faults:
             raise ConfigurationError(
@@ -57,7 +58,7 @@ class IOStrategy(ABC):
         ctx: IOContext,
         file: SimFile,
         requests: Sequence[AccessRequest],
-        faults: "FaultRuntime | None" = None,
+        faults: FaultRuntime | None = None,
     ) -> CollectiveResult:
         """Collective write entry point."""
         return self.run(ctx, file, requests, kind="write", faults=faults)
@@ -67,7 +68,7 @@ class IOStrategy(ABC):
         ctx: IOContext,
         file: SimFile,
         requests: Sequence[AccessRequest],
-        faults: "FaultRuntime | None" = None,
+        faults: FaultRuntime | None = None,
     ) -> CollectiveResult:
         """Collective read entry point."""
         return self.run(ctx, file, requests, kind="read", faults=faults)

@@ -8,8 +8,8 @@ to build one from a machine model in one call.
 
 from __future__ import annotations
 
+from collections.abc import Hashable
 from dataclasses import dataclass
-from typing import Hashable
 
 import numpy as np
 

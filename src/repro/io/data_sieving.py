@@ -11,7 +11,8 @@ altogether.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from ..fs.pfs import IOKind, SimFile
 from ..metrics.telemetry import RoundRecord, Telemetry
@@ -41,7 +42,7 @@ class DataSievingIO(IOStrategy):
         requests: Sequence[AccessRequest],
         *,
         kind: IOKind,
-        faults: "FaultRuntime | None" = None,
+        faults: FaultRuntime | None = None,
     ) -> CollectiveResult:
         self._check_faults(faults)
         sieve = ctx.hints.sieve_buffer_size

@@ -10,8 +10,8 @@ memory-conscious strategy builds them from a binary partition tree
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, replace
-from typing import Sequence
 
 import numpy as np
 
@@ -25,13 +25,24 @@ __all__ = ["FileDomain", "aggregate_access", "even_domains"]
 
 @dataclass(frozen=True, slots=True)
 class FileDomain:
-    """A contiguous region of the file owned by one aggregator."""
+    """A contiguous region of the file owned by one aggregator.
+
+    ``n_leaves`` and ``remerged`` record the domain's planning
+    provenance: how many partition-tree leaves were merged into it (one
+    aggregator slot serves all its leaves as a single domain) and
+    whether any of those leaves was produced by memory-driven remerging
+    (paper Section 3.2). The static plan verifier
+    (:mod:`repro.analysis.verify`) uses them to bound covered bytes by
+    ``n_leaves * Msg_ind`` for domains that were never remerged.
+    """
 
     region: Extent
     coverage: ExtentList
     aggregator: int
     buffer_bytes: int
     group_id: int = 0
+    n_leaves: int = 1
+    remerged: bool = False
 
     def __post_init__(self) -> None:
         if not self.coverage.is_empty:
@@ -42,6 +53,8 @@ class FileDomain:
                 )
         if self.buffer_bytes < 0:
             raise PartitionError(f"negative buffer {self.buffer_bytes}")
+        if self.n_leaves < 1:
+            raise PartitionError(f"n_leaves must be >= 1, got {self.n_leaves}")
 
     @property
     def covered_bytes(self) -> int:
@@ -60,7 +73,7 @@ class FileDomain:
         lo = round_index * self.buffer_bytes
         return self.coverage.slice_bytes(lo, lo + self.buffer_bytes)
 
-    def with_buffer(self, buffer_bytes: int) -> "FileDomain":
+    def with_buffer(self, buffer_bytes: int) -> FileDomain:
         return replace(self, buffer_bytes=buffer_bytes)
 
 

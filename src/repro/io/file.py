@@ -17,7 +17,7 @@ studies).
 
 from __future__ import annotations
 
-from typing import Mapping
+from collections.abc import Mapping
 
 import numpy as np
 
@@ -59,7 +59,7 @@ class CollectiveFile:
         name: str,
         *,
         strategy: IOStrategy | None = None,
-    ) -> "CollectiveFile":
+    ) -> CollectiveFile:
         """Open (creating) ``name`` on the context's file system."""
         return cls(ctx, ctx.pfs.open(name), strategy=strategy)
 

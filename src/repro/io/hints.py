@@ -50,6 +50,6 @@ class CollectiveHints:
         if self.solver_mode not in ("bottleneck", "fluid"):
             raise ValueError(f"unknown solver_mode {self.solver_mode!r}")
 
-    def with_buffer(self, cb_buffer_size: int) -> "CollectiveHints":
+    def with_buffer(self, cb_buffer_size: int) -> CollectiveHints:
         """Copy with a different aggregation buffer size."""
         return replace(self, cb_buffer_size=cb_buffer_size)

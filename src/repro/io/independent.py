@@ -10,7 +10,8 @@ collective win.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from ..metrics.telemetry import RoundRecord, Telemetry
 from ..sim.flows import Flow, solve_phase
@@ -39,7 +40,7 @@ class IndependentIO(IOStrategy):
         requests: Sequence[AccessRequest],
         *,
         kind: IOKind,
-        faults: "FaultRuntime | None" = None,
+        faults: FaultRuntime | None = None,
     ) -> CollectiveResult:
         self._check_faults(faults)
         trace = TraceRecorder()

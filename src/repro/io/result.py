@@ -48,7 +48,7 @@ class CollectiveResult:
     shuffle_intra_bytes: int = 0
     shuffle_inter_bytes: int = 0
     trace: TraceRecorder | None = None
-    telemetry: "Telemetry | None" = None  # per-round observability
+    telemetry: Telemetry | None = None  # per-round observability
     extras: dict = field(default_factory=dict)  # strategy-specific stats
 
     @property

@@ -70,7 +70,8 @@ buffers, groups) and not from divergent cost accounting.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Hashable, Sequence
+from collections.abc import Hashable, Sequence
+from typing import TYPE_CHECKING
 
 from ..cluster.network import BISECTION, membw, nic_in, nic_out
 from ..fs.pfs import IOKind, SimFile
@@ -166,7 +167,7 @@ class _DegradationController:
 
     def __init__(
         self,
-        faults: "FaultRuntime",
+        faults: FaultRuntime,
         ctx: IOContext,
         domains: Sequence[FileDomain],
         remaining: list[ExtentList],
@@ -375,7 +376,7 @@ def execute_collective(
     strategy: str,
     planning_time: float = 0.0,
     group_sizes: dict[int, int] | None = None,
-    faults: "FaultRuntime | None" = None,
+    faults: FaultRuntime | None = None,
 ) -> CollectiveResult:
     """Run the generic two-phase schedule over the planned domains.
 

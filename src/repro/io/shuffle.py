@@ -9,8 +9,8 @@ core — the distinction that makes aggregator *placement* matter.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Sequence
 
 from ..cluster.network import BISECTION, membw, nic_in, nic_out
 from ..fs.pfs import IOKind

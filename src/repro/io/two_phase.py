@@ -15,7 +15,8 @@ The reference implementation the paper compares against:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from ..fs.pfs import IOKind, SimFile
 from ..mpi.requests import AccessRequest
@@ -58,7 +59,7 @@ class TwoPhaseCollectiveIO(IOStrategy):
         requests: Sequence[AccessRequest],
         *,
         kind: IOKind,
-        faults: "FaultRuntime | None" = None,
+        faults: FaultRuntime | None = None,
     ) -> CollectiveResult:
         hints = ctx.hints
         aggregators = default_aggregators(ctx, hints.cb_nodes_per_node)

@@ -14,8 +14,9 @@ dump → load round trip loses nothing; telemetry reconstructs exactly via
 from __future__ import annotations
 
 import json
+from collections.abc import Mapping, Sequence
 from pathlib import Path
-from typing import Any, Mapping, Sequence
+from typing import Any
 
 from ..io.result import CollectiveResult
 from .telemetry import Telemetry
@@ -29,7 +30,7 @@ __all__ = [
 ]
 
 
-def result_to_dict(result: CollectiveResult) -> dict:
+def result_to_dict(result: CollectiveResult) -> dict[str, Any]:
     """Flatten one result (and its trace + telemetry) to JSON-safe data."""
     out: dict[str, Any] = {
         "kind": result.kind,
@@ -82,9 +83,10 @@ def dump_results(
     return path
 
 
-def load_results(path: str | Path) -> dict:
+def load_results(path: str | Path) -> dict[str, Any]:
     """Read a document written by :func:`dump_results`."""
-    return json.loads(Path(path).read_text())
+    document: dict[str, Any] = json.loads(Path(path).read_text())
+    return document
 
 
 def load_telemetries(path: str | Path) -> list[tuple[dict, Telemetry | None]]:

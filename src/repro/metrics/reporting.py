@@ -7,7 +7,7 @@ plotting dependency.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Sequence
+from collections.abc import Hashable, Iterable, Sequence
 
 from ..util.units import MiB, fmt_bytes, fmt_rate
 from .telemetry import Telemetry, key_to_str

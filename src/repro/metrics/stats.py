@@ -37,7 +37,7 @@ class MemorySummary:
     n_aggregators: int
 
     @classmethod
-    def of(cls, result: CollectiveResult) -> "MemorySummary":
+    def of(cls, result: CollectiveResult) -> MemorySummary:
         sizes = result.buffer_sizes()
         if sizes.size == 0:
             return cls(0, 0.0, 0, 0.0, 0)

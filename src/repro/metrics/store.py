@@ -18,8 +18,9 @@ harness can reload campaign output with the same codepaths that read
 from __future__ import annotations
 
 import json
+from collections.abc import Iterator
 from pathlib import Path
-from typing import Any, Iterator
+from typing import Any
 
 from .export import telemetry_from_dict
 from .telemetry import Telemetry

@@ -22,17 +22,24 @@ from __future__ import annotations
 
 import csv
 import io as _io
+from collections.abc import Hashable, Mapping
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Mapping
+from typing import Any
 
 __all__ = [
     "DomainRoundCost",
     "FaultSpan",
+    "PLAN_CACHE_REJECTS",
     "RoundRecord",
     "Telemetry",
     "key_to_str",
     "key_from_str",
 ]
+
+#: Well-known counter: cached plans the static verifier rejected before
+#: replay (each reject demotes that point's cache hit to a miss). The
+#: campaign runner bumps it so ``repro trace`` surfaces poisoned caches.
+PLAN_CACHE_REJECTS = "plan_cache_rejects"
 
 
 def key_to_str(key: Hashable) -> str:
@@ -85,7 +92,7 @@ class DomainRoundCost:
         }
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, Any]) -> "DomainRoundCost":
+    def from_dict(cls, data: Mapping[str, Any]) -> DomainRoundCost:
         return cls(
             domain_index=int(data["domain"]),
             shuffle_s=float(data["shuffle_s"]),
@@ -129,7 +136,7 @@ class FaultSpan:
         }
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpan":
+    def from_dict(cls, data: Mapping[str, Any]) -> FaultSpan:
         return cls(
             kind=str(data["kind"]),
             t_s=float(data["t_s"]),
@@ -196,7 +203,7 @@ class RoundRecord:
         }
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, Any]) -> "RoundRecord":
+    def from_dict(cls, data: Mapping[str, Any]) -> RoundRecord:
         return cls(
             index=int(data["index"]),
             shuffle_intra_bytes=int(data["shuffle_intra_bytes"]),
@@ -371,7 +378,7 @@ class Telemetry:
         }
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, Any]) -> "Telemetry":
+    def from_dict(cls, data: Mapping[str, Any]) -> Telemetry:
         tele = cls()
         tele.counters = {str(k): float(v) for k, v in data["counters"].items()}
         tele.paging = {int(k): float(v) for k, v in data["paging"].items()}

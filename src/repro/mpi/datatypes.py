@@ -19,8 +19,8 @@ Conventions (matching MPI semantics with lower bound 0):
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from functools import cached_property
-from typing import Sequence
 
 import numpy as np
 

@@ -9,8 +9,8 @@ views) and the collective-I/O strategies.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 

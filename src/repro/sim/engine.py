@@ -15,8 +15,9 @@ reproducible.
 from __future__ import annotations
 
 import heapq
+from collections.abc import Callable, Generator, Iterable
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import Any
 
 from ..util.errors import SimulationError
 
@@ -44,7 +45,7 @@ class EventHandle:
 
     __slots__ = ("_sim", "_fired", "_value", "_waiters", "name")
 
-    def __init__(self, sim: "Simulator", name: str = "") -> None:
+    def __init__(self, sim: Simulator, name: str = "") -> None:
         self._sim = sim
         self._fired = False
         self._value: Any = None
@@ -69,7 +70,7 @@ class EventHandle:
         for proc in waiters:
             self._sim._resume(proc, value)
 
-    def _add_waiter(self, proc: "Process") -> None:
+    def _add_waiter(self, proc: Process) -> None:
         if self._fired:
             self._sim._resume(proc, self._value)
         else:
@@ -84,12 +85,12 @@ class Process:
 
     __slots__ = ("_sim", "_gen", "done", "result", "_completion", "name")
 
-    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = "") -> None:
+    def __init__(self, sim: Simulator, gen: ProcessGen, name: str = "") -> None:
         self._sim = sim
         self._gen = gen
         self.done = False
         self.result: Any = None
-        self._completion: Optional[EventHandle] = None
+        self._completion: EventHandle | None = None
         self.name = name
 
     @property
@@ -212,7 +213,7 @@ class Simulator:
         return proc.result
 
     @staticmethod
-    def all_of(sim: "Simulator", procs: Iterable[Process]) -> ProcessGen:
+    def all_of(sim: Simulator, procs: Iterable[Process]) -> ProcessGen:
         """A process that waits for every process in ``procs``."""
         for proc in list(procs):
             if not proc.done:

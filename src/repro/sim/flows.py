@@ -26,8 +26,8 @@ central registry.
 
 from __future__ import annotations
 
+from collections.abc import Hashable, Mapping, Sequence
 from dataclasses import dataclass
-from typing import Hashable, Mapping, Sequence
 
 import numpy as np
 

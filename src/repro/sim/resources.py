@@ -12,7 +12,8 @@ ordering rather than closed-form phase times.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Generator
+from collections.abc import Generator
+from typing import Any
 
 from ..util.errors import ResourceError
 from .engine import Delay, EventHandle, Simulator

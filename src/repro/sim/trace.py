@@ -8,8 +8,9 @@ ordering, and round counts, and reporters pretty-print it.
 
 from __future__ import annotations
 
+from collections.abc import Hashable, Iterator
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Iterator
+from typing import Any
 
 __all__ = ["PhaseRecord", "TraceRecorder", "json_safe_meta"]
 

@@ -16,8 +16,8 @@ preserve the invariant, which property tests in
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -50,7 +50,7 @@ class Extent:
     def is_empty(self) -> bool:
         return self.length == 0
 
-    def overlaps(self, other: "Extent") -> bool:
+    def overlaps(self, other: Extent) -> bool:
         """True when the two ranges share at least one byte."""
         return self.offset < other.end and other.offset < self.end
 
@@ -58,7 +58,7 @@ class Extent:
         """True when ``offset`` falls inside this extent."""
         return self.offset <= offset < self.end
 
-    def intersect(self, other: "Extent") -> "Extent":
+    def intersect(self, other: Extent) -> Extent:
         """Overlap of the two ranges (possibly empty, anchored at lo)."""
         lo = max(self.offset, other.offset)
         hi = min(self.end, other.end)
@@ -66,7 +66,7 @@ class Extent:
             return Extent(lo if lo >= 0 else 0, 0)
         return Extent(lo, hi - lo)
 
-    def shift(self, delta: int) -> "Extent":
+    def shift(self, delta: int) -> Extent:
         """The same range translated by ``delta`` bytes."""
         return Extent(self.offset + delta, self.length)
 
@@ -135,7 +135,7 @@ class ExtentList:
 
     # ---------------------------------------------------------------- ctors
     @classmethod
-    def empty(cls) -> "ExtentList":
+    def empty(cls) -> ExtentList:
         """The empty set (a shared singleton — instances are immutable)."""
         global _EMPTY
         if _EMPTY is None:
@@ -145,7 +145,7 @@ class ExtentList:
         return _EMPTY
 
     @classmethod
-    def single(cls, offset: int, length: int) -> "ExtentList":
+    def single(cls, offset: int, length: int) -> ExtentList:
         """A list holding one extent (or the empty list if length==0)."""
         if length < 0 or offset < 0:
             raise ReproError(f"invalid extent ({offset}, {length})")
@@ -158,7 +158,7 @@ class ExtentList:
         )
 
     @classmethod
-    def from_pairs(cls, pairs: Iterable[tuple[int, int]]) -> "ExtentList":
+    def from_pairs(cls, pairs: Iterable[tuple[int, int]]) -> ExtentList:
         """Build from ``(offset, length)`` pairs (any order, may overlap)."""
         pairs = list(pairs)
         if not pairs:
@@ -171,7 +171,7 @@ class ExtentList:
         return cls(arr[:, 0], arr[:, 0] + arr[:, 1])
 
     @classmethod
-    def from_arrays(cls, offsets: np.ndarray, lengths: np.ndarray) -> "ExtentList":
+    def from_arrays(cls, offsets: np.ndarray, lengths: np.ndarray) -> ExtentList:
         """Build from parallel offset/length arrays."""
         offsets = np.asarray(offsets, dtype=np.int64)
         lengths = np.asarray(lengths, dtype=np.int64)
@@ -180,11 +180,11 @@ class ExtentList:
         return cls(offsets, offsets + lengths)
 
     @classmethod
-    def from_extent(cls, extent: Extent) -> "ExtentList":
+    def from_extent(cls, extent: Extent) -> ExtentList:
         return cls.single(extent.offset, extent.length)
 
     @classmethod
-    def union_all(cls, lists: Sequence["ExtentList"]) -> "ExtentList":
+    def union_all(cls, lists: Sequence["ExtentList"]) -> ExtentList:
         """Union of many lists (normalizing once)."""
         lists = [el for el in lists if len(el)]
         if not lists:
@@ -258,7 +258,7 @@ class ExtentList:
         return f"ExtentList({inner}, total={self.total})"
 
     # ------------------------------------------------------------ set algebra
-    def intersect(self, other: "ExtentList") -> "ExtentList":
+    def intersect(self, other: ExtentList) -> ExtentList:
         """Byte-wise intersection of two extent sets. O(n + m + k)."""
         if self.is_empty or other.is_empty:
             return ExtentList.empty()
@@ -291,7 +291,7 @@ class ExtentList:
         # but pieces may touch across run boundaries; normalize to coalesce.
         return ExtentList(out_s, out_e)
 
-    def clip(self, offset: int, length: int) -> "ExtentList":
+    def clip(self, offset: int, length: int) -> ExtentList:
         """Intersection with the single range ``[offset, offset+length)``."""
         if length <= 0 or self.is_empty:
             return ExtentList.empty()
@@ -306,18 +306,18 @@ class ExtentList:
         out_e[-1] = min(out_e[-1], end)
         return ExtentList(out_s, out_e, _trusted=True)
 
-    def overlap_bytes(self, other: "ExtentList") -> int:
+    def overlap_bytes(self, other: ExtentList) -> int:
         """Number of bytes present in both sets (without materializing)."""
         return self.intersect(other).total
 
-    def subtract(self, other: "ExtentList") -> "ExtentList":
+    def subtract(self, other: ExtentList) -> ExtentList:
         """Bytes of self not covered by other."""
         if self.is_empty or other.is_empty:
             return self
         env = self.envelope()
         return self.intersect(other.complement(env.offset, env.end))
 
-    def complement(self, lo: int, hi: int) -> "ExtentList":
+    def complement(self, lo: int, hi: int) -> ExtentList:
         """Gaps of this set within ``[lo, hi)``."""
         if hi <= lo:
             return ExtentList.empty()
@@ -328,10 +328,10 @@ class ExtentList:
         gap_e = np.concatenate((clipped._starts, [hi]))
         return ExtentList(gap_s, gap_e)
 
-    def union(self, other: "ExtentList") -> "ExtentList":
+    def union(self, other: ExtentList) -> ExtentList:
         return ExtentList.union_all([self, other])
 
-    def shift(self, delta: int) -> "ExtentList":
+    def shift(self, delta: int) -> ExtentList:
         """Translate every extent by ``delta`` bytes (result must be >= 0)."""
         if self.is_empty:
             return self
@@ -387,11 +387,11 @@ class ExtentList:
         bin_idx = np.searchsorted(bin_bounds, piece_s, side="right") - 1
         return bin_idx.astype(np.int64), piece_s, piece_e
 
-    def covers(self, other: "ExtentList") -> bool:
+    def covers(self, other: ExtentList) -> bool:
         """True when every byte of ``other`` is in this set."""
         return other.subtract(self).is_empty
 
-    def slice_bytes(self, lo_rank: int, hi_rank: int) -> "ExtentList":
+    def slice_bytes(self, lo_rank: int, hi_rank: int) -> ExtentList:
         """Bytes whose *rank* in the packed stream lies in [lo_rank, hi_rank).
 
         The rank of a byte is its position when the set's extents are

@@ -12,8 +12,8 @@ and a converter that snapshots any synthetic workload into a trace
 from __future__ import annotations
 
 import json
+from collections.abc import Iterable
 from pathlib import Path
-from typing import Iterable
 
 from ..util.errors import WorkloadError
 from ..util.intervals import ExtentList
@@ -27,7 +27,7 @@ class TraceRecord(tuple):
 
     __slots__ = ()
 
-    def __new__(cls, rank: int, offset: int, length: int) -> "TraceRecord":
+    def __new__(cls, rank: int, offset: int, length: int) -> TraceRecord:
         if rank < 0:
             raise WorkloadError(f"negative rank {rank}")
         if offset < 0 or length < 0:
@@ -84,7 +84,7 @@ class TraceWorkload(Workload):
 
     # ------------------------------------------------------------- traces
     @classmethod
-    def from_workload(cls, workload: Workload) -> "TraceWorkload":
+    def from_workload(cls, workload: Workload) -> TraceWorkload:
         """Snapshot any workload as a trace (one record per extent)."""
         records = []
         for rank in range(workload.n_procs):
@@ -93,7 +93,7 @@ class TraceWorkload(Workload):
         return cls(records)
 
     @classmethod
-    def load(cls, path: str | Path) -> "TraceWorkload":
+    def load(cls, path: str | Path) -> TraceWorkload:
         """Read a JSON trace: {"records": [[rank, offset, length], ...]}."""
         doc = json.loads(Path(path).read_text())
         try:

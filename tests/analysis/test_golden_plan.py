@@ -1,0 +1,60 @@
+"""The committed golden plan fixture must stay verifiable.
+
+CI's static-analysis job runs ``repro check-plan`` against this same
+file; this test keeps tier-1 and CI agreeing on it, and pins that the
+shipped planner still *reproduces* the fixture bit-for-bit (the plan is
+a pure function of the spec — if this fails, either the planner changed
+behaviour or the plan format changed without regenerating the fixture:
+
+    PYTHONPATH=src python - <<'PY'
+    import json
+    from repro.api import Experiment
+    from repro.core.plans import plan_to_dict
+    from repro.util import mib
+    exp = Experiment(
+        machine="testbed-4", n_procs=8, procs_per_node=2,
+        workload_params={"block_size": mib(1), "transfer_size": mib(1) // 4},
+        cb_buffer=mib(1), seed=3,
+    )
+    open("tests/fixtures/golden.plan.json", "w").write(
+        json.dumps(plan_to_dict(exp.plan()), indent=2, sort_keys=True) + "\n")
+    PY
+)
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis import verify_plan_file
+from repro.api import Experiment
+from repro.core.plans import plan_to_dict
+from repro.util import mib
+
+GOLDEN = Path(__file__).resolve().parents[1] / "fixtures" / "golden.plan.json"
+
+GOLDEN_EXPERIMENT = Experiment(
+    machine="testbed-4", n_procs=8, procs_per_node=2,
+    workload_params={"block_size": mib(1), "transfer_size": mib(1) // 4},
+    cb_buffer=mib(1), seed=3,
+)
+
+
+def test_golden_plan_verifies_clean():
+    report = verify_plan_file(GOLDEN)
+    assert report.ok, report.render()
+
+
+def test_golden_plan_matches_the_planner():
+    committed = json.loads(GOLDEN.read_text())
+    # through JSON, so tuples normalize to lists before comparing
+    regenerated = json.loads(json.dumps(plan_to_dict(GOLDEN_EXPERIMENT.plan())))
+    assert committed == regenerated
+
+
+def test_golden_plan_is_stamped():
+    data = json.loads(GOLDEN.read_text())
+    assert data["spec_hash"] == GOLDEN_EXPERIMENT.spec_hash()
+    assert data["config"]["msg_ind"] > 0
+    assert data["config"]["mem_min"] > 0

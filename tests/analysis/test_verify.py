@@ -1,0 +1,256 @@
+"""Static plan verifier: clean plans verify, seeded violations fire.
+
+Every rule gets a fixture plan that must fail with exactly that rule,
+plus the shipped planner's real output which must verify clean — the
+verifier's two contractual directions.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import verify_cache_dir, verify_plan, verify_plan_file
+from repro.api import Experiment
+from repro.core.plans import PLAN_FORMAT_VERSION, plan_to_dict
+
+MIB = 1 << 20
+
+
+def make_plan(**overrides) -> dict:
+    """A minimal hand-built plan that satisfies every invariant.
+
+    Two groups tiling [0, 4 MiB), one single-leaf domain each, buffers
+    exactly Mem_min. Tests mutate copies of this to seed violations.
+    """
+    plan = {
+        "version": PLAN_FORMAT_VERSION,
+        "domains": [
+            {
+                "region": [0, 2 * MIB],
+                "coverage": [[0, 2 * MIB]],
+                "aggregator": 0,
+                "buffer_bytes": MIB,
+                "group_id": 0,
+                "n_leaves": 1,
+                "remerged": False,
+            },
+            {
+                "region": [2 * MIB, 2 * MIB],
+                "coverage": [[2 * MIB, 2 * MIB]],
+                "aggregator": 4,
+                "buffer_bytes": MIB,
+                "group_id": 1,
+                "n_leaves": 1,
+                "remerged": False,
+            },
+        ],
+        "stats": {"n_domains": 2, "n_remerges": 0, "n_fallbacks": 0,
+                  "n_rebalanced": 0},
+        "group_sizes": {"0": 4, "1": 4},
+        "config": {"msg_ind": 2 * MIB, "mem_min": MIB},
+        "spec_hash": "abc123",
+    }
+    plan.update(overrides)
+    return plan
+
+
+def rules_fired(report) -> set[str]:
+    return {v.rule for v in report.violations}
+
+
+def test_hand_built_plan_is_clean():
+    report = verify_plan(make_plan())
+    assert report.ok, report.render()
+    assert report.violations == []
+
+
+def test_real_planner_output_is_clean():
+    exp = Experiment(n_procs=24, procs_per_node=4, seed=11)
+    plan = exp.plan()
+    extents = [(e.offset, e.length) for r in exp.requests() for e in r.extents]
+    report = verify_plan(
+        plan, expected_spec_hash=exp.spec_hash(), workload_extents=extents
+    )
+    assert report.ok, report.render()
+
+
+def test_non_mapping_plan_is_pv100():
+    assert rules_fired(verify_plan(["not", "a", "plan"])) == {"PV100"}
+
+
+def test_stale_version_is_pv101():
+    report = verify_plan(make_plan(version=1))
+    assert "PV101" in rules_fired(report)
+    assert not report.ok
+
+
+def test_malformed_domain_is_pv102():
+    plan = make_plan()
+    del plan["domains"][0]["region"]
+    assert "PV102" in rules_fired(verify_plan(plan))
+    plan = make_plan()
+    plan["domains"][0]["aggregator"] = "zero"
+    assert "PV102" in rules_fired(verify_plan(plan))
+    plan = make_plan()
+    plan["domains"][0]["n_leaves"] = 0
+    assert "PV102" in rules_fired(verify_plan(plan))
+    assert "PV102" in rules_fired(verify_plan(make_plan(domains=[])))
+
+
+def test_coverage_escaping_region_is_pv103():
+    plan = make_plan()
+    # second extent pokes past the domain's region end
+    plan["domains"][0]["coverage"] = [[0, MIB], [2 * MIB - MIB // 2, MIB]]
+    report = verify_plan(plan)
+    assert "PV103" in rules_fired(report)
+
+
+def test_unsorted_or_overlapping_extents_are_pv104():
+    plan = make_plan()
+    plan["domains"][0]["coverage"] = [[MIB, MIB], [0, MIB]]
+    assert "PV104" in rules_fired(verify_plan(plan))
+    plan = make_plan()
+    plan["domains"][0]["coverage"] = []
+    assert "PV104" in rules_fired(verify_plan(plan))
+
+
+def test_cross_domain_overlap_is_pv105():
+    plan = make_plan()
+    # domain 1 reaches one MiB into domain 0's bytes
+    plan["domains"][1]["region"] = [MIB, 3 * MIB]
+    plan["domains"][1]["coverage"] = [[MIB, 3 * MIB]]
+    report = verify_plan(plan)
+    assert "PV105" in rules_fired(report)
+
+
+def test_group_straddle_is_pv106():
+    plan = make_plan()
+    # group 1's domain sits inside group 0's envelope: a straddle even
+    # though the two domains' bytes stay disjoint
+    plan["domains"][0]["coverage"] = [[0, MIB], [3 * MIB, MIB]]
+    plan["domains"][0]["region"] = [0, 4 * MIB]
+    plan["domains"][1]["region"] = [MIB, 2 * MIB]
+    plan["domains"][1]["coverage"] = [[MIB, 2 * MIB]]
+    report = verify_plan(plan)
+    assert "PV106" in rules_fired(report)
+    assert "PV105" not in rules_fired(report)
+
+
+def test_multi_group_domains_are_exempt_from_pv106():
+    plan = make_plan()
+    plan["domains"][0]["group_id"] = -1
+    plan["domains"][0]["coverage"] = [[0, MIB], [3 * MIB, MIB]]
+    plan["domains"][0]["region"] = [0, 4 * MIB]
+    plan["domains"][1]["region"] = [MIB, 2 * MIB]
+    plan["domains"][1]["coverage"] = [[MIB, 2 * MIB]]
+    assert "PV106" not in rules_fired(verify_plan(plan))
+
+
+def test_oversized_leaf_is_pv107():
+    plan = make_plan()
+    plan["config"]["msg_ind"] = MIB  # each domain covers 2 MiB on 1 leaf
+    report = verify_plan(plan)
+    assert "PV107" in rules_fired(report)
+
+
+def test_remerged_domains_may_exceed_msg_ind():
+    plan = make_plan()
+    plan["config"]["msg_ind"] = MIB
+    for dom in plan["domains"]:
+        dom["remerged"] = True
+    plan["stats"]["n_remerges"] = 2
+    assert "PV107" not in rules_fired(verify_plan(plan))
+
+
+def test_buffer_below_mem_min_is_pv108():
+    plan = make_plan()
+    plan["domains"][0]["buffer_bytes"] = MIB // 4
+    report = verify_plan(plan)
+    assert "PV108" in rules_fired(report)
+
+
+def test_small_domains_cap_mem_min_at_covered_bytes():
+    plan = make_plan()
+    # half-MiB domain with a half-MiB buffer: fine despite Mem_min=1MiB
+    plan["domains"][1]["region"] = [2 * MIB, MIB // 2]
+    plan["domains"][1]["coverage"] = [[2 * MIB, MIB // 2]]
+    plan["domains"][1]["buffer_bytes"] = MIB // 2
+    assert "PV108" not in rules_fired(verify_plan(plan))
+
+
+def test_buffer_exceeding_coverage_is_pv109():
+    plan = make_plan()
+    plan["domains"][0]["buffer_bytes"] = 3 * MIB
+    assert "PV109" in rules_fired(verify_plan(plan))
+
+
+def test_byte_conservation_is_pv110():
+    # missing bytes: workload wants more than the domains cover
+    report = verify_plan(make_plan(), workload_extents=[(0, 5 * MIB)])
+    assert "PV110" in rules_fired(report)
+    # extra bytes: domains cover bytes the workload never asked for
+    report = verify_plan(make_plan(), workload_extents=[(0, 3 * MIB)])
+    assert "PV110" in rules_fired(report)
+    # exact match: clean
+    report = verify_plan(make_plan(), workload_extents=[(0, 4 * MIB)])
+    assert "PV110" not in rules_fired(report)
+
+
+def test_spec_hash_mismatch_is_pv111():
+    report = verify_plan(make_plan(), expected_spec_hash="something-else")
+    assert "PV111" in rules_fired(report)
+    # unstamped plans (hash "") are not checkable — no violation
+    report = verify_plan(make_plan(spec_hash=""), expected_spec_hash="x")
+    assert "PV111" not in rules_fired(report)
+
+
+def test_stats_disagreement_is_pv112_warning():
+    plan = make_plan()
+    plan["stats"]["n_domains"] = 7
+    report = verify_plan(plan)
+    assert "PV112" in rules_fired(report)
+    # warnings do not fail the report
+    assert report.ok
+
+
+def test_report_serializes(tmp_path):
+    report = verify_plan(make_plan(version=1))
+    data = report.to_dict()
+    assert data["ok"] is False
+    assert data["violations"][0]["rule"] == "PV101"
+    assert "PV101" in report.render()
+
+
+def test_verify_plan_file_unreadable_is_pv100(tmp_path):
+    missing = tmp_path / "nope.plan.json"
+    assert rules_fired(verify_plan_file(missing)) == {"PV100"}
+    garbled = tmp_path / "bad.plan.json"
+    garbled.write_text("not json{")
+    assert rules_fired(verify_plan_file(garbled)) == {"PV100"}
+
+
+def test_verify_cache_dir_checks_key_identity(tmp_path):
+    good = make_plan()
+    (tmp_path / "abc123.plan.json").write_text(json.dumps(good))
+    (tmp_path / "wrongkey.plan.json").write_text(json.dumps(good))
+    reports = {r.subject: r for r in verify_cache_dir(tmp_path)}
+    assert len(reports) == 2
+    good_report = reports[str(tmp_path / "abc123.plan.json")]
+    bad_report = reports[str(tmp_path / "wrongkey.plan.json")]
+    assert good_report.ok, good_report.render()
+    assert "PV111" in rules_fired(bad_report)
+
+
+@pytest.mark.parametrize("mutation,rule", [
+    (lambda p: p["domains"][0].update(buffer_bytes=1000 * MIB), "PV109"),
+    (lambda p: p.update(version=999), "PV101"),
+])
+def test_collective_plan_objects_accepted(mutation, rule):
+    """verify_plan accepts CollectivePlan instances, not just dicts."""
+    exp = Experiment(n_procs=24, procs_per_node=4, seed=11)
+    plan = exp.plan()
+    data = plan_to_dict(plan)
+    mutation(data)
+    assert rule in rules_fired(verify_plan(data))

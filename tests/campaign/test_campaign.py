@@ -262,3 +262,101 @@ def test_retry_and_timeout_validation():
         Campaign([BASE], retries=-1)
     with pytest.raises(ValueError):
         Campaign([BASE], timeout_s=0.0)
+
+
+# --------------------------------------------------------------------------
+# Plan-cache poisoning: every corruption class must demote to a miss (the
+# point still succeeds with a freshly planned result), never crash, and
+# semantic poisonings must be counted as verifier rejects.
+
+
+def _result_sans_reject_counter(record: dict) -> dict:
+    """The result payload with the reject counter (bookkeeping the clean
+    run legitimately lacks) removed — everything else must match."""
+    result = json.loads(json.dumps(record["result"]))
+    result.get("telemetry", {}).get("counters", {}).pop(
+        "plan_cache_rejects", None
+    )
+    return result
+
+
+def _poison_cache_and_rerun(tmp_path, mutate):
+    """Seed the cache, corrupt the entry via ``mutate(path)``, rerun."""
+    cache_dir = tmp_path / "plans"
+    mc = BASE.replace(strategy="mc")
+    clean = Campaign([mc], cache_dir=cache_dir).run()
+    path = PlanCache(cache_dir).path(mc.spec_hash())
+    mutate(path)
+    reread = Campaign([mc], cache_dir=cache_dir).run()
+    assert reread.records[0]["status"] == "ok"
+    assert _result_sans_reject_counter(
+        reread.records[0]
+    ) == _result_sans_reject_counter(clean.records[0])
+    return reread
+
+
+def test_truncated_cache_entry_is_a_miss(tmp_path):
+    def mutate(path):
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+
+    out = _poison_cache_and_rerun(tmp_path, mutate)
+    # unparseable -> plain miss, not a verifier reject
+    assert out.records[0]["cache"] == "miss"
+    assert out.cache_rejects == 0 and out.cache_misses == 1
+
+
+def test_wrong_plan_version_is_a_miss(tmp_path):
+    def mutate(path):
+        data = json.loads(path.read_text())
+        data["version"] = 1
+        path.write_text(json.dumps(data))
+
+    out = _poison_cache_and_rerun(tmp_path, mutate)
+    # the loader already refuses other versions -> miss at load time
+    assert out.records[0]["cache"] == "miss"
+    assert out.cache_rejects == 0
+
+
+def test_invariant_violating_entry_is_rejected(tmp_path):
+    def mutate(path):
+        data = json.loads(path.read_text())
+        # a buffer bigger than the domain's bytes: parses fine, PV109
+        data["domains"][0]["buffer_bytes"] = 10**12
+        path.write_text(json.dumps(data))
+
+    out = _poison_cache_and_rerun(tmp_path, mutate)
+    rec = out.records[0]
+    assert rec["cache"] == "rejected"
+    assert out.cache_rejects == 1
+    assert out.cache_misses == 1  # rejects count as misses (replanned)
+    assert out.cache_hits == 0
+    assert "PV109" in rec["cache_reject_rules"]
+    # the reject is visible in the run's telemetry counters
+    counters = rec["result"]["telemetry"]["counters"]
+    assert counters.get("plan_cache_rejects") == 1.0
+    assert "rejected by verifier" in out.summary()
+
+
+def test_spec_hash_mismatched_entry_is_rejected(tmp_path):
+    def mutate(path):
+        data = json.loads(path.read_text())
+        data["spec_hash"] = "0" * 64  # plan built for a different spec
+        path.write_text(json.dumps(data))
+
+    out = _poison_cache_and_rerun(tmp_path, mutate)
+    assert out.records[0]["cache"] == "rejected"
+    assert "PV111" in out.records[0]["cache_reject_rules"]
+
+
+def test_rejected_entry_is_purged_and_rewritten(tmp_path):
+    cache_dir = tmp_path / "plans"
+    mc = BASE.replace(strategy="mc")
+    Campaign([mc], cache_dir=cache_dir).run()
+    path = PlanCache(cache_dir).path(mc.spec_hash())
+    data = json.loads(path.read_text())
+    data["domains"][0]["buffer_bytes"] = 10**12
+    path.write_text(json.dumps(data))
+    assert Campaign([mc], cache_dir=cache_dir).run().cache_rejects == 1
+    # the replan overwrote the poisoned entry: next run is a clean hit
+    final = Campaign([mc], cache_dir=cache_dir).run()
+    assert final.cache_hits == 1 and final.cache_rejects == 0

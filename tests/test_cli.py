@@ -249,3 +249,81 @@ class TestFaultsFlag:
     def test_bad_faults_string_exits(self):
         with pytest.raises(SystemExit, match="--faults"):
             main([*self.RUN, "--faults", "explode=1"])
+
+
+class TestCheckPlan:
+    @pytest.fixture
+    def cache_dir(self, tmp_path):
+        """A one-entry plan cache built from a tiny experiment."""
+        from repro.api import Experiment
+        from repro.campaign import PlanCache
+        from repro.util import mib
+
+        exp = Experiment(
+            machine="testbed-4", n_procs=8, procs_per_node=2,
+            workload_params={"block_size": mib(1), "transfer_size": mib(1) // 4},
+            cb_buffer=mib(1), seed=3,
+        )
+        cache = PlanCache(tmp_path / "plans")
+        cache.store(exp.spec_hash(), exp.plan())
+        return cache
+
+    def test_clean_file_exits_zero(self, capsys, cache_dir):
+        path = next(cache_dir.root.glob("*.plan.json"))
+        assert main(["check-plan", str(path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_clean_dir_exits_zero(self, capsys, cache_dir):
+        assert main(["check-plan", str(cache_dir.root)]) == 0
+
+    def test_violating_plan_exits_nonzero(self, capsys, cache_dir):
+        path = next(cache_dir.root.glob("*.plan.json"))
+        data = json.loads(path.read_text())
+        data["domains"][0]["buffer_bytes"] = 10**12
+        path.write_text(json.dumps(data))
+        assert main(["check-plan", str(path)]) == 1
+        assert "PV109" in capsys.readouterr().out
+
+    def test_json_format(self, capsys, cache_dir):
+        path = next(cache_dir.root.glob("*.plan.json"))
+        assert main(["check-plan", str(path), "--format", "json"]) == 0
+        reports = json.loads(capsys.readouterr().out)
+        assert reports[0]["ok"] is True
+
+    def test_empty_dir_exits_nonzero(self, tmp_path, capsys):
+        assert main(["check-plan", str(tmp_path)]) == 1
+
+
+class TestLint:
+    def test_shipped_tree_exits_zero(self, capsys):
+        assert main(["lint"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_violations_exit_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "core" / "bad.py"
+        bad.parent.mkdir()
+        bad.write_text("import random\nx = random.random()\n")
+        assert main(["lint", str(tmp_path)]) == 1
+        assert "L201" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        bad = tmp_path / "sim" / "bad.py"
+        bad.parent.mkdir()
+        bad.write_text("import time\nt = time.time()\n")
+        assert main(["lint", str(tmp_path), "--format", "json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["violations"][0]["rule"] == "L202"
+
+    def test_select_filters_rules(self, tmp_path, capsys):
+        bad = tmp_path / "core" / "bad.py"
+        bad.parent.mkdir()
+        bad.write_text("import random, time\nx = random.random()\nt = time.time()\n")
+        assert main(["lint", str(tmp_path), "--select", "L202"]) == 1
+        out = capsys.readouterr().out
+        assert "L202" in out and "L201" not in out
+
+    def test_rules_listing(self, capsys):
+        assert main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("L200", "L201", "L202", "L203", "L204", "L205"):
+            assert code in out
