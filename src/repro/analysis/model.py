@@ -18,12 +18,19 @@ with V total bytes, A aggregators, b the buffer, N nodes.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
 
 from ..cluster.machine import MachineModel
 from ..util.validation import check_positive
 
-__all__ = ["CollectivePrediction", "predict_two_phase"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..io.domains import FileDomain
+
+__all__ = ["CollectivePrediction", "predict_two_phase", "price_domains"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -109,6 +116,64 @@ def predict_two_phase(
     elapsed = max(storage_bound, stream_bound, shuffle_bound, round_overhead)
     return CollectivePrediction(
         total_bytes=total_bytes,
+        n_rounds=n_rounds,
+        storage_bound_s=storage_bound,
+        stream_bound_s=stream_bound,
+        shuffle_bound_s=shuffle_bound,
+        round_overhead_s=round_overhead,
+        elapsed_s=elapsed,
+    )
+
+
+def price_domains(
+    machine: MachineModel,
+    domains: Sequence[FileDomain],
+    *,
+    n_nodes: int,
+    inter_node_fraction: float = 1.0,
+) -> CollectivePrediction:
+    """Price a *planned* domain set with the closed-form model.
+
+    Unlike :func:`predict_two_phase`, which assumes homogeneous
+    aggregators, this reads the plan itself: per-domain covered bytes
+    and buffer sizes (vectorized), with the round count set by the
+    slowest aggregator — the makespan the simulator would report. This
+    is the "pricing" half of plan-without-executing: the scaling
+    benchmark plans a million-rank collective and prices it here without
+    ever simulating a round.
+    """
+    check_positive("n_nodes", n_nodes)
+    if not domains:
+        return CollectivePrediction(0, 0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    covered = np.fromiter(
+        (d.covered_bytes for d in domains), np.int64, len(domains)
+    )
+    buffers = np.fromiter(
+        (d.buffer_bytes for d in domains), np.int64, len(domains)
+    )
+    total = int(covered.sum())
+    if total == 0:
+        return CollectivePrediction(0, 0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    n_agg = len(domains)
+    storage = machine.storage
+    n_rounds = int(np.ceil(covered / np.maximum(buffers, 1)).max())
+
+    storage_bound = total / storage.aggregate_bandwidth
+    stream_bound = total / (n_agg * storage.client_stream_bandwidth)
+    shuffle_bound = (
+        total * inter_node_fraction / (n_nodes * machine.node.nic_bandwidth)
+    )
+    buffer_eff = max(1, int(buffers.mean()))
+    units = max(1.0, buffer_eff / storage.stripe_unit)
+    osts_covered = min(float(storage.n_osts), units)
+    per_round = n_agg * storage.request_overhead + (
+        buffer_eff * n_agg
+    ) / (osts_covered * storage.ost_bandwidth)
+    round_overhead = n_rounds * per_round
+
+    elapsed = max(storage_bound, stream_bound, shuffle_bound, round_overhead)
+    return CollectivePrediction(
+        total_bytes=total,
         n_rounds=n_rounds,
         storage_bound_s=storage_bound,
         stream_bound_s=stream_bound,

@@ -1,6 +1,12 @@
 """Memory-Conscious Collective I/O: the paper's core contribution."""
 
 from .advisor import PatternProfile, Recommendation, advise, profile_requests
+from .columnar import (
+    GroupPieces,
+    PieceCandidateSource,
+    divide_groups_flat,
+    plan_columnar,
+)
 from .config import MemoryConsciousConfig
 from .driver import MemoryConsciousCollectiveIO
 from .group_division import AggregationGroup, detect_serial, divide_groups
@@ -14,7 +20,9 @@ from .plans import (
 )
 from .placement import (  # noqa: F401
     Assignment,
+    CandidateSource,
     PlacementStats,
+    RequestCandidateSource,
     Slot,
     SlotPlan,
     build_domains,
@@ -48,6 +56,12 @@ __all__ = [
     "rebalance",
     "build_domains",
     "Assignment",
+    "CandidateSource",
+    "RequestCandidateSource",
+    "GroupPieces",
+    "PieceCandidateSource",
+    "divide_groups_flat",
+    "plan_columnar",
     "TuningResult",
     "auto_tune",
     "tune_node",

@@ -30,7 +30,9 @@ from ..io.context import IOContext
 from ..io.domains import FileDomain
 from ..io.result import CollectiveResult
 from ..io.rounds import execute_collective
-from ..mpi.requests import AccessRequest
+from ..mpi.requests import AccessRequest, FlatAccess, flatten_requests
+from ..util.errors import ConfigurationError
+from .columnar import plan_columnar
 from .config import MemoryConsciousConfig
 from .group_division import divide_groups
 from .partition_tree import PartitionTree
@@ -61,8 +63,20 @@ class MemoryConsciousCollectiveIO(IOStrategy):
     name = "memory-conscious"
     supports_faults = True
 
-    def __init__(self, config: MemoryConsciousConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: MemoryConsciousConfig | None = None,
+        *,
+        engine: str = "columnar",
+    ) -> None:
         self.config = config if config is not None else MemoryConsciousConfig()
+        if engine not in ("columnar", "object"):
+            raise ConfigurationError(f"unknown planning engine {engine!r}")
+        # The engine is a constructor switch, NOT a config field: both
+        # engines produce bit-identical plans, so the choice must not
+        # leak into the serialized spec (and its hash). "object" keeps
+        # the per-request reference path alive for equivalence tests.
+        self.engine = engine
 
     def plan(
         self,
@@ -74,6 +88,8 @@ class MemoryConsciousCollectiveIO(IOStrategy):
         Exposed separately so tests and ablations can inspect the plan
         without executing it.
         """
+        if self.engine == "columnar":
+            return plan_columnar(ctx, flatten_requests(requests), self.config)
         config = self.config
         groups = divide_groups(requests, ctx.comm, config)
         requests_by_rank = {r.rank: r for r in requests}
@@ -99,6 +115,19 @@ class MemoryConsciousCollectiveIO(IOStrategy):
         stats.n_rebalanced += moves
         domains = build_domains(plan, assignments, ctx, config)
         return domains, stats, group_sizes
+
+    def plan_flat(
+        self,
+        ctx: IOContext,
+        flat: FlatAccess,
+    ) -> tuple[list[FileDomain], PlacementStats, dict[int, int]]:
+        """Plan straight from a columnar workload — no request objects.
+
+        This is the million-rank entry point: workloads with closed-form
+        patterns emit :class:`~repro.mpi.requests.FlatAccess` columns
+        directly and planning never materializes a per-rank object.
+        """
+        return plan_columnar(ctx, flat, self.config)
 
     def build_plan(
         self,

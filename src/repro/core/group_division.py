@@ -24,12 +24,13 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..mpi.comm import SimComm
 from ..mpi.requests import AccessRequest
 from ..util.errors import PartitionError
 from ..util.intervals import Extent, ExtentList
 from .config import MemoryConsciousConfig
-from .partition_tree import offset_at_rank
 
 __all__ = ["AggregationGroup", "divide_groups", "detect_serial"]
 
@@ -76,14 +77,8 @@ def _node_accesses(
     return infos
 
 
-def detect_serial(
-    requests: Sequence[AccessRequest],
-    comm: SimComm,
-    *,
-    overlap_threshold: float,
-) -> bool:
-    """True when per-node regions are ordered with little overlap."""
-    infos = _node_accesses(requests, comm)
+def _infos_serial(infos: Sequence[_NodeAccess], overlap_threshold: float) -> bool:
+    """Serial-distribution test over pre-built node envelopes."""
     if len(infos) <= 1:
         return True
     span_sum = sum(n.end - n.start for n in infos)
@@ -95,6 +90,16 @@ def detect_serial(
         overlap += max(0, min(max_end, node.end) - node.start)
         max_end = max(max_end, node.end)
     return overlap / span_sum <= overlap_threshold
+
+
+def detect_serial(
+    requests: Sequence[AccessRequest],
+    comm: SimComm,
+    *,
+    overlap_threshold: float,
+) -> bool:
+    """True when per-node regions are ordered with little overlap."""
+    return _infos_serial(_node_accesses(requests, comm), overlap_threshold)
 
 
 def _members(
@@ -175,18 +180,42 @@ def _serial_boundaries(
     config: MemoryConsciousConfig,
     env: Extent,
 ) -> list[int]:
-    """Node-aligned cuts: close a group at the end offset of the last node
-    whose data pushed the accumulated size past Msg_group (Figure 4)."""
     infos = _node_accesses(requests, comm)
+    return _serial_boundaries_from(infos, config, env)
+
+
+def _serial_boundaries_from(
+    infos: Sequence[_NodeAccess],
+    config: MemoryConsciousConfig,
+    env: Extent,
+) -> list[int]:
+    """Node-aligned cuts: close a group at the end offset of the last node
+    whose data pushed the accumulated size past Msg_group (Figure 4).
+
+    A cut is only valid once every *in-flight* node is behind it: with
+    overlapping envelopes (tolerated up to ``serial_overlap_threshold``)
+    a node later in start order may begin before the running maximum
+    end, and cutting there would straddle that node across two groups —
+    exactly what the Figure 4 rule (and verifier rule PV100) forbids. So
+    after the accumulator trips, the boundary keeps absorbing nodes
+    until none starts before it.
+    """
     boundaries = [env.offset]
     acc = 0
     group_end = env.offset
-    for i, node in enumerate(infos):
+    i = 0
+    n = len(infos)
+    while i < n:
+        node = infos[i]
         acc += node.nbytes
         group_end = max(group_end, node.end)
-        is_last = i == len(infos) - 1
-        if acc >= config.msg_group and not is_last:
-            if group_end > boundaries[-1]:
+        i += 1
+        if acc >= config.msg_group and i < n:
+            while i < n and infos[i].start < group_end:
+                acc += infos[i].nbytes
+                group_end = max(group_end, infos[i].end)
+                i += 1
+            if i < n and group_end > boundaries[-1]:
                 boundaries.append(group_end)
                 acc = 0
     if boundaries[-1] != env.end:
@@ -199,14 +228,27 @@ def _interleaved_boundaries(
     config: MemoryConsciousConfig,
     env: Extent,
 ) -> list[int]:
-    """Covered-byte quantile cuts of the combined access set."""
+    """Covered-byte quantile cuts of the combined access set.
+
+    The group count rounds half-up (``round(total / Msg_group)``) and
+    cuts sit at ``k * total / n_groups`` covered-byte quantiles, so
+    every group carries ~``total / n_groups`` bytes — at most ~1.5×
+    ``Msg_group`` — instead of folding the remainder into the last
+    group, which could end up just under 2× ``Msg_group``.
+    """
     total = aggregate.total
-    n_groups = max(1, total // config.msg_group)
+    n_groups = max(1, (2 * total + config.msg_group) // (2 * config.msg_group))
     boundaries = [env.offset]
-    for k in range(1, n_groups):
-        off = offset_at_rank(aggregate, k * config.msg_group)
-        if off > boundaries[-1]:
-            boundaries.append(off)
+    if n_groups > 1:
+        lengths = aggregate.lengths
+        cum = np.cumsum(lengths)
+        cum0 = cum - lengths
+        targets = (np.arange(1, n_groups, dtype=np.int64) * total) // n_groups
+        idx = np.searchsorted(cum, targets, side="right")
+        offs = aggregate.starts[idx] + (targets - cum0[idx])
+        for off in offs.tolist():
+            if off > boundaries[-1]:
+                boundaries.append(int(off))
     if boundaries[-1] != env.end:
         boundaries.append(env.end)
     return boundaries

@@ -131,24 +131,113 @@ class PartitionTree:
             total = cov.total
             if total <= msg_ind or total < 2:
                 continue
-            split = offset_at_rank(cov, total // 2)
-            if align is not None:
-                snapped = align(split)
-                if node.lo < snapped < node.hi:
-                    left_try = cov.clip(node.lo, snapped - node.lo)
-                    if not left_try.is_empty and left_try.total < total:
-                        split = snapped
-            if not node.lo < split < node.hi:
-                continue  # cannot bisect further (single dense byte run edge)
-            left_cov = cov.clip(node.lo, split - node.lo)
-            right_cov = cov.clip(split, node.hi - split)
-            if left_cov.is_empty or right_cov.is_empty:
+            median = offset_at_rank(cov, total // 2)
+            # Try the snapped cut first, then fall back to the raw
+            # covered-byte median — an align hook must never leave an
+            # oversized leaf behind when the unsnapped split was valid.
+            candidates = [median]
+            if align is not None and (snapped := align(median)) != median:
+                candidates.insert(0, snapped)
+            for split in candidates:
+                if not node.lo < split < node.hi:
+                    continue
+                left_cov = cov.clip(node.lo, split - node.lo)
+                if left_cov.is_empty or left_cov.total >= total:
+                    continue
+                right_cov = cov.clip(split, node.hi - split)
+                node.left = PartitionNode(node.lo, split, left_cov, parent=node)
+                node.right = PartitionNode(split, node.hi, right_cov, parent=node)
+                node.coverage = None
+                stack.append(node.left)
+                stack.append(node.right)
+                break
+        return tree
+
+    @classmethod
+    def build_indexed(
+        cls,
+        coverage: ExtentList,
+        msg_ind: int,
+        *,
+        region: Extent | None = None,
+        align: Callable[[int], int] | None = None,
+    ) -> PartitionTree:
+        """Columnar :meth:`build`: one prefix sum, no per-split cumsum.
+
+        Produces a tree identical to :meth:`build` (same vertices, same
+        leaf coverages). Instead of materializing every internal node's
+        coverage and re-scanning it, each stack entry carries the node's
+        *byte-rank interval* ``[a, b)`` into the group coverage's packed
+        stream; medians, snap validation, and leaf coverages all reduce
+        to ``searchsorted`` against a single precomputed prefix sum.
+        """
+        check_positive("msg_ind", msg_ind)
+        if coverage.is_empty:
+            raise PartitionError("cannot partition an empty access set")
+        env = coverage.envelope()
+        if region is None:
+            region = env
+        if env.offset < region.offset or env.end > region.end:
+            raise PartitionError(f"coverage {env} escapes region {region}")
+
+        starts = coverage.starts
+        ends = coverage.ends
+        lengths = ends - starts
+        cum = np.cumsum(lengths)  # bytes covered through extent i
+        cum0 = cum - lengths  # bytes covered before extent i
+
+        def off_at(rank: int) -> int:
+            """File offset of the byte ranked ``rank`` in the stream."""
+            i = int(np.searchsorted(cum, rank, side="right"))
+            return int(starts[i]) + (rank - int(cum0[i]))
+
+        def rank_of(offset: int) -> int:
+            """Covered bytes strictly below file offset ``offset``."""
+            i = int(np.searchsorted(starts, offset, side="right"))
+            if i == 0:
+                return 0
+            partial = min(int(ends[i - 1]), offset) - int(starts[i - 1])
+            return int(cum0[i - 1]) + max(partial, 0)
+
+        def slice_rank(a: int, b: int) -> ExtentList:
+            """Coverage bytes ranked in ``[a, b)`` (a normalized set)."""
+            i0 = int(np.searchsorted(cum, a, side="right"))
+            i1 = int(np.searchsorted(cum0, b, side="left"))
+            seg_s = starts[i0:i1]
+            seg_lo = cum0[i0:i1]
+            take_lo = np.maximum(seg_lo, a)
+            take_hi = np.minimum(cum[i0:i1], b)
+            out_s = seg_s + (take_lo - seg_lo)
+            return ExtentList(out_s, out_s + (take_hi - take_lo), _trusted=True)
+
+        root = PartitionNode(region.offset, region.end)
+        tree = cls(root)
+        stack: list[tuple[PartitionNode, int, int]] = [(root, 0, int(cum[-1]))]
+        while stack:
+            node, a, b = stack.pop()
+            total = b - a
+            if total <= msg_ind or total < 2:
+                node.coverage = slice_rank(a, b)
                 continue
-            node.left = PartitionNode(node.lo, split, left_cov, parent=node)
-            node.right = PartitionNode(split, node.hi, right_cov, parent=node)
-            node.coverage = None
-            stack.append(node.left)
-            stack.append(node.right)
+            median = off_at(a + total // 2)
+            candidates = [median]
+            if align is not None and (snapped := align(median)) != median:
+                candidates.insert(0, snapped)
+            split_done = False
+            for split in candidates:
+                if not node.lo < split < node.hi:
+                    continue
+                left_bytes = rank_of(split) - a
+                if not 0 < left_bytes < total:
+                    continue
+                node.left = PartitionNode(node.lo, split, parent=node)
+                node.right = PartitionNode(split, node.hi, parent=node)
+                stack.append((node.left, a, a + left_bytes))
+                stack.append((node.right, a + left_bytes, b))
+                split_done = True
+                break
+            if not split_done:  # pragma: no cover - median always valid
+                node.coverage = slice_rank(a, b)
         return tree
 
     # ------------------------------------------------------------ queries

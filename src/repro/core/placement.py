@@ -39,6 +39,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass, replace
+from typing import Protocol
 
 from ..io.context import IOContext
 from ..io.domains import FileDomain
@@ -54,6 +55,8 @@ __all__ = [
     "Slot",
     "SlotPlan",
     "Assignment",
+    "CandidateSource",
+    "RequestCandidateSource",
     "place_group",
     "rebalance",
     "build_domains",
@@ -198,6 +201,37 @@ def _candidates(
     return {node: tuple(ranks) for node, ranks in hosts.items()}
 
 
+class CandidateSource(Protocol):
+    """Anything that can name a leaf's candidate hosts.
+
+    ``for_leaf`` returns ``host node -> ((rank, bytes-in-leaf), ...)``
+    with hosts keyed in order of their first intersecting rank and each
+    host's ranks ascending — the iteration order feeds slot tie-breaking,
+    so implementations must agree on it for plans to be reproducible.
+    """
+
+    def for_leaf(
+        self, leaf: PartitionNode
+    ) -> dict[int, tuple[tuple[int, int], ...]]: ...
+
+
+class RequestCandidateSource:
+    """Leaf-candidate lookup over per-rank request objects (default)."""
+
+    def __init__(
+        self,
+        member_requests: Sequence[AccessRequest],
+        ctx: IOContext,
+    ) -> None:
+        self._member_requests = member_requests
+        self._ctx = ctx
+
+    def for_leaf(
+        self, leaf: PartitionNode
+    ) -> dict[int, tuple[tuple[int, int], ...]]:
+        return _candidates(leaf, self._member_requests, self._ctx)
+
+
 def place_group(
     group: AggregationGroup,
     tree: PartitionTree,
@@ -205,17 +239,26 @@ def place_group(
     ctx: IOContext,
     config: MemoryConsciousConfig,
     plan: SlotPlan,
+    *,
+    candidates: CandidateSource | None = None,
 ) -> tuple[list[Assignment], PlacementStats]:
     """Assign every leaf of one group's partition tree to a slot.
 
     Mutates ``tree`` (remerging) and ``plan`` (slot loads). Returns the
     leaf-to-slot assignments (merged into per-slot file domains by
     :func:`build_domains` once every group is placed) plus counters.
+    ``candidates`` overrides how a leaf's intersecting processes are
+    found — the columnar planner passes a precomputed piece-table
+    source; the default scans the group's member requests.
     """
     stats = PlacementStats()
-    member_requests = [
-        requests_by_rank[r] for r in group.member_ranks if r in requests_by_rank
-    ]
+    if candidates is None:
+        member_requests = [
+            requests_by_rank[r]
+            for r in group.member_ranks
+            if r in requests_by_rank
+        ]
+        candidates = RequestCandidateSource(member_requests, ctx)
     assigned: dict[int, Assignment] = {}  # id(leaf) -> assignment
     remerged_ids: set[int] = set()  # id(leaf) for remerge takers
 
@@ -229,7 +272,7 @@ def place_group(
             break
         leaf = pending[0]
         covered = leaf.covered_bytes
-        hosts = _candidates(leaf, member_requests, ctx)
+        hosts = candidates.for_leaf(leaf)
         if not hosts:
             raise PlacementError(
                 f"group {group.group_id}: no process intersects domain "
@@ -308,6 +351,7 @@ def rebalance(
         best_move: tuple[float, int, Slot] | None = None
         for i in indices:
             a = out[i]
+            a_bytes = a.nbytes
             local = [
                 s
                 for node in a.host_ranks
@@ -318,8 +362,8 @@ def rebalance(
                     if target.slot_id == a.slot_id:
                         continue
                     new_max = max(
-                        (worst.load - a.nbytes) / worst.buffer_bytes,
-                        target.projected_rounds(a.nbytes),
+                        (worst.load - a_bytes) / worst.buffer_bytes,
+                        target.projected_rounds(a_bytes),
                     )
                     if new_max < worst_rounds - eps and (
                         best_move is None or new_max < best_move[0] - eps

@@ -18,7 +18,14 @@ from ..util.errors import CommunicatorError
 from ..util.intervals import ExtentList
 from .fileview import FileView
 
-__all__ = ["AccessRequest", "request_from_view", "pattern_bytes", "total_bytes"]
+__all__ = [
+    "AccessRequest",
+    "FlatAccess",
+    "flatten_requests",
+    "request_from_view",
+    "pattern_bytes",
+    "total_bytes",
+]
 
 
 @dataclass(slots=True)
@@ -84,6 +91,93 @@ class AccessRequest:
                 cursor : cursor + ext.length
             ]
             cursor += ext.length
+
+
+# eq=False: the generated __eq__ would compare numpy columns with `==`
+# and raise on multi-element arrays; identity comparison is the useful one.
+@dataclass(frozen=True, slots=True, eq=False)
+class FlatAccess:
+    """The whole collective flattened into columnar segment arrays.
+
+    Parallel int64 columns ``(offsets, lengths, ranks)``: one row per
+    non-empty extent of some rank's request, rows grouped by rank in
+    rank-ascending order with each rank's extents in file order (the
+    order :class:`~repro.util.intervals.ExtentList` stores them). This is
+    the representation the columnar planner operates on — offset/length
+    list processing in the flattened style of ROMIO's datatype handling,
+    but batched across every process at once.
+    """
+
+    offsets: np.ndarray
+    lengths: np.ndarray
+    ranks: np.ndarray
+
+    def __post_init__(self) -> None:
+        for name in ("offsets", "lengths", "ranks"):
+            arr = np.asarray(getattr(self, name), dtype=np.int64)
+            arr.setflags(write=False)
+            object.__setattr__(self, name, arr)
+        if not (self.offsets.shape == self.lengths.shape == self.ranks.shape):
+            raise CommunicatorError("FlatAccess columns must be parallel")
+        if np.any(self.lengths <= 0):
+            raise CommunicatorError("FlatAccess segments must be non-empty")
+
+    @property
+    def n_segments(self) -> int:
+        return int(self.offsets.size)
+
+    @property
+    def ends(self) -> np.ndarray:
+        return self.offsets + self.lengths
+
+    @property
+    def total(self) -> int:
+        """Total requested bytes (double-counts any inter-rank overlap)."""
+        return int(self.lengths.sum())
+
+    def aggregate(self) -> ExtentList:
+        """Union of every rank's extents (the combined access set)."""
+        if self.n_segments == 0:
+            return ExtentList.empty()
+        return ExtentList(self.offsets, self.offsets + self.lengths)
+
+    def to_requests(self) -> list[AccessRequest]:
+        """Expand back into per-rank objects (tests/interop only)."""
+        out: list[AccessRequest] = []
+        if self.n_segments == 0:
+            return out
+        uniq, first = np.unique(self.ranks, return_index=True)
+        bounds = np.append(first, self.n_segments)
+        for i, rank in enumerate(uniq.tolist()):
+            lo, hi = int(bounds[i]), int(bounds[i + 1])
+            out.append(
+                AccessRequest(
+                    rank,
+                    ExtentList(self.offsets[lo:hi], self.ends[lo:hi]),
+                )
+            )
+        return out
+
+
+def flatten_requests(requests: Sequence[AccessRequest]) -> FlatAccess:
+    """Columnarize per-rank requests into one :class:`FlatAccess`.
+
+    Ranks are emitted in ascending order regardless of input order, so
+    two request lists with the same contents flatten identically.
+    """
+    parts = sorted(
+        (r for r in requests if not r.extents.is_empty),
+        key=lambda r: r.rank,
+    )
+    if not parts:
+        e = np.empty(0, np.int64)
+        return FlatAccess(e, e.copy(), e.copy())
+    offsets = np.concatenate([r.extents.starts for r in parts])
+    lengths = np.concatenate([r.extents.lengths for r in parts])
+    ranks = np.concatenate(
+        [np.full(len(r.extents), r.rank, dtype=np.int64) for r in parts]
+    )
+    return FlatAccess(offsets, lengths, ranks)
 
 
 def request_from_view(

@@ -23,7 +23,7 @@ import numpy as np
 
 from .errors import ReproError
 
-__all__ = ["Extent", "ExtentList"]
+__all__ = ["Extent", "ExtentList", "split_segments_to_bins"]
 
 _EMPTY = None  # singleton, created lazily by ExtentList.empty()
 
@@ -429,3 +429,58 @@ class ExtentList:
         full = int((self._ends[: i - 1] - self._starts[: i - 1]).sum())
         partial = min(int(self._ends[i - 1]), offset) - int(self._starts[i - 1])
         return full + max(partial, 0)
+
+
+def split_segments_to_bins(
+    starts: np.ndarray,
+    ends: np.ndarray,
+    bin_bounds: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Cut raw segments at bin boundaries, keeping per-segment identity.
+
+    The columnar counterpart of :meth:`ExtentList.split_to_bins` for
+    segments that are *not* a normalized set: inputs may overlap, belong
+    to different owners, and arrive in any order. Each segment is cut at
+    every interior bin boundary it crosses; pieces outside
+    ``[bin_bounds[0], bin_bounds[-1])`` are dropped.
+
+    Returns ``(bin_idx, piece_starts, piece_ends, src_idx)`` parallel
+    arrays where ``src_idx`` maps each piece back to its input segment —
+    which is what lets callers carry owner columns (rank, node) through
+    the cut. Pieces inherit input order (segment-major) and all have
+    positive length.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    ends = np.asarray(ends, dtype=np.int64)
+    bin_bounds = np.asarray(bin_bounds, dtype=np.int64)
+    if bin_bounds.size < 2:
+        raise ReproError("split_segments_to_bins requires at least one bin")
+    lo_b, hi_b = int(bin_bounds[0]), int(bin_bounds[-1])
+    s = np.maximum(starts, lo_b)
+    e = np.minimum(ends, hi_b)
+    keep = e > s
+    src = np.flatnonzero(keep)
+    if src.size == 0:
+        empty = np.empty(0, np.int64)
+        return empty, empty.copy(), empty.copy(), empty.copy()
+    s, e = s[keep], e[keep]
+    interior = bin_bounds[1:-1]
+    # Cuts strictly inside each segment (same sweep as split_to_bins).
+    lo = np.searchsorted(interior, s, side="right")
+    hi = np.searchsorted(interior, e - 1, side="right")
+    pieces = (hi - lo) + 1
+    total = int(pieces.sum())
+    idx = np.repeat(np.arange(s.size), pieces)
+    first = np.cumsum(pieces) - pieces
+    pos = np.arange(total) - np.repeat(first, pieces)
+    cut_index = np.repeat(lo, pieces) + pos
+    if interior.size:
+        left_cut = interior[np.clip(cut_index - 1, 0, interior.size - 1)]
+        right_cut = interior[np.clip(cut_index, 0, interior.size - 1)]
+    else:
+        left_cut = s[idx]
+        right_cut = e[idx]
+    piece_s = np.where(pos == 0, s[idx], left_cut)
+    piece_e = np.where(pos == pieces[idx] - 1, e[idx], right_cut)
+    bin_idx = np.searchsorted(bin_bounds, piece_s, side="right") - 1
+    return bin_idx.astype(np.int64), piece_s, piece_e, src[idx]

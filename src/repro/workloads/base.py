@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
-from ..mpi.requests import AccessRequest, pattern_bytes
+from ..mpi.requests import AccessRequest, FlatAccess, flatten_requests, pattern_bytes
 from ..util.errors import WorkloadError
 from ..util.intervals import ExtentList
 
@@ -47,6 +47,15 @@ class Workload(ABC):
             data = pattern_bytes(extents) if with_data else None
             out.append(AccessRequest(rank=rank, extents=extents, data=data))
         return out
+
+    def flat_requests(self) -> FlatAccess:
+        """Columnar form of :meth:`requests` (payload-free).
+
+        The default route materializes per-rank objects first; workloads
+        with closed-form patterns override this to emit the columns
+        directly, which is what makes million-rank planning feasible.
+        """
+        return flatten_requests(self.requests())
 
     def validate_disjoint(self) -> None:
         """Raise when two ranks' extents overlap (benchmarks never do)."""

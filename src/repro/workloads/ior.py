@@ -15,6 +15,9 @@ evaluation (interleaved reads/writes of a shared file):
 
 from __future__ import annotations
 
+import numpy as np
+
+from ..mpi.requests import FlatAccess
 from ..util.errors import WorkloadError
 from ..util.intervals import ExtentList
 from ..util.validation import check_positive
@@ -71,6 +74,31 @@ class IORWorkload(Workload):
             ((b * P + rank) * t, t) for b in range(self.transfers_per_proc)
         ]
         return ExtentList.from_pairs(pairs)
+
+    def flat_requests(self) -> FlatAccess:
+        """Closed-form columnar pattern — no per-rank objects.
+
+        Both IOR modes have arithmetic offsets, so the whole collective's
+        ``(offset, length, rank)`` columns come from broadcasting alone;
+        a million ranks flatten in milliseconds.
+        """
+        P = self._n_procs
+        if self.segmented:
+            ranks = np.arange(P, dtype=np.int64)
+            return FlatAccess(
+                ranks * self.block_size,
+                np.full(P, self.block_size, dtype=np.int64),
+                ranks,
+            )
+        t = self.transfer_size
+        n = self.transfers_per_proc
+        ranks = np.repeat(np.arange(P, dtype=np.int64), n)
+        rounds = np.tile(np.arange(n, dtype=np.int64), P)
+        return FlatAccess(
+            (rounds * P + ranks) * t,
+            np.full(P * n, t, dtype=np.int64),
+            ranks,
+        )
 
     def total_bytes(self) -> int:
         return self._n_procs * self.block_size

@@ -108,6 +108,54 @@ class TestGroupInvariants:
         sizes = [g.covered_bytes for g in groups]
         assert all(s == 9600 for s in sizes)
 
+    def test_interleaved_remainder_splits_half_up(self):
+        """Regression: flooring ``total // msg_group`` used to fold the
+        remainder into the last group — a 1.5×Msg_group workload came
+        back as ONE group 1.5× over target. Half-up rounding cuts it
+        into two ~0.75× groups instead."""
+        comm = make_comm()
+        wl = IORWorkload(9, block_size=1600, transfer_size=100)  # 14400 B
+        config = MemoryConsciousConfig(
+            msg_group=9600, group_mode="interleaved", msg_ind=1024,
+            mem_min=1, buffer_floor=1,
+        )
+        groups = divide_groups(wl.requests(), comm, config)
+        assert len(groups) == 2
+        sizes = [g.covered_bytes for g in groups]
+        assert sizes == [7200, 7200]
+        assert all(s <= config.msg_group for s in sizes)
+
+    def test_serial_boundary_extends_over_straddling_node(self):
+        """Regression: with overlapping node envelopes, the serial cut
+        used to land at the max end of the *processed* nodes even when a
+        later node started before that cut — splitting the later node's
+        data across two groups. The boundary must extend over every
+        in-flight node."""
+        comm = make_comm(n_procs=3, procs_per_node=1, n_nodes=3)
+        reqs = [
+            AccessRequest(0, ExtentList.single(0, 300)),
+            AccessRequest(1, ExtentList.single(250, 300)),  # straddles 300
+            AccessRequest(2, ExtentList.single(600, 300)),
+        ]
+        config = MemoryConsciousConfig(
+            msg_group=100,  # tiny: wants to cut after the first node
+            group_mode="serial",
+            msg_ind=100,
+            mem_min=1,
+            buffer_floor=1,
+        )
+        groups = divide_groups(reqs, comm, config)
+        # No node's data may cross a group boundary.
+        for req in reqs:
+            holders = [
+                g for g in groups
+                if req.extents.clip(g.region.offset, g.region.length).total > 0
+            ]
+            assert len(holders) == 1, f"rank {req.rank} split across groups"
+        assert [g.region.end for g in groups] == [550, 900]
+        assert groups[0].member_ranks == (0, 1)
+        assert groups[1].member_ranks == (2,)
+
     def test_empty_requests(self):
         comm = make_comm()
         config = MemoryConsciousConfig(mem_min=1, buffer_floor=1)

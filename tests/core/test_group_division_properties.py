@@ -1,0 +1,151 @@
+"""Property suite over aggregation-group division (Section 3.1).
+
+For arbitrary workload shapes, group division must always hold:
+
+* group coverages are disjoint and their union is exactly the
+  workload's aggregate byte set;
+* per-group covered bytes sum to the workload total;
+* every member rank actually owns bytes inside its group's region;
+* serial division never splits one node's envelope across two groups;
+* the columnar division (``divide_groups_flat``) produces the same
+  groups as the object path — and the full columnar plan matches the
+  object plan bit for bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster, NetworkModel, scaled_testbed
+from repro.core import (
+    MemoryConsciousCollectiveIO,
+    MemoryConsciousConfig,
+    divide_groups,
+)
+from repro.core.columnar import divide_groups_flat
+from repro.core.plans import plan_to_dict
+from repro.io import CollectiveHints, make_context
+from repro.mpi import AccessRequest, SimComm, flatten_requests
+from repro.util import ExtentList, kib
+
+pytestmark = pytest.mark.slow
+
+N_RANKS = 8
+
+chunk_lists = st.lists(
+    st.tuples(st.integers(0, 1 << 17), st.integers(1, 1 << 11)),
+    min_size=2,
+    max_size=24,
+)
+modes = st.sampled_from(["serial", "interleaved", "off", "auto"])
+msg_groups = st.sampled_from([kib(8), kib(64), kib(256)])
+
+
+def _comm():
+    machine = scaled_testbed(4, cores_per_node=2)
+    cluster = Cluster(machine, N_RANKS, procs_per_node=2)
+    return SimComm(cluster, NetworkModel(machine))
+
+
+def _requests(chunks):
+    claimed = ExtentList.empty()
+    reqs = []
+    for rank in range(N_RANKS):
+        el = ExtentList.from_pairs(chunks[rank::N_RANKS]).subtract(claimed)
+        claimed = claimed.union(el)
+        reqs.append(AccessRequest(rank, el))
+    return reqs, claimed
+
+
+def _config(mode, msg_group):
+    return MemoryConsciousConfig(
+        msg_ind=kib(8), msg_group=msg_group, group_mode=mode,
+        mem_min=1, buffer_floor=1,
+    )
+
+
+@given(chunks=chunk_lists, mode=modes, msg_group=msg_groups)
+def test_groups_tile_aggregate_coverage(chunks, mode, msg_group):
+    reqs, claimed = _requests(chunks)
+    groups = divide_groups(reqs, _comm(), _config(mode, msg_group))
+    union = ExtentList.union_all([g.coverage for g in groups])
+    assert union == claimed
+    # disjoint: summed bytes equal union bytes equal workload total
+    assert sum(g.covered_bytes for g in groups) == claimed.total
+    for a, b in zip(groups, groups[1:]):
+        assert a.region.end <= b.region.offset
+
+
+@given(chunks=chunk_lists, mode=modes, msg_group=msg_groups)
+def test_members_own_bytes_in_region(chunks, mode, msg_group):
+    reqs, _ = _requests(chunks)
+    groups = divide_groups(reqs, _comm(), _config(mode, msg_group))
+    for g in groups:
+        assert g.member_ranks == tuple(sorted(set(g.member_ranks)))
+        for rank in g.member_ranks:
+            clipped = reqs[rank].extents.clip(
+                g.region.offset, g.region.length
+            )
+            assert clipped.total > 0, f"zero-byte member {rank}"
+
+
+@given(chunks=chunk_lists, msg_group=msg_groups)
+def test_serial_never_splits_a_node(chunks, msg_group):
+    reqs, _ = _requests(chunks)
+    comm = _comm()
+    groups = divide_groups(reqs, comm, _config("serial", msg_group))
+    # Merge each node's requests into one envelope; it must fall inside
+    # exactly one group's region.
+    by_node: dict[int, ExtentList] = {}
+    for r in reqs:
+        if r.extents.is_empty:
+            continue
+        node = comm.node_of(r.rank)
+        by_node[node] = by_node.get(node, ExtentList.empty()).union(r.extents)
+    for node, extents in by_node.items():
+        env = extents.envelope()
+        holders = [
+            g for g in groups
+            if g.region.offset < env.end and env.offset < g.region.end
+        ]
+        assert len(holders) == 1, f"node {node} straddles groups"
+
+
+@given(chunks=chunk_lists, mode=modes, msg_group=msg_groups)
+def test_columnar_division_matches_object(chunks, mode, msg_group):
+    reqs, _ = _requests(chunks)
+    comm = _comm()
+    config = _config(mode, msg_group)
+    obj = divide_groups(reqs, comm, config)
+    col, pieces = divide_groups_flat(flatten_requests(reqs), comm, config)
+    assert [
+        (g.group_id, g.region, g.coverage, g.member_ranks) for g in obj
+    ] == [
+        (g.group_id, g.region, g.coverage, g.member_ranks) for g in col
+    ]
+    assert len(pieces) == len(col)
+
+
+@given(chunks=chunk_lists, mode=modes)
+def test_columnar_plan_matches_object_plan(chunks, mode):
+    reqs, _ = _requests(chunks)
+    config = MemoryConsciousConfig(
+        msg_ind=kib(8), msg_group=kib(64), group_mode=mode,
+        mem_min=kib(8), buffer_floor=kib(8),
+    )
+
+    def build(engine):
+        machine = scaled_testbed(4, cores_per_node=2)
+        ctx = make_context(
+            machine, N_RANKS, procs_per_node=2, seed=11,
+            hints=CollectiveHints(cb_buffer_size=config.msg_ind),
+        )
+        ctx.cluster.apply_memory_variance(
+            ctx.rng, mean_available=kib(64), std=kib(32)
+        )
+        strategy = MemoryConsciousCollectiveIO(config, engine=engine)
+        return plan_to_dict(strategy.build_plan(ctx, reqs))
+
+    assert build("object") == build("columnar")

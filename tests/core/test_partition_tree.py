@@ -178,3 +178,77 @@ def test_property_surgery_preserves_invariants(pairs, msg_ind, removals):
         # Surgery never loses or duplicates bytes.
         assert tree.total_coverage() == cov
         assert sum(l.covered_bytes for l in tree.leaves()) == cov.total
+
+
+def _shape(tree):
+    """(lo, hi, coverage-pairs-or-None) for every node, preorder."""
+    out = []
+
+    def walk(node):
+        cov = node.coverage
+        out.append(
+            (
+                node.lo,
+                node.hi,
+                None
+                if cov is None
+                else tuple(zip(cov.starts.tolist(), cov.ends.tolist())),
+            )
+        )
+        if not node.is_leaf:
+            walk(node.left)
+            walk(node.right)
+
+    walk(tree.root)
+    return out
+
+
+class TestMedianFallback:
+    def test_align_snap_never_leaves_oversized_leaf(self):
+        """Regression: an align hook whose snaps all land outside the
+        data (here: everything snaps to 0) used to make ``build`` give
+        up splitting, leaving leaves far above ``msg_ind``. The raw
+        covered-byte median must be tried as a fallback."""
+        cov = ExtentList.single(60, 40)
+        tree = PartitionTree.build(cov, msg_ind=8, align=lambda off: 0)
+        tree.validate()
+        assert all(l.covered_bytes <= 8 for l in tree.leaves())
+        assert tree.total_coverage() == cov
+
+    def test_snap_still_preferred_when_valid(self):
+        align = lambda off: (off // 64) * 64
+        tree = PartitionTree.build(dense(1024), msg_ind=256, align=align)
+        for leaf in tree.leaves()[:-1]:
+            assert leaf.hi % 64 == 0
+
+
+class TestBuildIndexed:
+    @pytest.mark.parametrize(
+        "pairs,msg_ind",
+        [
+            ([(0, 1000)], 100),
+            ([(0, 300), (500, 800), (1000, 1424)], 128),
+            ([(60, 70)], 5),
+            ([(900, 1000)], 50),
+            ([(0, 1), (10, 11)], 1),
+        ],
+    )
+    def test_matches_object_build(self, pairs, msg_ind):
+        cov = ExtentList(
+            [a for a, _ in pairs], [b for _, b in pairs]
+        )
+        for align in (None, lambda off: (off // 64) * 64, lambda off: 0):
+            a = PartitionTree.build(cov, msg_ind=msg_ind, align=align)
+            b = PartitionTree.build_indexed(cov, msg_ind=msg_ind, align=align)
+            b.validate()
+            assert _shape(a) == _shape(b)
+
+    def test_matches_with_region(self):
+        cov = ExtentList.single(900, 100)
+        a = PartitionTree.build(cov, msg_ind=50, region=Extent(0, 1000))
+        b = PartitionTree.build_indexed(cov, msg_ind=50, region=Extent(0, 1000))
+        assert _shape(a) == _shape(b)
+
+    def test_empty_coverage_rejected(self):
+        with pytest.raises(PartitionError):
+            PartitionTree.build_indexed(ExtentList.empty(), msg_ind=10)
