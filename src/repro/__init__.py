@@ -28,9 +28,11 @@ from .analysis import (
     DESIGN_2018,
     memory_per_core_factor,
     projection_table,
+    verify_plan,
 )
 from .api import Experiment
 from .campaign import Campaign, CampaignResult, PlanCache
+from .client import PlanClient, ServeClient
 from .cluster import (
     Cluster,
     MachineModel,
@@ -78,7 +80,17 @@ from .mpi import (
     subarray,
     vector,
 )
+from .serve.protocol import PlanRequest, PlanResponse, ServeError
 from .util import Extent, ExtentList, GiB, KiB, MiB, gib, kib, mib
+from .util.errors import (
+    CacheError,
+    ConfigurationError,
+    PlanVerificationError,
+    ReproError,
+    ServeOverloadError,
+    SpecError,
+    TransientFaultError,
+)
 from .workloads import (
     CollPerfWorkload,
     IORWorkload,
@@ -97,6 +109,20 @@ __all__ = [
     "CampaignResult",
     "PlanCache",
     "CollectivePlan",
+    # planning service (client side)
+    "PlanClient",
+    "ServeClient",
+    "PlanRequest",
+    "PlanResponse",
+    "ServeError",
+    # errors (the catchable public hierarchy)
+    "ReproError",
+    "ConfigurationError",
+    "SpecError",
+    "PlanVerificationError",
+    "CacheError",
+    "TransientFaultError",
+    "ServeOverloadError",
     # faults
     "FaultSpec",
     "FaultEvent",
@@ -165,6 +191,7 @@ __all__ = [
     "RunComparison",
     "render_table",
     "bandwidth_table",
+    "verify_plan",
     "projection_table",
     "memory_per_core_factor",
     "DESIGN_2010",

@@ -12,34 +12,87 @@ paper's invariants, spec-hash identity) is the static verifier's job —
 the campaign runner checks every hit with
 :func:`repro.analysis.verify_plan` and calls :meth:`PlanCache.delete`
 to purge entries that fail, demoting them to misses.
+
+The cache can be **byte-bounded**: pass ``max_bytes`` and every store
+evicts least-recently-used entries (recency = file mtime, refreshed on
+every load) until the directory fits. ``max_bytes=None`` (the default)
+preserves the historic unbounded behavior. Eviction is safe under
+concurrent writers — losing a race to unlink just means another process
+already evicted the entry.
 """
 
 from __future__ import annotations
 
 import json
 import os
+from collections.abc import Mapping
 from pathlib import Path
+from typing import Any
 
 from ..core.plans import CollectivePlan, plan_from_dict, plan_to_dict
+from ..util.errors import CacheError
 
 __all__ = ["PlanCache"]
 
 
 class PlanCache:
-    """Content-addressed store of serialized collective plans."""
+    """Content-addressed store of serialized collective plans.
 
-    def __init__(self, root: str | Path) -> None:
+    Args:
+        root: cache directory (created if missing).
+        max_bytes: total size bound for ``*.plan.json`` payloads; when
+            set, stores evict least-recently-used entries to fit. The
+            just-stored entry is never evicted (a single oversized plan
+            is kept rather than thrashing). ``None`` = unbounded.
+    """
+
+    def __init__(self, root: str | Path, *, max_bytes: int | None = None) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise CacheError(f"max_bytes must be positive or None, got {max_bytes}")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self.evictions = 0  # entries this process removed to fit max_bytes
 
     def path(self, key: str) -> Path:
         return self.root / f"{key}.plan.json"
 
+    # ------------------------------------------------------------- raw dicts
+    def load_raw(self, key: str) -> dict[str, Any] | None:
+        """The cached plan *dict* for ``key``, or ``None`` on any miss.
+
+        Refreshes the entry's recency (mtime) so a bounded cache evicts
+        cold entries first. The dict is exactly what ``store_raw`` /
+        ``store`` persisted; semantic validity is the verifier's job.
+        """
+        path = self.path(key)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(data, dict):
+            return None
+        try:
+            os.utime(path)
+        except OSError:
+            pass  # entry evicted/purged underneath us; the data is still good
+        return data
+
+    def store_raw(self, key: str, data: Mapping[str, Any]) -> Path:
+        """Persist a plan dict under ``key`` (atomic rename), then evict."""
+        target = self.path(key)
+        tmp = target.with_name(f"{target.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(data, sort_keys=True))
+        os.replace(tmp, target)
+        if self.max_bytes is not None:
+            self._evict_to_fit(keep=target)
+        return target
+
+    # ------------------------------------------------------------ plan objects
     def load(self, key: str) -> CollectivePlan | None:
         """The cached plan for ``key``, or ``None`` on any kind of miss."""
-        try:
-            data = json.loads(self.path(key).read_text())
-        except (OSError, json.JSONDecodeError):
+        data = self.load_raw(key)
+        if data is None:
             return None
         try:
             return plan_from_dict(data)
@@ -48,11 +101,7 @@ class PlanCache:
 
     def store(self, key: str, plan: CollectivePlan) -> Path:
         """Persist ``plan`` under ``key`` (atomic rename)."""
-        target = self.path(key)
-        tmp = target.with_name(f"{target.name}.{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(plan_to_dict(plan), sort_keys=True))
-        os.replace(tmp, target)
-        return target
+        return self.store_raw(key, plan_to_dict(plan))
 
     def delete(self, key: str) -> bool:
         """Remove ``key``'s entry; True when a file was actually removed.
@@ -65,6 +114,45 @@ class PlanCache:
             return True
         except OSError:
             return False
+
+    # -------------------------------------------------------------- accounting
+    def total_bytes(self) -> int:
+        """Current payload size of all entries (best effort under races)."""
+        total = 0
+        for path in self.root.glob("*.plan.json"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def _evict_to_fit(self, keep: Path) -> None:
+        """Drop oldest-mtime entries until the cache fits ``max_bytes``.
+
+        ``keep`` (the entry just written) is exempt, so one plan larger
+        than the whole bound is stored rather than immediately dropped.
+        """
+        assert self.max_bytes is not None
+        entries = []
+        total = 0
+        for path in self.root.glob("*.plan.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            total += stat.st_size
+            if path != keep:
+                entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()
+        for _mtime, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue  # a concurrent evict/purge got there first
+            total -= size
+            self.evictions += 1
 
     def __contains__(self, key: str) -> bool:
         return self.path(key).exists()

@@ -60,6 +60,7 @@ def run_experiment_record(
     experiment: Experiment,
     cache_dir: str | None = None,
     retries: int = 0,
+    cache_max_bytes: int | None = None,
 ) -> dict:
     """Execute one sweep point, returning its JSON-safe record.
 
@@ -81,7 +82,7 @@ def run_experiment_record(
         plan = None
         cache_state = None
         if cache_dir is not None and experiment.supports_plan_cache():
-            cache = PlanCache(cache_dir)
+            cache = PlanCache(cache_dir, max_bytes=cache_max_bytes)
             plan = cache.load(key)
             if plan is not None:
                 # A parseable entry may still be semantically poisoned
@@ -144,13 +145,15 @@ def run_experiment_record(
     return record
 
 
-def _pool_entry(task: tuple[int, Experiment, str | None, int]) -> dict:
-    index, experiment, cache_dir, retries = task
-    return run_experiment_record(index, experiment, cache_dir, retries)
+def _pool_entry(task: tuple[int, Experiment, str | None, int, int | None]) -> dict:
+    index, experiment, cache_dir, retries, cache_max_bytes = task
+    return run_experiment_record(
+        index, experiment, cache_dir, retries, cache_max_bytes
+    )
 
 
 def _timeout_entry(
-    task: tuple[int, Experiment, str | None, int],
+    task: tuple[int, Experiment, str | None, int, int | None],
     queue: multiprocessing.Queue,
 ) -> None:  # pragma: no cover - exercised in a child process
     queue.put(_pool_entry(task))
@@ -172,7 +175,7 @@ def _timeout_record(index: int, experiment: Experiment, timeout_s: float) -> dic
 
 
 def _run_with_timeouts(
-    tasks: Sequence[tuple[int, Experiment, str | None, int]],
+    tasks: Sequence[tuple[int, Experiment, str | None, int, int | None]],
     workers: int,
     timeout_s: float,
     consume: Callable[[dict], None],
@@ -205,7 +208,7 @@ def _run_with_timeouts(
                     consume(queue.get(timeout=0.2))
                 except Exception:  # noqa: BLE001 — queue.Empty or EOF
                     # Died without producing a record (crash / OOM-kill).
-                    index, experiment, _, _ = task
+                    index, experiment = task[0], task[1]
                     rec = _timeout_record(index, experiment, 0.0)
                     rec["error"] = (
                         f"RuntimeError: worker process died with exit code "
@@ -217,7 +220,7 @@ def _run_with_timeouts(
             elif time.perf_counter() - started > timeout_s:
                 proc.terminate()
                 proc.join()
-                index, experiment, _, _ = task
+                index, experiment = task[0], task[1]
                 consume(_timeout_record(index, experiment, timeout_s))
             else:
                 still.append((proc, queue, started, task))
@@ -321,6 +324,8 @@ class Campaign:
         retries: per-point retry budget for injected transient failures
             (:class:`TransientFaultError`); each retry salts the fault
             schedule with its attempt number.
+        cache_max_bytes: byte bound on the plan cache (LRU eviction);
+            ``None`` keeps it unbounded, the historic behavior.
         timeout_s: per-point host wall-clock bound. ``None`` (default)
             keeps the plain pool path; a value switches to a
             process-per-task scheduler that can kill a hung point.
@@ -336,6 +341,7 @@ class Campaign:
         resume: bool = False,
         retries: int = 0,
         timeout_s: float | None = None,
+        cache_max_bytes: int | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -350,6 +356,7 @@ class Campaign:
         self.resume = resume
         self.retries = retries
         self.timeout_s = timeout_s
+        self.cache_max_bytes = cache_max_bytes
 
     @classmethod
     def from_grid(
@@ -392,7 +399,7 @@ class Campaign:
                 if rec.get("status") == "ok" and rec.get("spec_hash"):
                     done_records[rec["spec_hash"]] = rec
 
-        tasks: list[tuple[int, Experiment, str | None, int]] = []
+        tasks: list[tuple[int, Experiment, str | None, int, int | None]] = []
         by_index: dict[int, dict] = {}
         n_skipped = 0
         for index, exp in enumerate(self.experiments):
@@ -405,7 +412,9 @@ class Campaign:
                     by_index[index] = reused
                     n_skipped += 1
                     continue
-            tasks.append((index, exp, self.cache_dir, self.retries))
+            tasks.append(
+                (index, exp, self.cache_dir, self.retries, self.cache_max_bytes)
+            )
 
         def consume(record: dict) -> None:
             by_index[record["index"]] = record

@@ -18,12 +18,23 @@ Gives the library a shell-level surface for the common workflows:
   ``*.plan.json`` file or a whole plan-cache directory) against the
   paper's invariants; non-zero exit on any violation;
 * ``lint``     — run the determinism/unit AST lint over the source tree;
-  non-zero exit on any violation.
+  non-zero exit on any violation;
+* ``serve``    — run the planning daemon: HTTP on localhost and/or a
+  Unix socket, sharded verified plan cache, request coalescing,
+  admission control, ``/metrics`` telemetry.
 
 All execution commands build :class:`~repro.api.Experiment` specs — the
 same objects the benchmark harness and the campaign runner use — so the
 CLI, benchmarks, and library wire machines, workloads, and strategies
 identically.
+
+Exit codes are part of the contract: a command that dies with a library
+error maps the error class to a stable code via
+:func:`repro.util.errors.exit_code_for` (3 = bad spec, 4 = plan failed
+verification, 5 = cache unusable, 6 = injected transient fault,
+7 = daemon overloaded, 8 = other library error; 1 stays the generic
+failure code and 2 is argparse's usage error). The README documents the
+full table.
 """
 
 from __future__ import annotations
@@ -49,7 +60,13 @@ from .metrics import (
 )
 from .metrics.telemetry import Telemetry
 from .util import fmt_rate, mib
-from .util.errors import ReproError
+from .util.errors import (
+    EXIT_FAILURE,
+    EXIT_OK,
+    EXIT_PLAN_VERIFY,
+    ReproError,
+    exit_code_for,
+)
 
 __all__ = ["main"]
 
@@ -289,6 +306,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         resume=args.resume,
         retries=args.retries,
         timeout_s=args.timeout,
+        cache_max_bytes=(
+            mib(args.cache_max_mb) if args.cache_max_mb is not None else None
+        ),
     )
     progress = None
     if args.verbose:
@@ -313,7 +333,7 @@ def cmd_check_plan(args: argparse.Namespace) -> int:
         reports = verify_cache_dir(target)
         if not reports:
             print(f"no *.plan.json entries under {target}", file=sys.stderr)
-            return 1
+            return EXIT_FAILURE
     else:
         reports = [verify_plan_file(target)]
     if args.format == "json":
@@ -327,7 +347,7 @@ def cmd_check_plan(args: argparse.Namespace) -> int:
             f"{len(bad)} of {len(reports)} plan(s) violate invariants",
             file=sys.stderr,
         )
-    return 1 if bad else 0
+    return EXIT_PLAN_VERIFY if bad else EXIT_OK
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -352,6 +372,73 @@ def cmd_lint(args: argparse.Namespace) -> int:
     else:
         print(report.render())
     return 0 if report.ok else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the planning daemon until interrupted."""
+    import asyncio
+    import json
+    import signal
+
+    from .serve import PlannerService, ServeDaemon, ShardedPlanCache
+
+    cache = None
+    if args.cache_dir:
+        cache = ShardedPlanCache(
+            args.cache_dir,
+            shards=args.shards,
+            max_bytes=mib(args.cache_max_mb) if args.cache_max_mb is not None else None,
+        )
+    service = PlannerService(
+        cache,
+        max_pending=args.max_pending,
+        pool=args.pool,
+        pool_workers=args.pool_workers,
+    )
+    daemon = ServeDaemon(
+        service,
+        host=args.host,
+        port=None if args.no_tcp else args.port,
+        unix_path=args.unix_socket,
+    )
+
+    async def run() -> None:
+        await daemon.start()
+        where = [daemon.url] if daemon.url else []
+        if args.unix_socket:
+            where.append(f"unix:{args.unix_socket}")
+        cache_note = (
+            f"cache {args.cache_dir} ({args.shards} shards)" if args.cache_dir
+            else "no plan cache"
+        )
+        print(f"repro serve: listening on {', '.join(where)}; {cache_note}")
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        try:
+            await stop.wait()
+        finally:
+            await daemon.stop()
+            await service.close()
+
+    try:
+        asyncio.run(run())
+    finally:
+        snapshot = service.metrics_payload()
+        if args.metrics_json:
+            Path(args.metrics_json).write_text(json.dumps(snapshot, indent=2))
+            print(f"wrote metrics to {args.metrics_json}")
+        counters = snapshot.get("counters", {})
+        summary = ", ".join(
+            f"{name}={int(counters[name])}"
+            for name in ("requests", "hits", "misses", "rejects", "coalesced",
+                         "overloads", "planning_jobs")
+            if name in counters
+        )
+        if summary:
+            print(f"repro serve: {summary}")
+    return 0
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -443,6 +530,9 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="worker processes (1 = run inline)")
     p.add_argument("--results", help="stream JSONL records to this file")
     p.add_argument("--cache-dir", help="plan cache directory")
+    p.add_argument("--cache-max-mb", type=int, default=None,
+                   help="byte bound on the plan cache (MiB) with LRU "
+                        "eviction; default unbounded")
     p.add_argument("--resume", action="store_true",
                    help="skip points already completed in --results")
     p.add_argument("--verbose", action="store_true",
@@ -473,16 +563,54 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="list the rule codes and exit")
     p.set_defaults(fn=cmd_lint)
 
+    p = sub.add_parser(
+        "serve",
+        help="planning daemon: sharded plan cache, coalescing, backpressure",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="TCP listen address (default localhost only)")
+    p.add_argument("--port", type=int, default=8642,
+                   help="TCP port (0 = ephemeral)")
+    p.add_argument("--no-tcp", action="store_true",
+                   help="disable the TCP listener (unix socket only)")
+    p.add_argument("--unix-socket",
+                   help="also listen on this unix-domain socket path")
+    p.add_argument("--cache-dir",
+                   help="sharded plan-cache directory (omit to replan "
+                        "every request)")
+    p.add_argument("--cache-max-mb", type=int, default=None,
+                   help="total cache byte bound (MiB), LRU-evicted; "
+                        "default unbounded")
+    p.add_argument("--shards", type=int, default=8,
+                   help="plan-cache shard count")
+    p.add_argument("--max-pending", type=int, default=64,
+                   help="admission bound on queued planning jobs; past "
+                        "it requests get 429 + Retry-After")
+    p.add_argument("--pool", default="process", choices=["process", "thread"],
+                   help="planning executor kind (planning is CPU-bound; "
+                        "process actually parallelizes)")
+    p.add_argument("--pool-workers", type=int, default=None,
+                   help="planner pool size (default: executor default)")
+    p.add_argument("--metrics-json",
+                   help="dump the final /metrics snapshot here on shutdown")
+    p.set_defaults(fn=cmd_serve)
+
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Library errors map to the documented exit-code table
+    (:func:`repro.util.errors.exit_code_for`) with the message on
+    stderr, so scripts can branch on the failure kind.
+    """
     args = _build_parser().parse_args(argv)
     try:
         return args.fn(args)
     except ReproError as exc:
-        raise SystemExit(str(exc)) from exc
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests

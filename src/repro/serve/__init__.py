@@ -1,0 +1,46 @@
+"""Planning as a service: a long-running daemon over the Experiment stack.
+
+The campaign runner plans, verifies, and caches per *process batch*;
+this package turns the same Experiment → PlanCache → verifier pipeline
+into a shared **service** that thousands of uncoordinated clients can
+hit concurrently (the many-task fan-in shape of Zhang et al.):
+
+* :mod:`repro.serve.protocol` — the versioned wire contract: typed
+  :class:`PlanRequest` / :class:`PlanResponse` / :class:`ServeError`
+  dataclasses with a ``schema_version`` field;
+* :class:`~repro.serve.shards.ShardedPlanCache` — N independent
+  :class:`~repro.campaign.PlanCache` shards keyed by spec-hash prefix,
+  per-shard locks, byte-bounded with LRU eviction, every hit passed
+  through :func:`repro.analysis.verify_plan` (rejects purged);
+* :class:`~repro.serve.service.PlannerService` — request coalescing
+  (concurrent identical specs share one planning job), admission
+  control (bounded planning queue; overload answers "retry later"),
+  and a process pool for the CPU-bound planner;
+* :class:`~repro.serve.daemon.ServeDaemon` — the asyncio front end:
+  HTTP on localhost and/or a Unix socket, ``/plan`` + ``/metrics`` +
+  ``/healthz`` endpoints;
+* :class:`~repro.serve.metrics.ServeMetrics` — per-endpoint latency
+  histograms and hit/miss/reject/coalesce counters, exportable through
+  the existing telemetry layer.
+
+Clients use :class:`repro.client.PlanClient`, which falls back to an
+in-process engine (same pipeline, same bytes) when no daemon runs.
+"""
+
+from .daemon import ServeDaemon
+from .metrics import LatencyHistogram, ServeMetrics
+from .protocol import SCHEMA_VERSION, PlanRequest, PlanResponse, ServeError
+from .service import PlannerService
+from .shards import ShardedPlanCache
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "LatencyHistogram",
+    "PlanRequest",
+    "PlanResponse",
+    "PlannerService",
+    "ServeDaemon",
+    "ServeError",
+    "ServeMetrics",
+    "ShardedPlanCache",
+]

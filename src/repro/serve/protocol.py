@@ -1,0 +1,272 @@
+"""The versioned wire contract between planning clients and the daemon.
+
+Everything that crosses the client/daemon boundary is one of three
+typed dataclasses — :class:`PlanRequest`, :class:`PlanResponse`,
+:class:`ServeError` — each carrying a ``schema_version`` field so
+either side can refuse a contract it does not speak. The payloads are
+plain JSON; no pickle ever crosses the boundary.
+
+Experiments travel as their **JSON-safe field dict** (the string-form
+spec: ``machine="testbed-4"``, ``workload="ior"``, …), not as pickled
+objects. :func:`experiment_fields` extracts that dict from an
+:class:`~repro.api.Experiment` (rejecting instance-form specs, which
+have no canonical wire form), and :func:`experiment_from_fields`
+rebuilds the Experiment server-side. Both directions validate against
+one allowlist, so an unknown or unsafe field is a
+:class:`~repro.util.errors.SpecError` at the edge rather than a
+surprise in the planner.
+
+This module is deliberately dependency-light (no asyncio, no sockets):
+the daemon, the sync client, and the in-process fallback all import it.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Any
+
+from ..api import Experiment
+from ..core.plans import canonical_json
+from ..util.errors import SpecError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "PlanRequest",
+    "PlanResponse",
+    "ServeError",
+    "experiment_fields",
+    "experiment_from_fields",
+    "spec_hash_for_fields",
+]
+
+#: Bump on any incompatible change to the request/response payloads.
+SCHEMA_VERSION = 1
+
+#: Experiment fields with a canonical JSON wire form, and the types the
+#: server accepts for each. Instance-form specs (Workload / IOStrategy /
+#: MachineModel / CollectiveHints / FaultSpec objects) are excluded by
+#: construction: they have no stable serialization, so service traffic
+#: sticks to the string-form spec language.
+_FIELD_TYPES: dict[str, tuple[type, ...]] = {
+    "machine": (str,),
+    "workload": (str,),
+    "strategy": (str,),
+    "n_procs": (int,),
+    "procs_per_node": (int, type(None)),
+    "placement": (str,),
+    "seed": (int, type(None)),
+    "kind": (str,),
+    "cb_buffer": (int, type(None)),
+    "memory_variance_mean": (int, type(None)),
+    "memory_variance_std": (int,),
+    "workload_params": (dict,),
+    "track_data": (bool,),
+    "file_name": (str,),
+}
+
+
+def experiment_fields(experiment: Experiment) -> dict[str, Any]:
+    """The JSON-safe field dict of a string-form :class:`Experiment`.
+
+    Raises :class:`SpecError` when the experiment uses instance-form
+    specs (a ``Workload``/``IOStrategy``/``MachineModel`` object, custom
+    hints, an explicit MC config, or a fault spec) — those cannot be
+    expressed on the wire; build the equivalent string-form spec
+    instead.
+    """
+    for name, reason in (
+        ("hints", "custom hints"),
+        ("config", "an explicit MC config"),
+        ("faults", "a fault spec"),
+    ):
+        if getattr(experiment, name) is not None:
+            raise SpecError(
+                f"experiment with {reason} has no wire form; "
+                "encode it in the string-form spec fields instead"
+            )
+    fields: dict[str, Any] = {}
+    for name, types in _FIELD_TYPES.items():
+        value = getattr(experiment, name)
+        if name == "workload_params":
+            value = dict(value)
+        if not isinstance(value, types) or isinstance(value, bool) != (types == (bool,)):
+            raise SpecError(
+                f"experiment field {name!r} = {value!r} is not JSON-safe; "
+                "the planning service accepts string-form specs only"
+            )
+        fields[name] = value
+    return fields
+
+
+def experiment_from_fields(fields: Mapping[str, Any]) -> Experiment:
+    """Rebuild an :class:`Experiment` from a wire field dict.
+
+    Unknown fields and wrong types raise :class:`SpecError` (the
+    daemon answers 422); value-level validation (unknown machine name,
+    bad workload) happens inside ``Experiment`` resolution and raises
+    the same class.
+    """
+    if not isinstance(fields, Mapping):
+        raise SpecError(f"experiment must be an object, got {type(fields).__name__}")
+    unknown = set(fields) - set(_FIELD_TYPES)
+    if unknown:
+        raise SpecError(f"unknown experiment field(s): {sorted(unknown)}")
+    kwargs: dict[str, Any] = {}
+    for name, value in fields.items():
+        types = _FIELD_TYPES[name]
+        if types == (bool,):
+            ok = isinstance(value, bool)
+        elif types[0] is int:
+            ok = isinstance(value, int) and not isinstance(value, bool)
+            ok = ok or (type(None) in types and value is None)
+        else:
+            ok = isinstance(value, types)
+        if not ok:
+            raise SpecError(
+                f"experiment field {name!r}: expected "
+                f"{'/'.join(t.__name__ for t in types)}, got {value!r}"
+            )
+        kwargs[name] = value
+    return Experiment(**kwargs)
+
+
+@lru_cache(maxsize=4096)
+def _hash_for_canonical_fields(fields_json: str) -> str:
+    exp = experiment_from_fields(json.loads(fields_json))
+    return exp.spec_hash()
+
+
+def spec_hash_for_fields(fields: Mapping[str, Any]) -> str:
+    """The spec hash of a wire field dict, memoized.
+
+    The hash is a pure function of the fields, but computing it resolves
+    the machine and fingerprints every rank's extents — too slow to
+    repeat per request on a service hot path. The memo keys on the
+    canonical JSON of the fields, so equal specs written in any key
+    order share one entry.
+    """
+    return _hash_for_canonical_fields(canonical_json(dict(fields)))
+
+
+def _check_schema_version(data: Mapping[str, Any], what: str) -> None:
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise SpecError(
+            f"{what} schema_version {version!r} != {SCHEMA_VERSION} "
+            "(client and daemon speak different protocol revisions)"
+        )
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """One planning request: an experiment, in wire (field-dict) form."""
+
+    experiment: Mapping[str, Any]
+    schema_version: int = SCHEMA_VERSION
+
+    @classmethod
+    def from_experiment(cls, experiment: Experiment) -> PlanRequest:
+        return cls(experiment=experiment_fields(experiment))
+
+    def to_experiment(self) -> Experiment:
+        return experiment_from_fields(self.experiment)
+
+    def spec_hash(self) -> str:
+        return spec_hash_for_fields(self.experiment)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "experiment": dict(self.experiment),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> PlanRequest:
+        _check_schema_version(data, "request")
+        experiment = data.get("experiment")
+        if not isinstance(experiment, Mapping):
+            raise SpecError("request carries no 'experiment' object")
+        return cls(experiment=dict(experiment))
+
+
+@dataclass(frozen=True)
+class PlanResponse:
+    """A served plan.
+
+    ``cache_state`` records how the plan was produced: ``"hit"`` (cache,
+    verified), ``"miss"`` (planned fresh), ``"rejected"`` (a cached
+    entry failed verification, was purged, and the plan was rebuilt), or
+    ``"coalesced"`` (this request joined another request's in-flight
+    resolution). ``plan`` is the canonical
+    :func:`~repro.core.plans.plan_to_dict` payload.
+    """
+
+    spec_hash: str
+    plan: Mapping[str, Any]
+    cache_state: str
+    server_wall_s: float = 0.0
+    schema_version: int = SCHEMA_VERSION
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "spec_hash": self.spec_hash,
+            "cache_state": self.cache_state,
+            "server_wall_s": self.server_wall_s,
+            "plan": dict(self.plan),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> PlanResponse:
+        _check_schema_version(data, "response")
+        plan = data.get("plan")
+        if not isinstance(plan, Mapping):
+            raise SpecError("response carries no 'plan' object")
+        return cls(
+            spec_hash=str(data.get("spec_hash", "")),
+            plan=dict(plan),
+            cache_state=str(data.get("cache_state", "")),
+            server_wall_s=float(data.get("server_wall_s", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class ServeError:
+    """A structured error payload (the body of every non-200 answer).
+
+    ``code`` is a stable machine-readable slug (``"bad-request"``,
+    ``"spec-error"``, ``"overloaded"``, ``"verify-failed"``,
+    ``"internal"``, ``"not-found"``); ``retry_after_s`` is set only for
+    ``"overloaded"`` and suggests when to retry.
+    """
+
+    code: str
+    message: str
+    retry_after_s: float | None = None
+    detail: Mapping[str, Any] = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "schema_version": self.schema_version,
+            "code": self.code,
+            "message": self.message,
+            "detail": dict(self.detail),
+        }
+        if self.retry_after_s is not None:
+            out["retry_after_s"] = self.retry_after_s
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> ServeError:
+        retry = data.get("retry_after_s")
+        detail = data.get("detail")
+        return cls(
+            code=str(data.get("code", "internal")),
+            message=str(data.get("message", "")),
+            retry_after_s=float(retry) if retry is not None else None,
+            detail=dict(detail) if isinstance(detail, Mapping) else {},
+        )

@@ -1,0 +1,247 @@
+"""The planner service core: coalescing, admission control, pooling.
+
+:class:`PlannerService` is the transport-independent heart of ``repro
+serve``. One instance owns the sharded plan cache, the process pool the
+CPU-bound columnar planner runs in, and the server metrics; the asyncio
+HTTP/Unix front end (:mod:`repro.serve.daemon`) is a thin codec around
+:meth:`PlannerService.plan`.
+
+Per request the service:
+
+1. resolves the spec hash (memoized — repeated specs skip the
+   fingerprinting walk entirely);
+2. **coalesces**: if an identical spec is already being resolved, the
+   request joins that in-flight future instead of doing any work — K
+   concurrent identical specs cost exactly one cache lookup + at most
+   one planning job;
+3. consults the sharded cache; hits are already statically verified by
+   the cache layer (rejects were purged there and fall through to a
+   replan);
+4. applies **admission control**: a bounded count of queued-or-running
+   planning jobs; past the bound the request is refused with
+   :class:`~repro.util.errors.ServeOverloadError` carrying a suggested
+   retry delay derived from the observed planning rate — load is shed
+   loudly, never silently dropped;
+5. plans in the pool (planning is CPU-bound; a process pool actually
+   parallelizes it) and writes the result back through the cache.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from collections.abc import Callable, Mapping
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any
+
+from ..analysis.verify import verify_plan
+from ..core.plans import canonical_json, plan_to_dict
+from ..util.errors import (
+    ConfigurationError,
+    PlanVerificationError,
+    ServeOverloadError,
+)
+from .metrics import ServeMetrics
+from .protocol import PlanRequest, PlanResponse, experiment_from_fields
+from .shards import ShardedPlanCache
+
+__all__ = ["PlannerService", "plan_payload_for_fields"]
+
+
+def plan_payload_for_fields(fields: Mapping[str, Any]) -> dict[str, Any]:
+    """Plan one wire-form experiment; returns the canonical plan dict.
+
+    Module-level (and argument/return JSON-safe) so a
+    ``ProcessPoolExecutor`` can ship it to workers under any start
+    method. The payload is normalized through canonical JSON, so the
+    in-process client path and the daemon path produce byte-identical
+    plan dicts for the same spec.
+    """
+    experiment = experiment_from_fields(fields)
+    payload: dict[str, Any] = json.loads(canonical_json(plan_to_dict(experiment.plan())))
+    return payload
+
+
+class PlannerService:
+    """Coalescing, admission-controlled planning over a sharded cache.
+
+    Args:
+        cache: the sharded plan cache; ``None`` plans every request.
+        metrics: server metrics sink (created when omitted).
+        max_pending: bound on queued-or-running planning jobs; past it,
+            requests fail fast with :class:`ServeOverloadError`.
+        pool: ``"process"`` (default — planning is CPU-bound) or
+            ``"thread"`` (cheaper startup; fine for tests and small
+            specs).
+        pool_workers: pool size (default: executor's own default).
+        executor: bring-your-own executor (overrides ``pool``); the
+            caller keeps ownership and must shut it down.
+        plan_fn: planning callable ``fields → plan dict`` (default
+            :func:`plan_payload_for_fields`); tests inject gated
+            variants to script concurrency.
+        verify_fresh: statically verify freshly built plans before
+            serving them, raising :class:`PlanVerificationError` on
+            violation (cache *hits* are always verified by the cache
+            layer regardless).
+    """
+
+    def __init__(
+        self,
+        cache: ShardedPlanCache | None = None,
+        *,
+        metrics: ServeMetrics | None = None,
+        max_pending: int = 64,
+        pool: str = "process",
+        pool_workers: int | None = None,
+        executor: Executor | None = None,
+        plan_fn: Callable[[dict[str, Any]], dict[str, Any]] | None = None,
+        verify_fresh: bool = False,
+    ) -> None:
+        if max_pending < 1:
+            raise ConfigurationError(f"max_pending must be >= 1, got {max_pending}")
+        self.cache = cache
+        self.metrics = metrics if metrics is not None else ServeMetrics()
+        self.max_pending = max_pending
+        self.verify_fresh = verify_fresh
+        self._plan_fn = plan_fn if plan_fn is not None else plan_payload_for_fields
+        self._owns_executor = executor is None
+        if executor is not None:
+            self._executor: Executor = executor
+        elif pool == "process":
+            self._executor = ProcessPoolExecutor(max_workers=pool_workers)
+        elif pool == "thread":
+            self._executor = ThreadPoolExecutor(max_workers=pool_workers)
+        else:
+            raise ConfigurationError(f"pool must be 'process' or 'thread', got {pool!r}")
+        self._pool_workers = getattr(self._executor, "_max_workers", 1) or 1
+        self._inflight: dict[str, asyncio.Future[dict[str, Any]]] = {}
+        self._pending = 0
+        self._plan_s_ewma = 0.05  # decaying mean planning time, seeds retry hints
+
+    # ---------------------------------------------------------------- serving
+    async def plan(self, request: PlanRequest) -> PlanResponse:
+        """Resolve one request to a served plan (the daemon's ``/plan``)."""
+        t0 = time.perf_counter()
+        loop = asyncio.get_running_loop()
+        # Memoized after the first sighting of a spec, but the first
+        # computation fingerprints every rank's extents — keep it off
+        # the event loop.
+        key = await loop.run_in_executor(None, request.spec_hash)
+
+        existing = self._inflight.get(key)
+        if existing is not None:
+            # Coalesce: join the in-flight resolution. shield() keeps a
+            # cancelled waiter from cancelling the shared job.
+            self.metrics.count("coalesced")
+            plan = await asyncio.shield(existing)
+            return PlanResponse(
+                spec_hash=key,
+                plan=plan,
+                cache_state="coalesced",
+                server_wall_s=time.perf_counter() - t0,
+            )
+
+        future: asyncio.Future[dict[str, Any]] = loop.create_future()
+        # A failed resolution with zero waiters must not warn about a
+        # never-retrieved exception.
+        future.add_done_callback(
+            lambda f: f.exception() if not f.cancelled() else None
+        )
+        self._inflight[key] = future
+        try:
+            plan, state = await self._resolve(loop, request, key)
+        except BaseException as exc:
+            if not future.done():
+                future.set_exception(exc)
+            raise
+        else:
+            future.set_result(plan)
+            return PlanResponse(
+                spec_hash=key,
+                plan=plan,
+                cache_state=state,
+                server_wall_s=time.perf_counter() - t0,
+            )
+        finally:
+            self._inflight.pop(key, None)
+
+    async def _resolve(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        request: PlanRequest,
+        key: str,
+    ) -> tuple[dict[str, Any], str]:
+        state = "miss"
+        if self.cache is not None:
+            cached, state, _rules = await loop.run_in_executor(
+                None, self.cache.get_verified, key
+            )
+            if cached is not None:
+                self.metrics.count("hits")
+                return cached, state
+            self.metrics.count("rejects" if state == "rejected" else "misses")
+        else:
+            self.metrics.count("misses")
+
+        if self._pending >= self.max_pending:
+            self.metrics.count("overloads")
+            raise ServeOverloadError(
+                f"planning queue full ({self._pending} jobs pending, "
+                f"bound {self.max_pending}); retry later",
+                retry_after_s=self.suggested_retry_s(),
+            )
+        self._pending += 1
+        self.metrics.count("planning_jobs")
+        t0 = time.perf_counter()
+        try:
+            plan = await loop.run_in_executor(
+                self._executor, self._plan_fn, dict(request.experiment)
+            )
+        finally:
+            self._pending -= 1
+        self._plan_s_ewma = 0.8 * self._plan_s_ewma + 0.2 * (time.perf_counter() - t0)
+
+        if self.verify_fresh:
+            report = verify_plan(plan, expected_spec_hash=key, subject=key)
+            if not report.ok:
+                self.metrics.count("errors")
+                raise PlanVerificationError(
+                    f"freshly built plan for {key[:12]} violates invariants",
+                    by_rule=report.by_rule(),
+                )
+        if self.cache is not None:
+            await loop.run_in_executor(None, self.cache.put, key, plan)
+        return plan, state
+
+    # ------------------------------------------------------------- accounting
+    @property
+    def pending(self) -> int:
+        """Planning jobs currently queued or running."""
+        return self._pending
+
+    def suggested_retry_s(self) -> float:
+        """Drain-time estimate handed to refused clients."""
+        backlog = max(1, self._pending)
+        return max(0.05, self._plan_s_ewma * backlog / self._pool_workers)
+
+    def metrics_payload(self) -> dict[str, Any]:
+        """The ``/metrics`` body: counters, latencies, cache stats."""
+        payload = self.metrics.snapshot()
+        payload["pending"] = self._pending
+        payload["max_pending"] = self.max_pending
+        if self.cache is not None:
+            cache_stats = self.cache.stats()
+            payload["cache"] = cache_stats
+            payload["counters"]["evictions"] = float(cache_stats["evictions"])
+        payload["telemetry"] = self.metrics.to_telemetry().to_dict()
+        return payload
+
+    async def close(self) -> None:
+        """Shut down the owned executor (idempotent)."""
+        if self._owns_executor:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+
+    def close_sync(self) -> None:
+        if self._owns_executor:
+            self._executor.shutdown(wait=True, cancel_futures=True)

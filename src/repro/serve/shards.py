@@ -1,0 +1,159 @@
+"""A sharded, verified, byte-bounded plan cache for service traffic.
+
+One :class:`~repro.campaign.cache.PlanCache` is safe across *processes*
+(atomic renames) but serializes all keys through one directory and one
+lock when used from a threaded/async server. :class:`ShardedPlanCache`
+splits the key space over N independent ``PlanCache`` shards by spec-
+hash prefix — two requests for different shards never contend — and
+folds the campaign runner's hit-verification policy into the lookup:
+every hit is statically checked with
+:func:`repro.analysis.verify_plan` before it is served, and a failing
+entry is purged on the spot and reported as ``"rejected"`` so the
+caller replans (never replays a poisoned plan).
+
+The byte bound (``max_bytes``) is divided evenly across shards; each
+shard evicts least-recently-used entries independently, which keeps
+eviction O(shard) instead of O(cache).
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Any
+
+from ..analysis.verify import verify_plan
+from ..campaign.cache import PlanCache
+from ..util.errors import CacheError
+
+__all__ = ["ShardedPlanCache"]
+
+#: lookup outcomes reported by :meth:`ShardedPlanCache.get_verified`
+_STATES = ("hit", "miss", "rejected")
+
+
+class ShardedPlanCache:
+    """N independent, individually locked, byte-bounded plan-cache shards.
+
+    Args:
+        root: directory holding the ``shard-XX/`` subdirectories.
+        shards: shard count (≥ 1). The shard for a key is the key's
+            leading hex prefix modulo ``shards``, so the split is stable
+            across restarts and processes.
+        max_bytes: total byte bound across all shards (split evenly);
+            ``None`` = unbounded.
+        verify: statically verify every hit before serving it (the
+            service default). Disable only for trusted single-writer
+            caches where verification cost matters more than safety.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        shards: int = 8,
+        max_bytes: int | None = None,
+        verify: bool = True,
+    ) -> None:
+        if shards < 1:
+            raise CacheError(f"shard count must be >= 1, got {shards}")
+        if max_bytes is not None and max_bytes < shards:
+            raise CacheError(
+                f"max_bytes {max_bytes} too small to split over {shards} shards"
+            )
+        self.root = Path(root)
+        self.n_shards = shards
+        self.verify = verify
+        per_shard = max_bytes // shards if max_bytes is not None else None
+        self._shards = [
+            PlanCache(self.root / f"shard-{i:02x}", max_bytes=per_shard)
+            for i in range(shards)
+        ]
+        self._locks = [threading.Lock() for _ in range(shards)]
+        self._counter_lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.rejects = 0
+
+    # ------------------------------------------------------------- addressing
+    def shard_index(self, key: str) -> int:
+        """The shard owning ``key`` (stable hash-prefix split)."""
+        try:
+            return int(key[:8], 16) % self.n_shards
+        except (ValueError, IndexError):
+            raise CacheError(f"cache key {key!r} is not a hex spec hash") from None
+
+    def shard(self, key: str) -> PlanCache:
+        return self._shards[self.shard_index(key)]
+
+    # ---------------------------------------------------------------- lookups
+    def get_verified(
+        self, key: str
+    ) -> tuple[dict[str, Any] | None, str, dict[str, int] | None]:
+        """Look up ``key``; returns ``(plan_dict, state, reject_rules)``.
+
+        ``state`` is ``"hit"`` (plan returned, verified when enabled),
+        ``"miss"`` (no usable entry), or ``"rejected"`` (an entry
+        existed but failed verification — it has been purged, and
+        ``reject_rules`` maps rule code → violation count).
+        """
+        index = self.shard_index(key)
+        shard = self._shards[index]
+        with self._locks[index]:
+            raw = shard.load_raw(key)
+        if raw is None:
+            self._count("misses")
+            return None, "miss", None
+        if self.verify:
+            # CPU-bound: run outside the shard lock so one slow verify
+            # cannot stall unrelated keys in the same shard.
+            report = verify_plan(raw, expected_spec_hash=key, subject=key)
+            if not report.ok:
+                with self._locks[index]:
+                    shard.delete(key)
+                self._count("rejects")
+                return None, "rejected", report.by_rule()
+        self._count("hits")
+        return raw, "hit", None
+
+    def put(self, key: str, plan: dict[str, Any]) -> None:
+        """Store a plan dict under ``key`` (evicting LRU entries to fit)."""
+        index = self.shard_index(key)
+        with self._locks[index]:
+            self._shards[index].store_raw(key, plan)
+
+    def delete(self, key: str) -> bool:
+        index = self.shard_index(key)
+        with self._locks[index]:
+            return self._shards[index].delete(key)
+
+    # ------------------------------------------------------------- accounting
+    def _count(self, name: str) -> None:
+        with self._counter_lock:
+            setattr(self, name, getattr(self, name) + 1)
+
+    @property
+    def evictions(self) -> int:
+        """Entries evicted by this process to honour the byte bound."""
+        return sum(shard.evictions for shard in self._shards)
+
+    def total_bytes(self) -> int:
+        return sum(shard.total_bytes() for shard in self._shards)
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot (hits/misses/rejects/evictions/entries/bytes)."""
+        return {
+            "shards": self.n_shards,
+            "entries": len(self),
+            "bytes": self.total_bytes(),
+            "hits": self.hits,
+            "misses": self.misses,
+            "rejects": self.rejects,
+            "evictions": self.evictions,
+        }
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.shard(key)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)

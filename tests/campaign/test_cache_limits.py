@@ -1,0 +1,95 @@
+"""PlanCache byte bounds: LRU eviction, counters, campaign wiring."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import Campaign, Experiment, mib
+from repro.campaign import PlanCache
+from repro.cli import main
+from repro.util.errors import CacheError
+
+BASE = Experiment(
+    machine="testbed-4",
+    n_procs=8,
+    procs_per_node=2,
+    workload_params={"block_size": mib(1), "transfer_size": mib(1) // 4},
+    cb_buffer=mib(1),
+    seed=3,
+)
+
+
+def fill(cache: PlanCache, keys: list[str], payload_bytes: int) -> None:
+    for key in keys:
+        cache.store_raw(key, {"pad": "x" * payload_bytes})
+
+
+class TestByteBound:
+    def test_unbounded_by_default(self, tmp_path):
+        cache = PlanCache(tmp_path)
+        fill(cache, [f"{i:x}" for i in range(20)], 4096)
+        assert len(cache) == 20 and cache.evictions == 0
+
+    def test_bad_bound_rejected(self, tmp_path):
+        with pytest.raises(CacheError, match="max_bytes"):
+            PlanCache(tmp_path, max_bytes=0)
+
+    def test_evicts_to_fit_and_counts(self, tmp_path):
+        cache = PlanCache(tmp_path, max_bytes=3000)
+        fill(cache, [f"{i:x}" for i in range(6)], 900)
+        assert len(cache) <= 3
+        assert cache.evictions >= 3
+        assert cache.total_bytes() <= 3000
+
+    def test_eviction_is_lru_and_load_refreshes(self, tmp_path):
+        cache = PlanCache(tmp_path, max_bytes=3000)
+        fill(cache, ["aa", "bb"], 900)
+        # make "aa" cold and "bb" hot, deterministically
+        os.utime(cache.path("aa"), (1, 1))
+        assert cache.load_raw("bb") is not None  # refreshes bb's mtime
+        fill(cache, ["cc", "dd"], 900)  # forces one eviction
+        assert "aa" not in cache  # the cold entry went first
+        assert "bb" in cache
+
+    def test_oversized_entry_is_kept(self, tmp_path):
+        cache = PlanCache(tmp_path, max_bytes=64)
+        cache.store_raw("aa", {"pad": "x" * 500})
+        assert "aa" in cache  # the just-written entry is exempt
+        cache.store_raw("bb", {"pad": "x" * 500})
+        assert "bb" in cache and "aa" not in cache
+
+    def test_spec_hash_keys_preserved(self, tmp_path):
+        """The bound changes capacity, never the key scheme."""
+        bounded = PlanCache(tmp_path / "b", max_bytes=mib(1))
+        unbounded = PlanCache(tmp_path / "u")
+        key = BASE.spec_hash()
+        plan = BASE.plan()
+        assert bounded.store(key, plan).name == unbounded.store(key, plan).name
+        assert bounded.load(key) is not None
+
+
+class TestCampaignWiring:
+    def test_campaign_accepts_cache_max_bytes(self, tmp_path):
+        cache_dir = tmp_path / "plans"
+        axes = {"seed": [3, 4]}
+        out = Campaign.from_grid(
+            BASE, axes, cache_dir=cache_dir, cache_max_bytes=mib(8)
+        ).run()
+        assert [r["status"] for r in out.records] == ["ok", "ok"]
+        assert out.cache_misses == 2
+        # generous bound: both entries fit, nothing evicted
+        assert len(PlanCache(cache_dir)) == 2
+
+    def test_cli_cache_max_mb_flag(self, tmp_path, capsys):
+        args = [
+            "campaign", "--machine", "testbed-4", "--procs", "8",
+            "--procs-per-node", "2", "--block-mib", "2", "--transfer-mib", "1",
+            "--seeds", "3", "4",
+            "--cache-dir", str(tmp_path / "plans"),
+            "--cache-max-mb", "8",
+        ]
+        assert main(args) == 0
+        assert "ok" in capsys.readouterr().out
+        assert len(PlanCache(tmp_path / "plans")) >= 1

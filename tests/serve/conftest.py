@@ -1,0 +1,32 @@
+"""Shared fixtures for the planning-service tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Experiment, mib
+from repro.serve.protocol import experiment_fields
+
+
+def small_experiment(seed: int = 3) -> Experiment:
+    """A fast-to-plan mc experiment on the 4-node testbed."""
+    return Experiment(
+        machine="testbed-4",
+        n_procs=8,
+        procs_per_node=2,
+        workload_params={"block_size": mib(1), "transfer_size": mib(1) // 4},
+        cb_buffer=mib(1),
+        seed=seed,
+    )
+
+
+@pytest.fixture
+def fields():
+    """The wire field dict of the standard small experiment."""
+    return experiment_fields(small_experiment())
+
+
+@pytest.fixture
+def fields_pool():
+    """Three planner-distinct wire field dicts (distinct seeds)."""
+    return [experiment_fields(small_experiment(seed)) for seed in (3, 4, 5)]

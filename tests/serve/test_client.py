@@ -1,0 +1,158 @@
+"""PlanClient / ServeClient: fallback, parity, error mapping."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.client import PlanClient, ServeClient
+from repro.serve import PlannerService, ServeDaemon, ShardedPlanCache
+from repro.serve.daemon import daemon_in_thread
+from repro.serve.protocol import PlanRequest
+from repro.util.errors import (
+    PlanVerificationError,
+    ReproError,
+    ServeOverloadError,
+    SpecError,
+)
+from tests.serve.conftest import small_experiment
+
+
+def canonical(plan) -> bytes:
+    return json.dumps(dict(plan), sort_keys=True).encode()
+
+
+class TestInProcessFallback:
+    def test_pure_in_process_client(self, tmp_path, fields):
+        with PlanClient(cache_dir=str(tmp_path / "cache")) as client:
+            first = client.plan(fields)
+            second = client.plan(fields)
+        assert client.mode == "in-process"
+        assert (first.cache_state, second.cache_state) == ("miss", "hit")
+        assert canonical(first.plan) == canonical(second.plan)
+
+    def test_accepts_experiment_objects(self, tmp_path):
+        with PlanClient(cache_dir=str(tmp_path / "cache")) as client:
+            response = client.plan(small_experiment())
+        assert response.spec_hash == small_experiment().spec_hash()
+
+    def test_dead_daemon_demotes_to_in_process(self, fields):
+        # Nothing listens on this port; fallback must answer anyway.
+        with PlanClient("http://127.0.0.1:9") as client:
+            assert client.mode == "daemon"
+            response = client.plan(fields)
+            assert client.mode == "in-process"
+        assert response.cache_state == "miss"
+
+    def test_fallback_disabled_surfaces_the_failure(self, fields):
+        with PlanClient("http://127.0.0.1:9", fallback=False) as client:
+            with pytest.raises(ReproError, match="unreachable"):
+                client.plan(fields)
+
+    def test_local_metrics_snapshot(self, tmp_path, fields):
+        with PlanClient(cache_dir=str(tmp_path / "cache")) as client:
+            client.plan(fields)
+            client.plan(fields)
+            metrics = client.server_metrics()
+        assert metrics["counters"]["hits"] == 1
+        assert metrics["counters"]["planning_jobs"] == 1
+        assert metrics["cache"]["entries"] == 1
+
+
+class TestDaemonParity:
+    def test_fallback_plans_byte_identical_to_daemon(self, tmp_path, fields):
+        """The redesign's core contract: the same spec yields the same
+        spec_hash and byte-identical plan dicts from the daemon and from
+        the in-process fallback."""
+        cache = ShardedPlanCache(tmp_path / "daemon-cache", shards=2)
+        service = PlannerService(cache, pool="thread", pool_workers=2)
+        daemon = ServeDaemon(service, port=0)
+        with daemon_in_thread(daemon):
+            with PlanClient(daemon.url) as via_daemon:
+                daemon_response = via_daemon.plan_request(
+                    PlanRequest(experiment=fields)
+                )
+                assert via_daemon.mode == "daemon"
+        service.close_sync()
+
+        with PlanClient(cache_dir=str(tmp_path / "local-cache")) as local:
+            local_response = local.plan_request(PlanRequest(experiment=fields))
+            assert local.mode == "in-process"
+
+        assert daemon_response.spec_hash == local_response.spec_hash
+        assert canonical(daemon_response.plan) == canonical(local_response.plan)
+
+    def test_process_pool_daemon_parity(self, tmp_path, fields):
+        """Same contract with the production (process-pool) executor."""
+        service = PlannerService(
+            ShardedPlanCache(tmp_path / "cache", shards=2),
+            pool="process", pool_workers=1,
+        )
+        daemon = ServeDaemon(service, port=0)
+        with daemon_in_thread(daemon):
+            with PlanClient(daemon.url) as client:
+                response = client.plan_request(PlanRequest(experiment=fields))
+        service.close_sync()
+
+        with PlanClient() as local:
+            fallback = local.plan_request(PlanRequest(experiment=fields))
+        assert canonical(response.plan) == canonical(fallback.plan)
+
+
+class TestErrorMapping:
+    def test_overload_maps_to_serve_overload_error(self, fields):
+        from repro.client import _raise_for_error
+
+        with pytest.raises(ServeOverloadError) as excinfo:
+            _raise_for_error(429, {
+                "code": "overloaded", "message": "busy", "retry_after_s": 0.25,
+            })
+        assert excinfo.value.retry_after_s == 0.25
+
+    def test_spec_error_mapping(self):
+        from repro.client import _raise_for_error
+
+        with pytest.raises(SpecError):
+            _raise_for_error(422, {"code": "spec-error", "message": "bad"})
+
+    def test_verify_failed_mapping(self):
+        from repro.client import _raise_for_error
+
+        with pytest.raises(PlanVerificationError) as excinfo:
+            _raise_for_error(500, {
+                "code": "verify-failed", "message": "bad plan",
+                "detail": {"by_rule": {"PV109": 2}},
+            })
+        assert excinfo.value.by_rule == {"PV109": 2}
+
+    def test_unknown_error_maps_to_repro_error(self):
+        from repro.client import _raise_for_error
+
+        with pytest.raises(ReproError, match="internal"):
+            _raise_for_error(500, {"code": "internal", "message": "boom"})
+
+    def test_serve_client_requires_one_address(self):
+        with pytest.raises(SpecError, match="exactly one"):
+            ServeClient()
+        with pytest.raises(SpecError, match="exactly one"):
+            ServeClient("http://x:1", unix_socket="/tmp/s")
+
+    def test_bad_url_scheme_rejected(self):
+        client = ServeClient("ftp://127.0.0.1:1")
+        with pytest.raises(SpecError, match="http"):
+            client.request("GET", "/healthz")
+
+
+class TestPublicSurface:
+    def test_package_exports(self):
+        import repro
+
+        for name in (
+            "PlanClient", "ServeClient", "PlanRequest", "PlanResponse",
+            "ServeError", "ReproError", "SpecError", "PlanVerificationError",
+            "CacheError", "TransientFaultError", "ServeOverloadError",
+            "verify_plan",
+        ):
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None

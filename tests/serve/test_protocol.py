@@ -1,0 +1,106 @@
+"""Wire contract: field extraction, validation, round trips, hashing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Experiment, mib
+from repro.serve.protocol import (
+    SCHEMA_VERSION,
+    PlanRequest,
+    PlanResponse,
+    ServeError,
+    experiment_fields,
+    experiment_from_fields,
+    spec_hash_for_fields,
+)
+from repro.util.errors import SpecError
+from tests.serve.conftest import small_experiment
+
+
+class TestExperimentFields:
+    def test_round_trip_preserves_spec_hash(self):
+        exp = small_experiment()
+        rebuilt = experiment_from_fields(experiment_fields(exp))
+        assert rebuilt.spec_hash() == exp.spec_hash()
+
+    def test_instance_form_specs_are_rejected(self):
+        from repro.io import CollectiveHints
+
+        exp = Experiment(
+            machine="testbed-4", n_procs=8, procs_per_node=2,
+            workload_params={"block_size": mib(1), "transfer_size": mib(1) // 4},
+            hints=CollectiveHints(cb_buffer_size=mib(1)),
+        )
+        with pytest.raises(SpecError, match="no wire form"):
+            experiment_fields(exp)
+
+    def test_unknown_field_rejected(self, fields):
+        fields["surprise"] = 1
+        with pytest.raises(SpecError, match="unknown experiment field"):
+            experiment_from_fields(fields)
+
+    def test_wrong_type_rejected(self, fields):
+        fields["n_procs"] = "eight"
+        with pytest.raises(SpecError, match="n_procs"):
+            experiment_from_fields(fields)
+
+    def test_bool_is_not_an_int(self, fields):
+        fields["n_procs"] = True
+        with pytest.raises(SpecError, match="n_procs"):
+            experiment_from_fields(fields)
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(SpecError, match="must be an object"):
+            experiment_from_fields([1, 2])  # type: ignore[arg-type]
+
+
+class TestSpecHash:
+    def test_matches_experiment_spec_hash(self, fields):
+        assert spec_hash_for_fields(fields) == small_experiment().spec_hash()
+
+    def test_key_order_does_not_matter(self, fields):
+        shuffled = dict(reversed(list(fields.items())))
+        assert spec_hash_for_fields(shuffled) == spec_hash_for_fields(fields)
+
+    def test_distinct_seeds_distinct_hashes(self, fields_pool):
+        hashes = {spec_hash_for_fields(f) for f in fields_pool}
+        assert len(hashes) == len(fields_pool)
+
+
+class TestDataclasses:
+    def test_request_round_trip(self, fields):
+        request = PlanRequest(experiment=fields)
+        clone = PlanRequest.from_dict(request.to_dict())
+        assert clone.spec_hash() == request.spec_hash()
+        assert clone.to_dict()["schema_version"] == SCHEMA_VERSION
+
+    def test_request_schema_version_mismatch(self, fields):
+        data = PlanRequest(experiment=fields).to_dict()
+        data["schema_version"] = 999
+        with pytest.raises(SpecError, match="schema_version"):
+            PlanRequest.from_dict(data)
+
+    def test_request_without_experiment(self):
+        with pytest.raises(SpecError, match="experiment"):
+            PlanRequest.from_dict({"schema_version": SCHEMA_VERSION})
+
+    def test_response_round_trip(self):
+        response = PlanResponse(
+            spec_hash="ab" * 16, plan={"k": 1}, cache_state="hit",
+            server_wall_s=0.25,
+        )
+        clone = PlanResponse.from_dict(response.to_dict())
+        assert clone == response
+
+    def test_error_round_trip_with_retry(self):
+        error = ServeError("overloaded", "busy", retry_after_s=0.5)
+        clone = ServeError.from_dict(error.to_dict())
+        assert clone.retry_after_s == 0.5
+        assert clone.code == "overloaded"
+
+    def test_error_round_trip_without_retry(self):
+        error = ServeError("spec-error", "bad", detail={"field": "n_procs"})
+        clone = ServeError.from_dict(error.to_dict())
+        assert clone.retry_after_s is None
+        assert clone.detail == {"field": "n_procs"}

@@ -1,0 +1,192 @@
+"""PlannerService: coalescing, admission control, verified replanning."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.serve.protocol import PlanRequest, spec_hash_for_fields
+from repro.serve.service import PlannerService, plan_payload_for_fields
+from repro.serve.shards import ShardedPlanCache
+from repro.util.errors import ConfigurationError, ServeOverloadError
+
+
+class GatedPlanner:
+    """A plan_fn whose completion the test scripts explicitly."""
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.entered = threading.Event()
+        self.release = threading.Event()
+        self._lock = threading.Lock()
+
+    def __call__(self, fields: dict) -> dict:
+        with self._lock:
+            self.calls += 1
+        self.entered.set()
+        assert self.release.wait(timeout=30), "test never released the gate"
+        return {"planned_for_seed": fields.get("seed")}
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestCoalescing:
+    def test_k_identical_requests_one_planning_job(self, fields):
+        """The tentpole guarantee: K concurrent identical specs -> 1 job."""
+        planner = GatedPlanner()
+        executor = ThreadPoolExecutor(max_workers=4)
+        service = PlannerService(executor=executor, plan_fn=planner)
+        request = PlanRequest(experiment=fields)
+        k = 8
+
+        async def scenario():
+            tasks = [asyncio.create_task(service.plan(request)) for _ in range(k)]
+            await asyncio.to_thread(planner.entered.wait, 30)
+            # All waiters are now either in the executor job or parked on
+            # the in-flight future; releasing the gate resolves them all.
+            planner.release.set()
+            return await asyncio.gather(*tasks)
+
+        responses = run(scenario())
+        executor.shutdown(wait=True)
+
+        assert planner.calls == 1
+        states = sorted(r.cache_state for r in responses)
+        assert states.count("miss") == 1
+        assert states.count("coalesced") == k - 1
+        assert len({json.dumps(dict(r.plan), sort_keys=True) for r in responses}) == 1
+        assert service.metrics.snapshot()["counters"]["coalesced"] == k - 1
+        assert service.metrics.snapshot()["counters"]["planning_jobs"] == 1
+
+    def test_distinct_specs_do_not_coalesce(self, fields_pool):
+        planner = GatedPlanner()
+        planner.release.set()  # no gating; just count jobs
+        executor = ThreadPoolExecutor(max_workers=4)
+        service = PlannerService(executor=executor, plan_fn=planner)
+
+        async def scenario():
+            return await asyncio.gather(
+                *(service.plan(PlanRequest(experiment=f)) for f in fields_pool)
+            )
+
+        responses = run(scenario())
+        executor.shutdown(wait=True)
+        assert planner.calls == len(fields_pool)
+        assert all(r.cache_state == "miss" for r in responses)
+
+
+class TestBackpressure:
+    def test_queue_full_refuses_with_retry_hint(self, fields_pool):
+        """Past max_pending the service sheds load loudly: RetryLater
+        with a positive suggested delay, and nothing is silently
+        dropped — the admitted job still completes."""
+        planner = GatedPlanner()
+        executor = ThreadPoolExecutor(max_workers=2)
+        service = PlannerService(
+            executor=executor, plan_fn=planner, max_pending=1
+        )
+
+        async def scenario():
+            first = asyncio.create_task(
+                service.plan(PlanRequest(experiment=fields_pool[0]))
+            )
+            await asyncio.to_thread(planner.entered.wait, 30)
+            assert service.pending == 1
+            with pytest.raises(ServeOverloadError) as excinfo:
+                await service.plan(PlanRequest(experiment=fields_pool[1]))
+            assert excinfo.value.retry_after_s > 0
+            planner.release.set()
+            response = await first
+            # a retry after the refusal succeeds (queue drained)
+            retry = await service.plan(PlanRequest(experiment=fields_pool[1]))
+            return response, retry
+
+        response, retry = run(scenario())
+        executor.shutdown(wait=True)
+
+        assert response.cache_state == "miss"  # the admitted job finished
+        assert retry.cache_state == "miss"
+        counters = service.metrics.snapshot()["counters"]
+        assert counters["overloads"] == 1
+        assert counters["planning_jobs"] == 2
+
+    def test_coalesced_requests_bypass_admission(self, fields):
+        """Joining an in-flight job costs no queue slot: K identical
+        requests never trip a max_pending=1 bound."""
+        planner = GatedPlanner()
+        executor = ThreadPoolExecutor(max_workers=2)
+        service = PlannerService(
+            executor=executor, plan_fn=planner, max_pending=1
+        )
+        request = PlanRequest(experiment=fields)
+
+        async def scenario():
+            tasks = [asyncio.create_task(service.plan(request)) for _ in range(5)]
+            await asyncio.to_thread(planner.entered.wait, 30)
+            planner.release.set()
+            return await asyncio.gather(*tasks)
+
+        responses = run(scenario())
+        executor.shutdown(wait=True)
+        assert all(r.plan for r in responses)
+        assert service.metrics.snapshot()["counters"].get("overloads", 0) == 0
+
+    def test_max_pending_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="max_pending"):
+            PlannerService(max_pending=0, pool="thread").close_sync()
+
+
+class TestVerifiedServing:
+    def test_cache_flow_miss_hit(self, tmp_path, fields):
+        cache = ShardedPlanCache(tmp_path, shards=2)
+        service = PlannerService(cache, pool="thread", pool_workers=1)
+        request = PlanRequest(experiment=fields)
+
+        first = run(service.plan(request))
+        second = run(service.plan(request))
+        service.close_sync()
+
+        assert (first.cache_state, second.cache_state) == ("miss", "hit")
+        assert dict(first.plan) == dict(second.plan)
+        assert first.spec_hash == spec_hash_for_fields(fields)
+
+    def test_poisoned_entry_rejected_then_replanned(self, tmp_path, fields):
+        """A tampered cache entry must never be served: the service
+        purges it, replans, and re-stores a clean plan."""
+        cache = ShardedPlanCache(tmp_path, shards=2)
+        service = PlannerService(cache, pool="thread", pool_workers=1)
+        request = PlanRequest(experiment=fields)
+        key = request.spec_hash()
+
+        run(service.plan(request))
+        clean = plan_payload_for_fields(fields)
+        poisoned = json.loads(json.dumps(clean))
+        poisoned["domains"][0]["buffer_bytes"] = 10**12
+        cache.put(key, poisoned)
+
+        served = run(service.plan(request))
+        assert served.cache_state == "rejected"
+        assert dict(served.plan) == clean  # fresh, not the poisoned bytes
+        assert cache.rejects == 1
+        # the rebuilt plan was re-stored and now verifies
+        assert run(service.plan(request)).cache_state == "hit"
+        service.close_sync()
+
+    def test_metrics_payload_shape(self, tmp_path, fields):
+        cache = ShardedPlanCache(tmp_path, shards=2)
+        service = PlannerService(cache, pool="thread", pool_workers=1)
+        run(service.plan(PlanRequest(experiment=fields)))
+        payload = service.metrics_payload()
+        service.close_sync()
+
+        assert payload["counters"]["planning_jobs"] == 1
+        assert payload["cache"]["entries"] == 1
+        assert payload["max_pending"] == service.max_pending
+        assert "evictions" in payload["counters"]
+        assert "telemetry" in payload

@@ -1,0 +1,99 @@
+"""Sharded verified cache: routing, verification policy, byte bounds."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.protocol import spec_hash_for_fields
+from repro.serve.service import plan_payload_for_fields
+from repro.serve.shards import ShardedPlanCache
+from repro.util.errors import CacheError
+
+
+@pytest.fixture
+def entry(fields):
+    """(spec_hash, canonical plan dict) for the standard experiment."""
+    return spec_hash_for_fields(fields), plan_payload_for_fields(fields)
+
+
+class TestAddressing:
+    def test_shard_split_is_stable_and_total(self, tmp_path):
+        cache = ShardedPlanCache(tmp_path, shards=4)
+        keys = [f"{i:08x}{'0' * 56}" for i in range(64)]
+        indices = [cache.shard_index(k) for k in keys]
+        assert set(indices) == {0, 1, 2, 3}
+        assert indices == [cache.shard_index(k) for k in keys]
+
+    def test_non_hex_key_rejected(self, tmp_path):
+        cache = ShardedPlanCache(tmp_path, shards=2)
+        with pytest.raises(CacheError, match="not a hex spec hash"):
+            cache.shard_index("zz-not-hex")
+
+    def test_bad_shard_count(self, tmp_path):
+        with pytest.raises(CacheError, match="shard count"):
+            ShardedPlanCache(tmp_path, shards=0)
+
+    def test_bound_too_small_for_shards(self, tmp_path):
+        with pytest.raises(CacheError, match="too small"):
+            ShardedPlanCache(tmp_path, shards=8, max_bytes=4)
+
+
+class TestVerifiedLookup:
+    def test_miss_then_hit(self, tmp_path, entry):
+        key, plan = entry
+        cache = ShardedPlanCache(tmp_path, shards=4)
+        assert cache.get_verified(key) == (None, "miss", None)
+        cache.put(key, plan)
+        got, state, rules = cache.get_verified(key)
+        assert (got, state, rules) == (plan, "hit", None)
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_poisoned_entry_rejected_and_purged(self, tmp_path, entry):
+        key, plan = entry
+        cache = ShardedPlanCache(tmp_path, shards=4)
+        cache.put(key, plan)
+        poisoned = json.loads(json.dumps(plan))
+        poisoned["domains"][0]["buffer_bytes"] = 10**12
+        cache.put(key, poisoned)
+
+        got, state, rules = cache.get_verified(key)
+        assert got is None and state == "rejected"
+        assert rules  # at least one violated rule reported
+        assert key not in cache  # purged on the spot
+        assert cache.rejects == 1
+        # next lookup is a clean miss, not a replayed poisoned plan
+        assert cache.get_verified(key)[1] == "miss"
+
+    def test_verify_disabled_serves_poisoned_bytes(self, tmp_path, entry):
+        key, plan = entry
+        cache = ShardedPlanCache(tmp_path, shards=2, verify=False)
+        poisoned = json.loads(json.dumps(plan))
+        poisoned["domains"][0]["buffer_bytes"] = 10**12
+        cache.put(key, poisoned)
+        got, state, _ = cache.get_verified(key)
+        assert state == "hit" and got == poisoned
+
+    def test_persistence_across_instances(self, tmp_path, entry):
+        key, plan = entry
+        ShardedPlanCache(tmp_path, shards=4).put(key, plan)
+        reopened = ShardedPlanCache(tmp_path, shards=4)
+        assert len(reopened) == 1
+        assert reopened.get_verified(key)[1] == "hit"
+
+
+class TestByteBound:
+    def test_eviction_counter_rises_under_pressure(self, tmp_path, entry):
+        key, plan = entry
+        payload = len(json.dumps(plan, sort_keys=True).encode())
+        # one shard, room for ~2 entries
+        cache = ShardedPlanCache(tmp_path, shards=1, max_bytes=2 * payload + 8)
+        hexdigits = "0123456789abcdef"
+        keys = [hexdigits[i] * len(key) for i in range(5)]
+        for k in keys:
+            cache.put(k, plan)
+        assert cache.evictions >= 3
+        assert cache.total_bytes() <= 2 * payload + 8
+        assert cache.stats()["evictions"] == cache.evictions

@@ -32,9 +32,9 @@ class TestTune:
         assert "node sweep" in out
         assert "system sweep" in out
 
-    def test_unknown_machine(self):
-        with pytest.raises(SystemExit):
-            main(["tune", "--machine", "cray-1"])
+    def test_unknown_machine(self, capsys):
+        assert main(["tune", "--machine", "cray-1"]) == 3  # EXIT_SPEC
+        assert "unknown machine" in capsys.readouterr().err
 
 
 class TestRun:
@@ -246,9 +246,10 @@ class TestFaultsFlag:
         assert main(args) == 0
         assert "4 points: 4 ok, 0 errors" in capsys.readouterr().out
 
-    def test_bad_faults_string_exits(self):
-        with pytest.raises(SystemExit, match="--faults"):
-            main([*self.RUN, "--faults", "explode=1"])
+    def test_bad_faults_string_exits(self, capsys):
+        # Bad specs map to the spec exit code (3), message on stderr.
+        assert main([*self.RUN, "--faults", "explode=1"]) == 3
+        assert "--faults" in capsys.readouterr().err
 
 
 class TestCheckPlan:
@@ -281,7 +282,7 @@ class TestCheckPlan:
         data = json.loads(path.read_text())
         data["domains"][0]["buffer_bytes"] = 10**12
         path.write_text(json.dumps(data))
-        assert main(["check-plan", str(path)]) == 1
+        assert main(["check-plan", str(path)]) == 4  # EXIT_PLAN_VERIFY
         assert "PV109" in capsys.readouterr().out
 
     def test_json_format(self, capsys, cache_dir):
@@ -327,3 +328,54 @@ class TestLint:
         out = capsys.readouterr().out
         for code in ("L200", "L201", "L202", "L203", "L204", "L205"):
             assert code in out
+
+
+class TestServe:
+    def test_daemon_boots_serves_and_reports(self, tmp_path):
+        """`repro serve` over a unix socket: boot, plan twice (miss then
+        hit), SIGINT, exit 0 with the counter summary + metrics dump."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        sock = tmp_path / "serve.sock"
+        metrics_json = tmp_path / "metrics.json"
+        env = dict(os.environ, PYTHONPATH="src")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--no-tcp",
+             "--unix-socket", str(sock), "--pool", "thread",
+             "--cache-dir", str(tmp_path / "cache"),
+             "--metrics-json", str(metrics_json)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            env=env, cwd="/root/repo", text=True,
+        )
+        try:
+            deadline = time.monotonic() + 30
+            while not sock.exists():
+                assert proc.poll() is None, proc.stdout.read()
+                assert time.monotonic() < deadline, "daemon never bound"
+                time.sleep(0.05)
+
+            from repro import Experiment, PlanClient, mib
+
+            exp = Experiment(
+                machine="testbed-4", n_procs=8, procs_per_node=2,
+                workload_params={"block_size": mib(1),
+                                 "transfer_size": mib(1) // 4},
+                cb_buffer=mib(1), seed=3,
+            )
+            with PlanClient(unix_socket=str(sock), fallback=False) as client:
+                first = client.plan(exp)
+                second = client.plan(exp)
+            assert (first.cache_state, second.cache_state) == ("miss", "hit")
+            assert first.plan == second.plan
+        finally:
+            proc.send_signal(signal.SIGINT)
+            out, _ = proc.communicate(timeout=30)
+        assert proc.returncode == 0, out
+        assert "listening on unix:" in out
+        assert "requests=" in out and "hits=1" in out
+        metrics = json.loads(metrics_json.read_text())
+        assert metrics["counters"]["planning_jobs"] == 1
