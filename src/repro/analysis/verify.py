@@ -11,7 +11,7 @@ anything:
 rule      invariant (paper section)
 ========  ==========================================================
 PV100     file/JSON readable at all
-PV101     plan format version matches the loader's
+PV101     plan format version is one the loader supports
 PV102     domain record well-formed (fields, types, signs)
 PV103     coverage stays inside the domain region (§3.2)
 PV104     coverage extents normalized: sorted, disjoint, non-empty
@@ -28,6 +28,13 @@ PV110     byte conservation: the union of domain coverages equals
 PV111     the plan's recorded spec hash matches the cache key it
           was loaded under
 PV112     placement stats agree with per-domain provenance (warning)
+PV113     total borrowed bytes fit the recorded pool capacity; no
+          borrow without a pool (v3 remote-memory tier)
+PV114     per-domain borrow sanity: borrowed <= buffer, and a
+          borrow-backed buffer still satisfies Mem_min
+PV115     borrowing was the *cheaper* lever: 0 < borrow_price_s <=
+          local_price_s for every borrowed domain
+PV116     version-2 plans carry no borrow provenance (back-compat)
 ========  ==========================================================
 
 The verifier operates on the *dict* form (what sits in the cache) so a
@@ -44,7 +51,11 @@ from collections.abc import Iterable, Mapping
 from pathlib import Path
 from typing import Any
 
-from ..core.plans import PLAN_FORMAT_VERSION, CollectivePlan, plan_to_dict
+from ..core.plans import (
+    SUPPORTED_PLAN_VERSIONS,
+    CollectivePlan,
+    plan_to_dict,
+)
 from ..util.intervals import ExtentList
 from .violations import Report, Violation
 
@@ -127,6 +138,30 @@ def _check_domain_shape(report: Report, i: int, dom: Any) -> dict[str, Any] | No
         return None
     out["group_id"] = group_id
     out["remerged"] = bool(dom.get("remerged", False))
+    for key in ("borrowed_bytes", "borrow_link"):
+        value = _as_int(dom.get(key, 0))
+        if value is None or value < 0:
+            _err(report, "PV102", f"{key} must be an integer >= 0",
+                 domain=i, detail={key: dom.get(key)})
+            return None
+        out[key] = value
+    for key in ("borrow_price_s", "local_price_s"):
+        price = dom.get(key, 0.0)
+        if isinstance(price, bool) or not isinstance(price, (int, float)):
+            _err(report, "PV102", f"{key} must be a number",
+                 domain=i, detail={key: price})
+            return None
+        out[key] = float(price)
+    out["has_borrow_keys"] = any(
+        key in dom
+        for key in (
+            "borrowed_bytes",
+            "borrow_link",
+            "borrow_lever",
+            "borrow_price_s",
+            "local_price_s",
+        )
+    )
     return out
 
 
@@ -234,10 +269,12 @@ def verify_plan(
         return report
 
     version = plan.get("version")
-    if version != PLAN_FORMAT_VERSION:
+    if version not in SUPPORTED_PLAN_VERSIONS:
         _err(report, "PV101",
-             f"plan format version {version!r} != {PLAN_FORMAT_VERSION}",
-             detail={"found": version, "expected": PLAN_FORMAT_VERSION})
+             f"plan format version {version!r} not in supported set "
+             f"{sorted(SUPPORTED_PLAN_VERSIONS)}",
+             detail={"found": version,
+                     "supported": sorted(SUPPORTED_PLAN_VERSIONS)})
 
     raw_domains = plan.get("domains")
     if not isinstance(raw_domains, list) or not raw_domains:
@@ -247,6 +284,7 @@ def verify_plan(
     config = plan.get("config") if isinstance(plan.get("config"), Mapping) else {}
     msg_ind = _as_int(config.get("msg_ind", 0)) or 0
     mem_min = _as_int(config.get("mem_min", 0)) or 0
+    pool_capacity = _as_int(config.get("pool_capacity", 0)) or 0
 
     domains: list[tuple[int, dict[str, Any]]] = []
     for i, raw in enumerate(raw_domains):
@@ -283,6 +321,56 @@ def verify_plan(
                  domain=i,
                  detail={"buffer_bytes": dom["buffer_bytes"], "mem_min": mem_min,
                          "covered": covered})
+        borrowed = dom["borrowed_bytes"]
+        if borrowed > dom["buffer_bytes"]:
+            _err(report, "PV114",
+                 f"borrowed {borrowed} B exceeds the domain's "
+                 f"{dom['buffer_bytes']} B buffer",
+                 domain=i,
+                 detail={"borrowed_bytes": borrowed,
+                         "buffer_bytes": dom["buffer_bytes"]})
+        if (
+            borrowed > 0
+            and mem_min > 0
+            and dom["buffer_bytes"] < min(mem_min, covered)
+        ):
+            _err(report, "PV114",
+                 f"borrow-backed buffer {dom['buffer_bytes']} B still "
+                 f"below Mem_min {mem_min} B",
+                 domain=i,
+                 detail={"buffer_bytes": dom["buffer_bytes"],
+                         "mem_min": mem_min, "borrowed_bytes": borrowed})
+        if borrowed > 0:
+            bp, lp = dom["borrow_price_s"], dom["local_price_s"]
+            if not 0.0 < bp <= lp:
+                _err(report, "PV115",
+                     f"borrow priced {bp} s was not the cheaper lever "
+                     f"(local alternative {lp} s)",
+                     domain=i,
+                     detail={"borrow_price_s": bp, "local_price_s": lp})
+
+    total_borrowed = sum(dom["borrowed_bytes"] for _, dom in domains)
+    if total_borrowed > 0:
+        if pool_capacity <= 0:
+            _err(report, "PV113",
+                 f"{total_borrowed} B borrowed but the plan records no "
+                 "remote-pool capacity",
+                 detail={"borrowed_bytes": total_borrowed,
+                         "pool_capacity": pool_capacity})
+        elif total_borrowed > pool_capacity:
+            _err(report, "PV113",
+                 f"total borrowed {total_borrowed} B exceeds pool "
+                 f"capacity {pool_capacity} B",
+                 detail={"borrowed_bytes": total_borrowed,
+                         "pool_capacity": pool_capacity})
+
+    if version == 2:
+        for i, dom in domains:
+            if dom["has_borrow_keys"]:
+                _err(report, "PV116",
+                     "version-2 plan carries borrow provenance (borrow "
+                     "fields exist only in format v3)",
+                     domain=i)
 
     _check_overlaps(report, domains)
     _check_group_tiling(report, domains)

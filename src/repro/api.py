@@ -387,8 +387,13 @@ class Experiment:
             if isinstance(strategy, MemoryConsciousCollectiveIO)
             else None
         )
+        machine_dict = dataclasses.asdict(machine)
+        if machine_dict.get("remote_pool") is None:
+            # Pool-less specs keep the hashes they had before the remote
+            # tier existed (same idiom as the faults key below).
+            machine_dict.pop("remote_pool", None)
         return {
-            "machine": dataclasses.asdict(machine),
+            "machine": machine_dict,
             "workload": _workload_fingerprint(self.resolve_workload()),
             "strategy": {"name": strategy.name, "config": mc_config},
             "hints": dataclasses.asdict(self.resolve_hints()),

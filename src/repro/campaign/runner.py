@@ -23,9 +23,13 @@ Fault-tolerant execution. Points carrying a
 abort raises :class:`~repro.util.errors.TransientFaultError`). The
 worker retries such points up to ``retries`` times, salting the fault
 schedule with the attempt number so each retry experiences fresh
-conditions — exactly like resubmitting a failed job. The record carries
-``attempts`` and ``transient_failures`` either way, so determinism tests
-can compare full histories. ``timeout_s`` bounds each point's host
+conditions — exactly like resubmitting a failed job. Each retry waits
+out a seeded exponential backoff with jitter (derived from the
+experiment seed and the attempt number, never the wall clock), so a
+campaign hammered by injected aborts does not retry in lockstep yet
+still reproduces bit-identically at any worker count. The record
+carries ``attempts``, ``transient_failures``, and the ``backoff_s``
+delays either way, so determinism tests can compare full histories. ``timeout_s`` bounds each point's host
 wall-clock: a point that exceeds it is killed and recorded as a timeout
 error (never retried — timeouts are a host-resource guard, not a
 simulated fault).
@@ -42,6 +46,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+import numpy as np
+
 from ..analysis.verify import verify_plan
 from ..api import Experiment
 from ..metrics.export import result_to_dict
@@ -52,7 +58,34 @@ from ..util.errors import TransientFaultError
 from ..util.units import fmt_rate
 from .cache import PlanCache
 
-__all__ = ["Campaign", "CampaignResult", "run_experiment_record"]
+__all__ = [
+    "Campaign",
+    "CampaignResult",
+    "retry_backoff_s",
+    "run_experiment_record",
+]
+
+_BACKOFF_BASE_S = 0.005
+_BACKOFF_CAP_S = 0.25
+_BACKOFF_KEY = 0xB0FF  # spawn-key tag isolating the backoff RNG stream
+
+
+def retry_backoff_s(seed: int | None, attempt: int) -> float:
+    """Backoff delay before re-running attempt ``attempt + 1``.
+
+    Exponential window capped at :data:`_BACKOFF_CAP_S`, jittered into
+    ``[0.5, 1.5) * window`` by a generator seeded from the experiment
+    seed and the attempt number — the same derivation at any worker
+    count, so records (which carry the delay) stay bit-identical.
+    """
+    if attempt < 1:
+        raise ValueError(f"attempt must be >= 1, got {attempt}")
+    seq = np.random.SeedSequence(
+        entropy=(seed or 0) & (2**63 - 1),
+        spawn_key=(_BACKOFF_KEY, attempt),
+    )
+    window = min(_BACKOFF_CAP_S, _BACKOFF_BASE_S * 2 ** (attempt - 1))
+    return window * (0.5 + np.random.default_rng(seq).random())
 
 
 def run_experiment_record(
@@ -75,6 +108,7 @@ def run_experiment_record(
     record: dict[str, Any] = {"index": index}
     attempts = 0
     transient_failures: list[str] = []
+    backoffs: list[float] = []
     try:
         record["label"] = experiment.label()
         key = experiment.spec_hash()
@@ -121,6 +155,9 @@ def run_experiment_record(
                 transient_failures.append(str(exc))
                 if attempts > retries:
                     raise
+                delay = retry_backoff_s(experiment.seed, attempts)
+                backoffs.append(delay)
+                time.sleep(delay)
         if cache_state == "rejected" and result.telemetry is not None:
             result.telemetry.count(PLAN_CACHE_REJECTS)
         record.update(
@@ -141,6 +178,8 @@ def run_experiment_record(
     record["attempts"] = attempts
     if transient_failures:
         record["transient_failures"] = transient_failures
+    if backoffs:
+        record["backoff_s"] = backoffs
     record["wall_s"] = time.perf_counter() - t0
     return record
 

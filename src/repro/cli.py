@@ -53,13 +53,14 @@ from .metrics import (
     dump_results,
     load_telemetries,
     render_table,
+    telemetry_borrow_table,
     telemetry_counter_lines,
     telemetry_fault_table,
     telemetry_resource_table,
     telemetry_round_table,
 )
 from .metrics.telemetry import Telemetry
-from .util import fmt_rate, mib
+from .util import GB_per_s, fmt_rate, gib, mib
 from .util.errors import (
     EXIT_FAILURE,
     EXIT_OK,
@@ -98,6 +99,29 @@ def _parse_faults(text: str | None) -> FaultSpec | None:
     return FaultSpec.parse(text)
 
 
+def _machine_with_pool(args: argparse.Namespace):
+    """``--pool-*`` flags attach a remote-memory pool to the preset.
+
+    Returns the machine *name* untouched when no pool was requested (so
+    pool-less specs keep their historic hashes), or a resolved
+    :class:`~repro.cluster.MachineModel` instance carrying the
+    :class:`~repro.cluster.RemotePoolSpec` otherwise.
+    """
+    pool_gib = getattr(args, "pool_gib", None)
+    if not pool_gib:
+        return args.machine
+    from .cluster import RemotePoolSpec
+
+    lat_us = getattr(args, "pool_lat_us", None)
+    spec = RemotePoolSpec(
+        capacity=gib(pool_gib),
+        link_bandwidth=GB_per_s(getattr(args, "pool_link_gbs", None) or 10.0),
+        latency_s=(lat_us if lat_us is not None else 2.0) * 1e-6,
+        n_links=getattr(args, "pool_links", None) or 4,
+    )
+    return resolve_machine(args.machine).with_pool(spec)
+
+
 def _experiment(args: argparse.Namespace, *, strategy: str | None = None) -> Experiment:
     """Build the Experiment an argparse namespace describes."""
     params: dict = {}
@@ -112,7 +136,7 @@ def _experiment(args: argparse.Namespace, *, strategy: str | None = None) -> Exp
     cb_buffer = mib(memory_mib) if isinstance(memory_mib, int) else None
     variance_mean, variance_std = _variance(cb_buffer, variance_mib)
     return Experiment(
-        machine=args.machine,
+        machine=_machine_with_pool(args),
         workload=args.workload,
         strategy=strategy if strategy is not None else args.strategy,
         n_procs=args.procs,
@@ -193,6 +217,12 @@ def _render_telemetry(label: str, tele: Telemetry) -> None:
         print()
         print(fault_table)
         print(f"  total recovery cost: {tele.recovery_cost_s * 1e3:.3f} ms")
+    borrow_table = telemetry_borrow_table(
+        tele, title=f"{label}: degradation-lever decisions"
+    )
+    if borrow_table:
+        print()
+        print(borrow_table)
     counters = telemetry_counter_lines(tele)
     if counters:
         print("counters:")
@@ -468,6 +498,18 @@ def _build_parser() -> argparse.ArgumentParser:
     common.add_argument("--variance-mib", type=int, default=None,
                         help="per-node memory variance std (MiB); the mean "
                              "tracks the memory budget; 0 disables variance")
+    # Disaggregated remote-memory tier: attach a borrowable pool to the
+    # machine preset. Defaults stay None so pool-less runs keep their
+    # historic spec hashes (same parent-parser caveat as above).
+    common.add_argument("--pool-gib", type=float, default=None,
+                        help="remote-memory pool capacity (GiB); enables the "
+                             "borrow degradation lever")
+    common.add_argument("--pool-link-gbs", type=float, default=None,
+                        help="per-link pool bandwidth (GB/s, default 10)")
+    common.add_argument("--pool-lat-us", type=float, default=None,
+                        help="pool access latency (microseconds, default 2)")
+    common.add_argument("--pool-links", type=int, default=None,
+                        help="number of pool access links (default 4)")
 
     p = sub.add_parser("tune", help="calibrate Nah/Msg_ind/Msg_group")
     p.add_argument("--machine", default="testbed")

@@ -11,6 +11,7 @@ from .machine import (
 from .memory import Allocation, MemoryManager
 from .network import BISECTION, NetworkModel, membw, nic_in, nic_out
 from .node import TESTBED_NODE, Node, NodeSpec
+from .remote_pool import RemotePool, RemotePoolSpec, pool_link
 from .topology import Cluster, Placement
 
 __all__ = [
@@ -32,4 +33,7 @@ __all__ = [
     "nic_in",
     "nic_out",
     "membw",
+    "RemotePool",
+    "RemotePoolSpec",
+    "pool_link",
 ]

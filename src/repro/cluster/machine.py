@@ -20,6 +20,7 @@ from dataclasses import dataclass, replace
 from ..util.units import GB_per_s, MB_per_s, TB_per_s, mib
 from ..util.validation import check_non_negative, check_positive
 from .node import TESTBED_NODE, NodeSpec
+from .remote_pool import RemotePoolSpec
 
 __all__ = [
     "StorageSpec",
@@ -79,6 +80,9 @@ class MachineModel:
     bisection_bandwidth: float  # bytes/s across the fabric core
     network_latency: float  # seconds, one message
     collective_latency_factor: float = 1.0e-6  # seconds per log2(P) step
+    #: optional disaggregated remote-memory tier; ``None`` means the
+    #: machine has no borrowable pool and the borrow lever is infeasible
+    remote_pool: RemotePoolSpec | None = None
 
     def __post_init__(self) -> None:
         check_positive("n_nodes", self.n_nodes)
@@ -100,6 +104,10 @@ class MachineModel:
     def with_node(self, **changes) -> MachineModel:
         """Copy with modified node parameters."""
         return replace(self, node=replace(self.node, **changes))
+
+    def with_pool(self, pool: RemotePoolSpec | None) -> MachineModel:
+        """Copy with a (possibly absent) remote-memory pool attached."""
+        return replace(self, remote_pool=pool)
 
 
 def testbed_640() -> MachineModel:

@@ -1,0 +1,154 @@
+"""Disaggregated remote-memory pool: a cluster-wide borrowable tier.
+
+The paper's premise is the collapse of per-core memory at exascale;
+its levers — shrink the aggregation buffer, remerge domains, page —
+are all *local*. Disaggregated-memory work (DOLMA, Wahlgren & Gokhale)
+argues future nodes will instead borrow from a shared CXL/remote pool
+under exactly that pressure. This module models that pool:
+
+* :class:`RemotePoolSpec` — the static description attached to a
+  :class:`~repro.cluster.machine.MachineModel`: total capacity, a fixed
+  set of access links, per-link bandwidth, and access latency.
+* :class:`RemotePool` — the live counterpart owned by a
+  :class:`~repro.cluster.topology.Cluster`: tracks outstanding borrows
+  by tag, link contention (concurrent borrowers share links), and the
+  capacity collapse injected by the ``pool_saturate`` fault.
+* :func:`pool_link` — the resource key for one access link, charged by
+  the round engine exactly like ``membw``/``nic``/OST keys so link
+  contention and ``pool_link_degrade`` derates compose with the
+  existing resource model.
+
+Borrowed bytes are remote: every byte staged in borrowed memory crosses
+its access link twice (write into the pool during shuffle, read back
+for I/O), at ``link_bandwidth`` shared among that link's concurrent
+borrowers, plus ``latency_s`` per access batch. That traffic pattern is
+what the lever pricing in :mod:`repro.faults.levers` charges for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util.errors import ConfigurationError
+from ..util.validation import check_non_negative, check_positive
+
+__all__ = ["RemotePoolSpec", "RemotePool", "pool_link"]
+
+
+def pool_link(link_id: int) -> tuple[str, int]:
+    """Resource key for remote-pool access link ``link_id``."""
+    return ("pool_link", link_id)
+
+
+@dataclass(frozen=True, slots=True)
+class RemotePoolSpec:
+    """Static description of the machine's remote-memory tier.
+
+    ``capacity`` is the borrowable pool size in bytes; ``n_links``
+    access links each carry ``link_bandwidth`` bytes/s (shared by the
+    borrowers mapped onto them); ``latency_s`` is the fixed access
+    latency a borrower pays per remote batch.
+    """
+
+    capacity: int  # bytes borrowable cluster-wide
+    link_bandwidth: float  # bytes/s, per access link
+    latency_s: float  # seconds per remote access batch
+    n_links: int = 4
+
+    def __post_init__(self) -> None:
+        check_positive("capacity", self.capacity)
+        check_positive("link_bandwidth", self.link_bandwidth)
+        check_non_negative("latency_s", self.latency_s)
+        check_positive("n_links", self.n_links)
+
+
+class RemotePool:
+    """Live borrow ledger for one job's view of the remote tier."""
+
+    def __init__(self, spec: RemotePoolSpec) -> None:
+        self.spec = spec
+        self._borrowed: dict[str, tuple[int, int]] = {}  # tag -> (bytes, link)
+        self._capacity_factor = 1.0
+
+    # -------------------------------------------------------------- capacity
+    @property
+    def capacity(self) -> int:
+        """Current borrowable capacity (shrunk under ``pool_saturate``)."""
+        return int(self.spec.capacity * self._capacity_factor)
+
+    @property
+    def total_borrowed(self) -> int:
+        return sum(nbytes for nbytes, _ in self._borrowed.values())
+
+    @property
+    def available(self) -> int:
+        return max(0, self.capacity - self.total_borrowed)
+
+    @property
+    def overdraft(self) -> int:
+        """Borrowed bytes in excess of (post-saturation) capacity."""
+        return max(0, self.total_borrowed - self.capacity)
+
+    def saturate(self, fraction: float) -> None:
+        """Collapse capacity by ``fraction`` (the ``pool_saturate`` fault)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError(f"saturation fraction {fraction} outside [0, 1]")
+        self._capacity_factor = min(self._capacity_factor, 1.0 - fraction)
+
+    def restore(self) -> None:
+        self._capacity_factor = 1.0
+
+    # --------------------------------------------------------------- borrows
+    def link_of(self, node_id: int) -> int:
+        """The access link a borrower on ``node_id`` is mapped onto."""
+        return node_id % self.spec.n_links
+
+    def borrow(self, tag: str, nbytes: int, link: int) -> None:
+        """Record ``nbytes`` borrowed under ``tag`` over ``link``."""
+        check_positive("borrow bytes", nbytes)
+        if not 0 <= link < self.spec.n_links:
+            raise ConfigurationError(
+                f"pool link {link} outside [0, {self.spec.n_links})"
+            )
+        if tag in self._borrowed:
+            raise ConfigurationError(f"pool tag {tag!r} already borrowed")
+        if nbytes > self.available:
+            raise ConfigurationError(
+                f"borrow of {nbytes} bytes exceeds pool availability "
+                f"{self.available}"
+            )
+        self._borrowed[tag] = (nbytes, link)
+
+    def release(self, tag: str) -> int:
+        """Return the bytes held under ``tag`` to the pool (0 if absent)."""
+        nbytes, _ = self._borrowed.pop(tag, (0, 0))
+        return nbytes
+
+    def release_all(self) -> None:
+        self._borrowed.clear()
+
+    def borrowed_by(self, tag: str) -> int:
+        return self._borrowed.get(tag, (0, 0))[0]
+
+    def borrows(self) -> dict[str, tuple[int, int]]:
+        """Snapshot of outstanding ``tag -> (bytes, link)`` borrows."""
+        return dict(self._borrowed)
+
+    # ------------------------------------------------------------ contention
+    def borrowers_on_link(self, link: int) -> int:
+        return sum(1 for _, lk in self._borrowed.values() if lk == link)
+
+    def link_contention(self, link: int) -> int:
+        """Concurrent borrowers sharing ``link`` (at least 1)."""
+        return max(1, self.borrowers_on_link(link))
+
+    def effective_link_bandwidth(self, link: int) -> float:
+        """Per-borrower bandwidth on ``link`` under current contention."""
+        return self.spec.link_bandwidth / self.link_contention(link)
+
+    def capacity_map(self) -> dict[tuple[str, int], float]:
+        """Per-link capacity entries for the round engine's resource map."""
+        return {
+            pool_link(i): self.spec.link_bandwidth
+            for i in range(self.spec.n_links)
+        }

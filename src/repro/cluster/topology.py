@@ -22,6 +22,7 @@ from ..util.rng import truncated_normal
 from ..util.validation import check_positive
 from .machine import MachineModel
 from .node import Node
+from .remote_pool import RemotePool
 
 __all__ = ["Cluster", "Placement"]
 
@@ -63,6 +64,11 @@ class Cluster:
             Node(i, machine.node, reserved=reserved_per_node)
             for i in range(n_nodes_used)
         ]
+        self.remote_pool: RemotePool | None = (
+            RemotePool(machine.remote_pool)
+            if machine.remote_pool is not None
+            else None
+        )
         self._rank_to_node = self._place(placement)
 
     # ----------------------------------------------------------- placement

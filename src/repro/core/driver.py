@@ -143,6 +143,8 @@ class MemoryConsciousCollectiveIO(IOStrategy):
         plan = CollectivePlan.from_tuple(self.plan(ctx, requests))
         plan.msg_ind = self.config.msg_ind
         plan.mem_min = self.config.mem_min
+        pool = ctx.machine.remote_pool
+        plan.pool_capacity = pool.capacity if pool is not None else 0
         return plan
 
     def run(
@@ -184,6 +186,7 @@ class MemoryConsciousCollectiveIO(IOStrategy):
             n_groups=len(group_sizes),
             n_remerges=stats.n_remerges,
             n_fallbacks=stats.n_fallbacks,
+            n_borrows=stats.n_borrows,
         )
         if result.telemetry is not None:
             # Planner events, so MC-vs-baseline deltas stay attributable
@@ -192,4 +195,5 @@ class MemoryConsciousCollectiveIO(IOStrategy):
             result.telemetry.count("remerges", stats.n_remerges)
             result.telemetry.count("fallbacks", stats.n_fallbacks)
             result.telemetry.count("rebalanced", stats.n_rebalanced)
+            result.telemetry.count("borrows", stats.n_borrows)
         return result

@@ -41,6 +41,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass, replace
 from typing import Protocol
 
+from ..faults.levers import price_borrow, price_remerge
 from ..io.context import IOContext
 from ..io.domains import FileDomain
 from ..mpi.requests import AccessRequest
@@ -71,38 +72,60 @@ class PlacementStats:
     n_remerges: int = 0
     n_fallbacks: int = 0
     n_rebalanced: int = 0
+    n_borrows: int = 0
 
     def merge(self, other: PlacementStats) -> None:
         self.n_domains += other.n_domains
         self.n_remerges += other.n_remerges
         self.n_fallbacks += other.n_fallbacks
         self.n_rebalanced += other.n_rebalanced
+        self.n_borrows += other.n_borrows
 
 
 @dataclass(slots=True)
 class Slot:
-    """One aggregator opportunity on a node."""
+    """One aggregator opportunity on a node.
+
+    A slot with ``borrowed_bytes > 0`` is *borrow-backed*: that much of
+    its buffer lives in the machine's remote-memory pool over access
+    link ``borrow_link``, created because borrowing priced at
+    ``borrow_price_s`` beat the local alternative at ``local_price_s``.
+    """
 
     slot_id: int
     node_id: int
     buffer_bytes: int
     load: int = 0  # covered bytes assigned so far
+    borrowed_bytes: int = 0
+    borrow_link: int = 0
+    borrow_price_s: float = 0.0
+    local_price_s: float = 0.0
 
     def projected_rounds(self, extra: int = 0) -> float:
         return (self.load + extra) / self.buffer_bytes
 
 
 class SlotPlan:
-    """All aggregator slots the cluster's memory supports right now."""
+    """All aggregator slots the cluster's memory supports right now.
 
-    def __init__(self, slots: list[Slot]) -> None:
+    ``pool_remaining`` is the *planner's* budget of remote-pool bytes —
+    a local counter seeded from the machine's pool capacity, decremented
+    as borrow-backed slots are created. Planning never touches the live
+    :class:`~repro.cluster.remote_pool.RemotePool` ledger; execution
+    re-applies borrows from the plan's provenance.
+    """
+
+    def __init__(self, slots: list[Slot], *, pool_remaining: int = 0) -> None:
         self.slots = slots
+        self.pool_remaining = pool_remaining
         self.by_node: dict[int, list[Slot]] = {}
         for slot in slots:
             self.by_node.setdefault(slot.node_id, []).append(slot)
 
     @classmethod
     def build(cls, ctx: IOContext, config: MemoryConsciousConfig) -> SlotPlan:
+        pool = ctx.machine.remote_pool
+        pool_remaining = pool.capacity if pool is not None else 0
         if not config.dynamic_placement:
             # Ablation A3: memory-oblivious placement — one aggregator
             # slot per node with the hinted buffer size, exactly like the
@@ -112,7 +135,8 @@ class SlotPlan:
                 [
                     Slot(i, node.node_id, ctx.hints.cb_buffer_size)
                     for i, node in enumerate(ctx.cluster.nodes)
-                ]
+                ],
+                pool_remaining=pool_remaining,
             )
         slots: list[Slot] = []
         for node in ctx.cluster.nodes:
@@ -134,7 +158,19 @@ class SlotPlan:
                 slots.append(
                     Slot(len(slots), node.node_id, max(config.mem_min, 1))
                 )
-        return cls(slots)
+        return cls(slots, pool_remaining=pool_remaining)
+
+    def add_slot(self, slot: Slot) -> None:
+        self.slots.append(slot)
+        self.by_node.setdefault(slot.node_id, []).append(slot)
+
+    def borrowers_on_link(self, link: int) -> int:
+        """Borrow-backed slots already planned onto access link ``link``."""
+        return sum(
+            1
+            for s in self.slots
+            if s.borrowed_bytes > 0 and s.borrow_link == link
+        )
 
     @property
     def total_buffer(self) -> int:
@@ -280,7 +316,11 @@ def place_group(
             )
         slot = plan.best_for(hosts.keys(), covered)
         if slot is None:
-            # Every candidate host is memory-starved.
+            # Every candidate host is memory-starved. Before remerging
+            # away (the paper's only move), price backing a fresh slot
+            # with remote-pool memory against the local alternative.
+            slot = _borrow_slot(plan, hosts, covered, ctx, config, stats)
+        if slot is None:
             if config.enable_remerge and leaf.parent is not None:
                 taker = tree.remove_leaf(leaf)
                 stats.n_remerges += 1
@@ -313,6 +353,73 @@ def place_group(
 
 def _slot_of(plan: SlotPlan, slot_id: int) -> Slot:
     return plan.slots[slot_id]
+
+
+# Control record exchanged when a domain is re-homed (same constant the
+# round engine uses to price mid-run re-coordination).
+_RECOORD_BYTES = 16
+
+
+def _borrow_slot(
+    plan: SlotPlan,
+    hosts: dict[int, tuple[tuple[int, int], ...]],
+    covered: int,
+    ctx: IOContext,
+    config: MemoryConsciousConfig,
+    stats: PlacementStats,
+) -> Slot | None:
+    """Open a borrow-backed slot on a candidate host, if it prices well.
+
+    The local alternative is remerging the leaf onto a neighbour (ship
+    the staged bytes through the node path); borrowing backs a
+    ``Mem_min`` buffer with pool bytes paid for as round-trips over the
+    slot's access link. Both prices are recorded on the slot (and land
+    in the plan's provenance) so verifier rule PV115 can re-check that
+    borrowed slots were never the expensive choice. Returns ``None``
+    when there is no pool, no budget, or borrowing prices worse.
+    """
+    pool = ctx.machine.remote_pool
+    if pool is None or plan.pool_remaining <= 0:
+        return None
+    # Candidate host holding the most leaf bytes; ties -> lowest node.
+    node_id = max(hosts, key=lambda n: (sum(b for _, b in hosts[n]), -n))
+    node = ctx.cluster.nodes[node_id]
+    buffer_bytes = max(config.mem_min, 1)
+    deficit = buffer_bytes - max(node.available_memory, 0)
+    if deficit <= 0 or deficit > plan.pool_remaining:
+        return None
+    link = node_id % pool.n_links
+    recoord = ctx.comm.allgather_time(_RECOORD_BYTES)
+    spec = ctx.machine.node
+    local_price = price_remerge(
+        covered,
+        min(spec.mem_bandwidth, spec.nic_bandwidth),
+        recoord_s=recoord,
+    )
+    borrow_price = price_borrow(
+        covered,
+        buffer_bytes,
+        deficit,
+        link_bandwidth=pool.link_bandwidth,
+        latency_s=pool.latency_s,
+        contention=1 + plan.borrowers_on_link(link),
+        recoord_s=recoord,
+    )
+    if borrow_price > local_price:
+        return None
+    slot = Slot(
+        len(plan.slots),
+        node_id,
+        buffer_bytes,
+        borrowed_bytes=deficit,
+        borrow_link=link,
+        borrow_price_s=borrow_price,
+        local_price_s=local_price,
+    )
+    plan.add_slot(slot)
+    plan.pool_remaining -= deficit
+    stats.n_borrows += 1
+    return slot
 
 
 def rebalance(
@@ -414,15 +521,24 @@ def build_domains(
         rank = _choose_rank(slot.node_id, affinity, ctx, config)
         group_ids = {a.group_id for a in items}
         env = coverage.envelope()
+        buffer_bytes = min(slot.buffer_bytes, max(coverage.total, 1))
+        # Borrow provenance rides through to the plan: the borrowed
+        # share can never exceed the (possibly coverage-clamped) buffer.
+        borrowed = min(slot.borrowed_bytes, buffer_bytes)
         domains.append(
             FileDomain(
                 region=Extent(env.offset, env.length),
                 coverage=coverage,
                 aggregator=rank,
-                buffer_bytes=min(slot.buffer_bytes, max(coverage.total, 1)),
+                buffer_bytes=buffer_bytes,
                 group_id=group_ids.pop() if len(group_ids) == 1 else -1,
                 n_leaves=len(items),
                 remerged=any(a.remerged for a in items),
+                borrowed_bytes=borrowed,
+                borrow_link=slot.borrow_link if borrowed > 0 else 0,
+                borrow_lever="borrow" if borrowed > 0 else "",
+                borrow_price_s=slot.borrow_price_s if borrowed > 0 else 0.0,
+                local_price_s=slot.local_price_s if borrowed > 0 else 0.0,
             )
         )
     domains.sort(key=lambda d: d.region.offset)

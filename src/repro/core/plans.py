@@ -20,6 +20,15 @@ Format version 2 additionally records what the static plan verifier
 without replanning: per-domain provenance (``n_leaves``, ``remerged``),
 the planner tunables the plan was built under (``msg_ind``,
 ``mem_min``), and the spec hash the plan was produced for.
+
+Format version 3 adds remote-pool borrow provenance: per-domain
+``borrowed_bytes`` / ``borrow_link`` / ``borrow_lever`` and the two
+prices the planner compared (``borrow_price_s``, ``local_price_s``),
+emitted only for domains that actually borrow, plus the pool capacity
+the plan was built against (``config.pool_capacity``) and the
+``n_borrows`` placement counter. Version-2 plans still load (their
+defaults mean "no borrows"), so existing caches stay warm; version 1
+and unknown versions are rejected, which cache layers treat as misses.
 """
 
 from __future__ import annotations
@@ -37,6 +46,7 @@ from .placement import PlacementStats
 __all__ = [
     "CollectivePlan",
     "PLAN_FORMAT_VERSION",
+    "SUPPORTED_PLAN_VERSIONS",
     "plan_to_dict",
     "plan_from_dict",
     "canonical_json",
@@ -44,7 +54,11 @@ __all__ = [
 ]
 
 #: bump when the serialized layout changes; loaders reject other versions
-PLAN_FORMAT_VERSION = 2
+PLAN_FORMAT_VERSION = 3
+
+#: versions :func:`plan_from_dict` accepts — v2 plans carry no borrow
+#: provenance and load with "no borrows" defaults
+SUPPORTED_PLAN_VERSIONS = frozenset({2, 3})
 
 
 @dataclass(slots=True)
@@ -52,10 +66,11 @@ class CollectivePlan:
     """The planner's full decision set for one collective operation.
 
     ``msg_ind`` / ``mem_min`` record the tunables the plan was built
-    under (0 = unknown, e.g. a hand-built plan); ``spec_hash`` is the
-    experiment identity the plan was produced for ("" = unstamped).
-    Both are advisory metadata: execution ignores them, the static
-    verifier uses them.
+    under (0 = unknown, e.g. a hand-built plan); ``pool_capacity`` the
+    remote-pool bytes the planner could borrow against (0 = no pool);
+    ``spec_hash`` is the experiment identity the plan was produced for
+    ("" = unstamped). All are advisory metadata: execution ignores
+    them, the static verifier uses them.
     """
 
     domains: list[FileDomain]
@@ -63,6 +78,7 @@ class CollectivePlan:
     group_sizes: dict[int, int] = field(default_factory=dict)
     msg_ind: int = 0
     mem_min: int = 0
+    pool_capacity: int = 0
     spec_hash: str = ""
 
     @classmethod
@@ -90,7 +106,7 @@ class CollectivePlan:
 
 
 def _domain_to_dict(domain: FileDomain) -> dict[str, Any]:
-    return {
+    out: dict[str, Any] = {
         "region": [domain.region.offset, domain.region.length],
         "coverage": domain.coverage.to_pairs(),
         "aggregator": domain.aggregator,
@@ -99,6 +115,15 @@ def _domain_to_dict(domain: FileDomain) -> dict[str, Any]:
         "n_leaves": domain.n_leaves,
         "remerged": domain.remerged,
     }
+    if domain.borrowed_bytes > 0:
+        # v3 borrow provenance: only domains that borrow carry it, so
+        # borrow-free v3 plans serialize byte-identically to v2 bodies.
+        out["borrowed_bytes"] = domain.borrowed_bytes
+        out["borrow_link"] = domain.borrow_link
+        out["borrow_lever"] = domain.borrow_lever
+        out["borrow_price_s"] = domain.borrow_price_s
+        out["local_price_s"] = domain.local_price_s
+    return out
 
 
 def _domain_from_dict(data: Mapping[str, Any]) -> FileDomain:
@@ -113,6 +138,11 @@ def _domain_from_dict(data: Mapping[str, Any]) -> FileDomain:
         group_id=int(data["group_id"]),
         n_leaves=int(data.get("n_leaves", 1)),
         remerged=bool(data.get("remerged", False)),
+        borrowed_bytes=int(data.get("borrowed_bytes", 0)),
+        borrow_link=int(data.get("borrow_link", 0)),
+        borrow_lever=str(data.get("borrow_lever", "")),
+        borrow_price_s=float(data.get("borrow_price_s", 0.0)),
+        local_price_s=float(data.get("local_price_s", 0.0)),
     )
 
 
@@ -126,9 +156,14 @@ def plan_to_dict(plan: CollectivePlan) -> dict[str, Any]:
             "n_remerges": plan.stats.n_remerges,
             "n_fallbacks": plan.stats.n_fallbacks,
             "n_rebalanced": plan.stats.n_rebalanced,
+            "n_borrows": plan.stats.n_borrows,
         },
         "group_sizes": {str(k): v for k, v in plan.group_sizes.items()},
-        "config": {"msg_ind": plan.msg_ind, "mem_min": plan.mem_min},
+        "config": {
+            "msg_ind": plan.msg_ind,
+            "mem_min": plan.mem_min,
+            "pool_capacity": plan.pool_capacity,
+        },
         "spec_hash": plan.spec_hash,
     }
 
@@ -140,10 +175,10 @@ def plan_from_dict(data: Mapping[str, Any]) -> CollectivePlan:
     are treated as misses rather than silently misinterpreted.
     """
     version = data.get("version")
-    if version != PLAN_FORMAT_VERSION:
+    if version not in SUPPORTED_PLAN_VERSIONS:
         raise ValueError(
             f"unsupported plan format version {version!r} "
-            f"(expected {PLAN_FORMAT_VERSION})"
+            f"(supported: {sorted(SUPPORTED_PLAN_VERSIONS)})"
         )
     stats_d = data.get("stats", {})
     stats = PlacementStats(
@@ -151,6 +186,7 @@ def plan_from_dict(data: Mapping[str, Any]) -> CollectivePlan:
         n_remerges=int(stats_d.get("n_remerges", 0)),
         n_fallbacks=int(stats_d.get("n_fallbacks", 0)),
         n_rebalanced=int(stats_d.get("n_rebalanced", 0)),
+        n_borrows=int(stats_d.get("n_borrows", 0)),
     )
     config_d = data.get("config", {})
     return CollectivePlan(
@@ -159,6 +195,7 @@ def plan_from_dict(data: Mapping[str, Any]) -> CollectivePlan:
         group_sizes={int(k): int(v) for k, v in data.get("group_sizes", {}).items()},
         msg_ind=int(config_d.get("msg_ind", 0)),
         mem_min=int(config_d.get("mem_min", 0)),
+        pool_capacity=int(config_d.get("pool_capacity", 0)),
         spec_hash=str(data.get("spec_hash", "")),
     )
 

@@ -17,11 +17,35 @@ that changes or disappears mid-run. It has two halves:
   priced through the flow model.
 
 The reaction logic itself lives in :mod:`repro.io.rounds` (it mutates
-engine state); this package owns the schedule, the clock, and the
-bookkeeping.
+engine state); this package owns the schedule, the clock, the
+bookkeeping, and the closed-form **lever pricing**
+(:mod:`repro.faults.levers`): shrink vs remerge vs borrow-from-the-
+remote-pool vs page, each priced in seconds so the engine and the
+planner pick the cheapest feasible reaction deterministically.
 """
 
+from .levers import (
+    LEVERS,
+    LeverPrice,
+    choose_lever,
+    price_borrow,
+    price_page,
+    price_remerge,
+    price_shrink,
+)
 from .runtime import FaultRuntime, FaultState
 from .spec import FaultEvent, FaultSpec
 
-__all__ = ["FaultEvent", "FaultSpec", "FaultRuntime", "FaultState"]
+__all__ = [
+    "FaultEvent",
+    "FaultSpec",
+    "FaultRuntime",
+    "FaultState",
+    "LEVERS",
+    "LeverPrice",
+    "choose_lever",
+    "price_shrink",
+    "price_remerge",
+    "price_borrow",
+    "price_page",
+]

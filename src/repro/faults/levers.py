@@ -1,0 +1,145 @@
+"""Closed-form pricing of the four degradation levers.
+
+When a pressured aggregator's available memory drops below what its
+collective buffer needs, the engine has four ways out:
+
+========  ============================================================
+lever     mechanism
+========  ============================================================
+shrink    resize the buffer to what still fits (more, smaller rounds)
+remerge   hand the remaining file domain to a neighbour with headroom
+borrow    back the deficit with disaggregated remote-pool memory
+page      run oversubscribed and pay the paging penalty on the bus
+========  ============================================================
+
+This module prices each lever with :mod:`repro.analysis.model`-style
+closed forms — *estimates of the time the lever adds to the rest of
+the operation* — and :func:`choose_lever` picks the cheapest feasible
+one. The functions are pure (scalars in, seconds out, no engine state),
+so the property suite can drive them with random inputs and the
+planner (:mod:`repro.core.placement`) and the runtime controller
+(:mod:`repro.io.rounds`) price identically.
+
+Pricing formulas (``R`` = remaining bytes, ``b`` = buffer bytes):
+
+* shrink:  ``recoord + Δrounds · t_round`` where ``Δrounds`` is the
+  extra rounds the smaller buffer needs for ``R``;
+* remerge: ``recoord + ship / bw_path`` — the staged buffer re-ships
+  through the slowest resource on the source→taker path;
+* borrow:  ``recoord + rounds · t_lat + 2·R·(d/b) · C / bw_link`` —
+  every borrowed byte crosses its access link twice (shuffle in, I/O
+  out) at per-link bandwidth shared by ``C`` concurrent borrowers,
+  plus the pool's access latency per round;
+* page:    ``(slowdown − 1) · 2·R / bw_mem`` — the extra bus time of
+  moving ``R`` through a derated memory bus twice, with ``slowdown =
+  1 + PAGING_PENALTY_FACTOR · paged_fraction``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "LEVERS",
+    "PAGING_PENALTY_FACTOR",
+    "LeverPrice",
+    "price_shrink",
+    "price_remerge",
+    "price_borrow",
+    "price_page",
+    "choose_lever",
+]
+
+#: Deterministic tie-break order: on exact price ties the earlier lever
+#: wins (prefer the least invasive reshaping).
+LEVERS = ("shrink", "remerge", "borrow", "page")
+
+# When aggregation buffers exceed a node's available memory, the node
+# starts paging: its effective memory bandwidth is divided by
+# (1 + PAGING_PENALTY_FACTOR * paged_fraction_of_working_set). Shared
+# by the round engine's charging and the page lever's price.
+PAGING_PENALTY_FACTOR = 4.0
+
+
+@dataclass(frozen=True, slots=True)
+class LeverPrice:
+    """One lever's priced option; ``feasible=False`` options never win."""
+
+    lever: str
+    price_s: float
+    feasible: bool = True
+    note: str = ""
+
+
+def _rounds(remaining_bytes: int, buffer_bytes: int) -> int:
+    return -(-max(remaining_bytes, 0) // max(buffer_bytes, 1))  # ceil
+
+
+def price_shrink(
+    remaining_bytes: int,
+    old_buffer: int,
+    new_buffer: int,
+    *,
+    recoord_s: float,
+    round_overhead_s: float,
+) -> float:
+    """Extra time from finishing ``remaining_bytes`` with a smaller buffer."""
+    extra = _rounds(remaining_bytes, new_buffer) - _rounds(
+        remaining_bytes, old_buffer
+    )
+    return recoord_s + max(0, extra) * round_overhead_s
+
+
+def price_remerge(
+    ship_bytes: int,
+    path_bandwidth: float,
+    *,
+    recoord_s: float,
+) -> float:
+    """Re-coordination plus shipping the staged buffer to the taker."""
+    if ship_bytes <= 0:
+        return recoord_s
+    return recoord_s + ship_bytes / max(path_bandwidth, 1e-12)
+
+
+def price_borrow(
+    remaining_bytes: int,
+    buffer_bytes: int,
+    borrow_bytes: int,
+    *,
+    link_bandwidth: float,
+    latency_s: float,
+    contention: int,
+    recoord_s: float,
+) -> float:
+    """Remote traffic of backing ``borrow_bytes`` of the buffer remotely."""
+    frac = borrow_bytes / max(buffer_bytes, 1)
+    rounds = _rounds(remaining_bytes, buffer_bytes)
+    traffic = 2.0 * remaining_bytes * frac
+    return (
+        recoord_s
+        + rounds * latency_s
+        + traffic * max(contention, 1) / max(link_bandwidth, 1e-12)
+    )
+
+
+def price_page(
+    remaining_bytes: int,
+    membw_capacity: float,
+    paged_fraction: float,
+) -> float:
+    """Extra bus time of paging through the rest of the operation."""
+    slowdown = 1.0 + PAGING_PENALTY_FACTOR * max(0.0, paged_fraction)
+    return (slowdown - 1.0) * 2.0 * remaining_bytes / max(membw_capacity, 1e-12)
+
+
+def choose_lever(options: list[LeverPrice]) -> LeverPrice | None:
+    """The minimum-priced feasible option (``None`` if none is).
+
+    Ties break by :data:`LEVERS` order, so the decision is a pure
+    function of the priced options — no iteration-order dependence.
+    """
+    feasible = [opt for opt in options if opt.feasible]
+    if not feasible:
+        return None
+    return min(feasible, key=lambda opt: (opt.price_s, LEVERS.index(opt.lever)))

@@ -10,9 +10,14 @@ in deterministic order and mutate the :class:`FaultState`:
 * ``mem_pressure`` raises the target node's baseline memory reservation
   (shrinking what aggregation buffers may hold) and queues the node for
   the engine's reaction pass;
-* ``agg_stall`` / ``ost_degrade`` derate a resource key's capacity —
-  the node's memory bus or the OST — for the fault's duration, with the
-  restore scheduled as its own event;
+* ``agg_stall`` / ``ost_degrade`` / ``pool_link_degrade`` derate a
+  resource key's capacity — the node's memory bus, the OST, or a
+  remote-pool access link — for the fault's duration, with the restore
+  scheduled as its own event;
+* ``pool_saturate`` collapses the remote pool's borrowable capacity by
+  the event's fraction and queues the saturation for the engine's
+  eviction pass (borrowers above the new capacity fall back to local
+  levers); a no-op on machines without a pool;
 * ``abort`` raises :class:`~repro.util.errors.TransientFaultError`,
   which campaign runners treat as retryable.
 
@@ -26,6 +31,7 @@ from collections.abc import Hashable
 from typing import TYPE_CHECKING
 
 from ..cluster.network import membw
+from ..cluster.remote_pool import pool_link
 from ..fs.pfs import ost_key
 from ..sim.engine import Simulator
 from ..util.errors import TransientFaultError
@@ -47,6 +53,8 @@ class FaultState:
         self._paging: dict[Hashable, float] = {}
         # node ids whose memory shrank and still await an engine reaction
         self.pressured_nodes: list[int] = []
+        # pool-saturation fractions awaiting the engine's eviction pass
+        self.pool_saturations: list[float] = []
 
     def push_derate(self, key: Hashable, factor: float) -> None:
         self._derates.setdefault(key, []).append(factor)
@@ -95,8 +103,12 @@ class FaultRuntime:
         self._original_reserved = {
             node.node_id: node.memory.reserved for node in ctx.cluster.nodes
         }
+        pool = ctx.cluster.remote_pool
         events = spec.schedule(
-            ctx.cluster.n_nodes, ctx.pfs.storage.n_osts, attempt=attempt
+            ctx.cluster.n_nodes,
+            ctx.pfs.storage.n_osts,
+            n_pool_links=pool.spec.n_links if pool is not None else 1,
+            attempt=attempt,
         )
         for ev in events:
             self.sim.schedule(ev.time, lambda ev=ev: self._fire(ev))
@@ -129,7 +141,22 @@ class FaultRuntime:
         elif ev.kind == "ost_degrade":
             n_osts = max(self.ctx.pfs.storage.n_osts, 1)
             self._apply_derate(ev, ost_key(ev.target % n_osts))
+        elif ev.kind == "pool_saturate":
+            self._apply_pool_saturation(ev)
+        elif ev.kind == "pool_link_degrade":
+            pool = self.ctx.cluster.remote_pool
+            n_links = pool.spec.n_links if pool is not None else 1
+            self._apply_derate(ev, pool_link(ev.target % max(n_links, 1)))
         self.fired.append(ev)
+
+    def _apply_pool_saturation(self, ev: FaultEvent) -> None:
+        pool = self.ctx.cluster.remote_pool
+        if pool is None:
+            return  # no remote tier: nothing to saturate
+        pool.saturate(ev.fraction)
+        self.state.pool_saturations.append(ev.fraction)
+        if ev.duration > 0:
+            self.sim.schedule(ev.duration, pool.restore)
 
     def _apply_pressure(self, ev: FaultEvent) -> None:
         node = self.ctx.cluster.nodes[ev.target % self.ctx.cluster.n_nodes]

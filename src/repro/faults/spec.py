@@ -29,8 +29,15 @@ from ..util.units import kib
 
 __all__ = ["FaultEvent", "FaultSpec", "EVENT_KINDS"]
 
-#: The fault taxonomy (see DESIGN.md §9 for semantics).
-EVENT_KINDS = ("mem_pressure", "agg_stall", "ost_degrade", "abort")
+#: The fault taxonomy (see DESIGN.md §9 and §13 for semantics).
+EVENT_KINDS = (
+    "mem_pressure",
+    "agg_stall",
+    "ost_degrade",
+    "abort",
+    "pool_saturate",
+    "pool_link_degrade",
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -41,12 +48,18 @@ class FaultEvent:
         kind: one of :data:`EVENT_KINDS`.
         time: seconds on the round engine's progress clock (transfer
             phase start = 0).
-        target: node id (``mem_pressure``/``agg_stall``) or OST index
-            (``ost_degrade``); ignored for ``abort``.
-        fraction: ``mem_pressure`` only — fraction of the node's memory
-            capacity newly claimed by the pressure spike.
-        factor: ``agg_stall``/``ost_degrade`` only — capacity derate
-            (2.0 = half speed) while the fault is active.
+        target: node id (``mem_pressure``/``agg_stall``), OST index
+            (``ost_degrade``), or pool link index
+            (``pool_link_degrade``); ignored for ``abort`` and
+            ``pool_saturate``.
+        fraction: ``mem_pressure`` — fraction of the node's memory
+            capacity newly claimed by the pressure spike;
+            ``pool_saturate`` — fraction of the remote pool's capacity
+            that collapses (borrowers above the new capacity are
+            evicted back to local levers).
+        factor: ``agg_stall``/``ost_degrade``/``pool_link_degrade``
+            only — capacity derate (2.0 = half speed) while the fault
+            is active.
         duration: seconds the fault stays active; 0 means permanent for
             the rest of the operation.
     """
@@ -100,9 +113,19 @@ _PARSE_ALIASES = {
     "stall": "stalls",
     "ost": "ost_degrade",
     "abort": "abort_prob",
+    "pool": "pool_saturate",
+    "pool_link": "pool_link_degrade",
 }
 
-_INT_FIELDS = {"seed", "mem_pressure", "stalls", "ost_degrade", "shrink_floor"}
+_INT_FIELDS = {
+    "seed",
+    "mem_pressure",
+    "stalls",
+    "ost_degrade",
+    "shrink_floor",
+    "pool_saturate",
+    "pool_link_degrade",
+}
 
 
 @dataclass(frozen=True)
@@ -132,9 +155,17 @@ class FaultSpec:
     abort_prob: float = 0.0
     horizon: float = 20e-3
     shrink_floor: int = field(default_factory=lambda: kib(64))
+    pool_saturate: int = 0
+    pool_fraction: float = 0.75
+    pool_link_degrade: int = 0
+    pool_link_factor: float = 4.0
+    pool_link_duration: float = 5e-3
 
     def __post_init__(self) -> None:
-        for name in ("mem_pressure", "stalls", "ost_degrade"):
+        for name in (
+            "mem_pressure", "stalls", "ost_degrade",
+            "pool_saturate", "pool_link_degrade",
+        ):
             if getattr(self, name) < 0:
                 raise FaultError(f"{name} must be >= 0")
         if not 0.0 <= self.abort_prob <= 1.0:
@@ -142,6 +173,10 @@ class FaultSpec:
         if not 0.0 <= self.pressure_fraction <= 1.0:
             raise FaultError(
                 f"pressure_fraction {self.pressure_fraction} outside [0, 1]"
+            )
+        if not 0.0 <= self.pool_fraction <= 1.0:
+            raise FaultError(
+                f"pool_fraction {self.pool_fraction} outside [0, 1]"
             )
         if self.horizon <= 0:
             raise FaultError(f"horizon must be positive, got {self.horizon}")
@@ -159,6 +194,8 @@ class FaultSpec:
             and self.stalls == 0
             and self.ost_degrade == 0
             and self.abort_prob == 0.0
+            and self.pool_saturate == 0
+            and self.pool_link_degrade == 0
         )
 
     def replace(self, **changes: Any) -> FaultSpec:
@@ -166,13 +203,21 @@ class FaultSpec:
 
     # ----------------------------------------------------------- schedule
     def schedule(
-        self, n_nodes: int, n_osts: int, *, attempt: int = 0
+        self,
+        n_nodes: int,
+        n_osts: int,
+        *,
+        n_pool_links: int = 1,
+        attempt: int = 0,
     ) -> list[FaultEvent]:
         """Expand into the concrete, time-sorted event list.
 
-        Deterministic in ``(self, n_nodes, n_osts, attempt)``; the
-        ``attempt`` salt lets campaign retries of a transiently-failed
-        point experience fresh conditions without touching the spec.
+        Deterministic in ``(self, n_nodes, n_osts, n_pool_links,
+        attempt)``; the ``attempt`` salt lets campaign retries of a
+        transiently-failed point experience fresh conditions without
+        touching the spec. Pool draws sit between the OST loop and the
+        abort draw, so specs without pool faults keep the schedules
+        they had before the remote tier existed.
         """
         if n_nodes < 1:
             raise FaultError("schedule needs at least one node")
@@ -214,6 +259,24 @@ class FaultSpec:
                     duration=self.ost_duration,
                 )
             )
+        for _ in range(self.pool_saturate):
+            out.append(
+                FaultEvent(
+                    kind="pool_saturate",
+                    time=float(rng.uniform(0.0, self.horizon)),
+                    fraction=self.pool_fraction,
+                )
+            )
+        for _ in range(self.pool_link_degrade):
+            out.append(
+                FaultEvent(
+                    kind="pool_link_degrade",
+                    time=float(rng.uniform(0.0, self.horizon)),
+                    target=int(rng.integers(0, max(n_pool_links, 1))),
+                    factor=self.pool_link_factor,
+                    duration=self.pool_link_duration,
+                )
+            )
         if self.abort_prob > 0.0 and rng.random() < self.abort_prob:
             out.append(
                 FaultEvent(kind="abort", time=float(rng.uniform(0.0, self.horizon)))
@@ -223,8 +286,13 @@ class FaultSpec:
 
     # ------------------------------------------------------ serialization
     def to_dict(self) -> dict[str, Any]:
-        """JSON-safe canonical form (hashed into ``Experiment.spec_hash``)."""
-        return {
+        """JSON-safe canonical form (hashed into ``Experiment.spec_hash``).
+
+        The pool knobs are emitted only when a pool fault is requested,
+        so pool-free specs keep the hashes they had before the remote
+        tier existed (same idiom as the experiment's ``faults`` key).
+        """
+        out: dict[str, Any] = {
             "seed": self.seed,
             "events": [e.to_dict() for e in self.events],
             "mem_pressure": self.mem_pressure,
@@ -239,6 +307,13 @@ class FaultSpec:
             "horizon": self.horizon,
             "shrink_floor": self.shrink_floor,
         }
+        if self.pool_saturate or self.pool_link_degrade:
+            out["pool_saturate"] = self.pool_saturate
+            out["pool_fraction"] = self.pool_fraction
+            out["pool_link_degrade"] = self.pool_link_degrade
+            out["pool_link_factor"] = self.pool_link_factor
+            out["pool_link_duration"] = self.pool_link_duration
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> FaultSpec:
@@ -270,7 +345,10 @@ class FaultSpec:
                     f"{sorted(_PARSE_ALIASES)} or FaultSpec field names"
                 )
             if not value:
-                if name in ("mem_pressure", "stalls", "ost_degrade"):
+                if name in (
+                    "mem_pressure", "stalls", "ost_degrade",
+                    "pool_saturate", "pool_link_degrade",
+                ):
                     kwargs[name] = 1
                     continue
                 raise FaultError(f"--faults key {key!r} needs a value")

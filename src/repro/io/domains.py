@@ -34,6 +34,13 @@ class FileDomain:
     (paper Section 3.2). The static plan verifier
     (:mod:`repro.analysis.verify`) uses them to bound covered bytes by
     ``n_leaves * Msg_ind`` for domains that were never remerged.
+
+    The borrow fields record remote-pool provenance (plan format v3):
+    ``borrowed_bytes`` of the buffer live in the machine's disaggregated
+    remote-memory pool over access link ``borrow_link``, chosen because
+    lever ``borrow_lever`` priced at ``borrow_price_s`` beat the best
+    local alternative at ``local_price_s`` (verifier rules PV113–PV116).
+    The defaults make a v2 plan a valid v3 plan with no borrows.
     """
 
     region: Extent
@@ -43,6 +50,11 @@ class FileDomain:
     group_id: int = 0
     n_leaves: int = 1
     remerged: bool = False
+    borrowed_bytes: int = 0
+    borrow_link: int = 0
+    borrow_lever: str = ""
+    borrow_price_s: float = 0.0
+    local_price_s: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.coverage.is_empty:
@@ -55,6 +67,13 @@ class FileDomain:
             raise PartitionError(f"negative buffer {self.buffer_bytes}")
         if self.n_leaves < 1:
             raise PartitionError(f"n_leaves must be >= 1, got {self.n_leaves}")
+        if self.borrowed_bytes < 0:
+            raise PartitionError(f"negative borrow {self.borrowed_bytes}")
+        if self.borrowed_bytes > self.buffer_bytes:
+            raise PartitionError(
+                f"borrow {self.borrowed_bytes} exceeds buffer "
+                f"{self.buffer_bytes}"
+            )
 
     @property
     def covered_bytes(self) -> int:

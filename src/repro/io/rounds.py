@@ -44,15 +44,29 @@ advances the fault clock to its own progress estimate before every
 round, firing scheduled events (memory-pressure spikes, aggregator
 stalls, OST degradation, transient aborts). The reaction side lives in
 :class:`_DegradationController`: a pressured aggregator whose buffer no
-longer fits either **shrinks** its collective buffer in place (more,
-smaller rounds) or — below the spec's ``shrink_floor`` — **remerges**
-its remaining file domain onto the nearest aggregator with memory
-headroom, the paper's remerge applied at run time. Every reaction is
-priced: a re-coordination barrier + allgather, plus shipping the staged
-buffer through the flow model for a remerge; active stalls/degradations
-derate the affected resource's capacity in the per-round chain costs.
-Degradation is therefore never free — a faulted run's makespan strictly
-exceeds its fault-free twin whenever any reaction fires. The engine's
+longer fits prices all four degradation levers with the closed forms in
+:mod:`repro.faults.levers` — **shrink** the collective buffer in place
+(more, smaller rounds), **remerge** the remaining file domain onto the
+nearest aggregator with memory headroom, **borrow** the deficit from
+the machine's disaggregated remote-memory pool (when one exists), or
+**page** — and applies the cheapest feasible one, recording the
+decision and every feasible price as a
+:class:`~repro.metrics.telemetry.BorrowSpan`. Borrowed bytes stay
+remote for the rest of the domain's rounds: each round charges their
+round-trip on the pool access link (a first-class resource key, shared
+with every other borrower on that link and deratable by the
+``pool_link_degrade`` fault) plus the pool's access latency. A
+``pool_saturate`` fault collapses pool capacity mid-run; the
+controller then evicts borrowers deterministically (largest borrow
+first) back onto local levers, re-pricing each evicted domain with
+borrow off the table. Every reaction is priced: a re-coordination
+barrier + allgather, plus shipping the staged buffer through the flow
+model for a remerge; active stalls/degradations derate the affected
+resource's capacity in the per-round chain costs.
+Degradation is therefore never free — a reshaping reaction (shrink,
+remerge, borrow, evict) always adds recovery time, and paging derates
+the node for the rest of the run (though a paged non-critical domain
+may leave the makespan, a max over chains, unchanged). The engine's
 round geometry is tracked as *remaining coverage* per domain (windows
 are sliced off the front), which reduces exactly to the classic
 ``domain.window(r)`` schedule when buffers never change.
@@ -74,8 +88,24 @@ from collections.abc import Hashable, Sequence
 from typing import TYPE_CHECKING
 
 from ..cluster.network import BISECTION, membw, nic_in, nic_out
+from ..cluster.remote_pool import RemotePool, pool_link
+from ..faults.levers import (
+    PAGING_PENALTY_FACTOR,
+    LeverPrice,
+    choose_lever,
+    price_borrow,
+    price_page,
+    price_remerge,
+    price_shrink,
+)
 from ..fs.pfs import IOKind, SimFile
-from ..metrics.telemetry import DomainRoundCost, FaultSpan, RoundRecord, Telemetry
+from ..metrics.telemetry import (
+    BorrowSpan,
+    DomainRoundCost,
+    FaultSpan,
+    RoundRecord,
+    Telemetry,
+)
 from ..mpi.requests import AccessRequest
 from ..sim.flows import Flow
 from ..sim.trace import TraceRecorder
@@ -91,12 +121,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["execute_collective", "PAGING_PENALTY_FACTOR"]
 
-# When aggregation buffers exceed a node's available memory, the node
-# starts paging: its effective memory bandwidth is divided by
-# (1 + PAGING_PENALTY_FACTOR * paged_fraction_of_working_set). The
-# baseline can trigger this because it sizes buffers without looking at
-# memory; the memory-conscious strategy avoids it by construction.
-PAGING_PENALTY_FACTOR = 4.0
+# PAGING_PENALTY_FACTOR lives in repro.faults.levers (the page lever's
+# price and the engine's paging charge must agree); re-exported here
+# for backward compatibility.
 
 # Re-coordination after a mid-run degradation exchanges one small
 # control record per participant (new buffer size / new domain owner).
@@ -108,14 +135,25 @@ def _allocate_buffers(
 ) -> dict[int, float]:
     """Claim aggregation buffers on host nodes; return paging slowdowns.
 
-    Returns ``{node_id: slowdown}`` for nodes pushed past their available
-    memory (empty when everything fits).
+    Domains carrying plan-time borrow provenance claim only their local
+    share on the node and register the borrowed share with the cluster's
+    remote pool (ignored when the machine has no pool — the whole
+    buffer then lives locally). Returns ``{node_id: slowdown}`` for
+    nodes pushed past their available memory (empty when everything
+    fits).
     """
+    pool = ctx.cluster.remote_pool
     for idx, domain in enumerate(domains):
         node = ctx.cluster.node_of_rank(domain.aggregator)
+        borrowed = domain.borrowed_bytes if pool is not None else 0
+        borrowed = min(borrowed, domain.buffer_bytes, pool.available if pool else 0)
         node.memory.allocate(
-            f"aggbuf:{idx}", domain.buffer_bytes, allow_oversubscribe=True
+            f"aggbuf:{idx}",
+            domain.buffer_bytes - borrowed,
+            allow_oversubscribe=True,
         )
+        if borrowed > 0 and pool is not None:
+            pool.borrow(f"aggbuf:{idx}", borrowed, domain.borrow_link)
     slowdowns: dict[int, float] = {}
     for node in ctx.cluster.nodes:
         over = node.memory.oversubscribed_bytes
@@ -133,7 +171,10 @@ def _release_buffers(
     domains: Sequence[FileDomain],
     released: frozenset[int] | set[int] = frozenset(),
 ) -> None:
+    pool = ctx.cluster.remote_pool
     for idx, domain in enumerate(domains):
+        if pool is not None:
+            pool.release(f"aggbuf:{idx}")  # tolerant of never-borrowed tags
         if idx in released:
             continue
         node = ctx.cluster.node_of_rank(domain.aggregator)
@@ -177,6 +218,8 @@ class _DegradationController:
         domain_sync: list[float],
         telemetry: Telemetry,
         released: set[int],
+        borrows: list[int],
+        borrow_links: list[int],
     ) -> None:
         self.faults = faults
         self.ctx = ctx
@@ -188,6 +231,9 @@ class _DegradationController:
         self.domain_sync = domain_sync
         self.telemetry = telemetry
         self.released = released
+        self.borrows = borrows
+        self.borrow_links = borrow_links
+        self.pool: RemotePool | None = ctx.cluster.remote_pool
         self.shrink_floor = max(1, faults.spec.shrink_floor)
 
     # ------------------------------------------------------------ pricing
@@ -203,9 +249,17 @@ class _DegradationController:
         abort event fires.
         """
         for ev in self.faults.advance(now):
-            target_kind = "ost" if ev.kind == "ost_degrade" else "node"
+            if ev.kind == "ost_degrade":
+                target = f"ost:{ev.target}"
+            elif ev.kind == "pool_saturate":
+                target = "pool"
+            elif ev.kind == "pool_link_degrade":
+                target = f"pool_link:{ev.target}"
+            else:
+                target = f"node:{ev.target}"
             note = (
-                f"fraction={ev.fraction:g}" if ev.kind == "mem_pressure"
+                f"fraction={ev.fraction:g}"
+                if ev.kind in ("mem_pressure", "pool_saturate")
                 else (f"duration={ev.duration:g}s" if ev.duration > 0 else "")
             )
             self.telemetry.record_fault(
@@ -213,7 +267,7 @@ class _DegradationController:
                     kind=ev.kind,
                     t_s=now,
                     round_index=round_index,
-                    target=f"{target_kind}:{ev.target}",
+                    target=target,
                     factor=ev.factor,
                     note=note,
                 )
@@ -226,6 +280,12 @@ class _DegradationController:
         cost = 0.0
         for node_id in pressured:
             cost += self._react_to_pressure(node_id, now, round_index)
+        saturations, self.faults.state.pool_saturations = (
+            self.faults.state.pool_saturations,
+            [],
+        )
+        if saturations and self.pool is not None:
+            cost += self._evict_over_capacity(now, round_index)
         return cost
 
     # ---------------------------------------------------------- reactions
@@ -239,19 +299,157 @@ class _DegradationController:
                 continue
             if self.ctx.comm.node_of(domain.aggregator) != node_id:
                 continue
-            # What this buffer could hold if resized to fit right now.
-            headroom = node.memory.available + self.buffers[i]
-            if headroom >= self.buffers[i]:
+            # What this buffer's *local* share could be resized to right
+            # now (borrowed bytes live in the pool, not on the node).
+            local = self.buffers[i] - self.borrows[i]
+            headroom = node.memory.available + local
+            if headroom >= local:
                 continue  # the spike left this buffer unharmed
-            if headroom >= self.shrink_floor:
-                cost += self._shrink(i, node, int(headroom), now, round_index)
-            else:
-                cost += self._remerge(i, node, now, round_index)
+            cost += self._degrade(
+                i, node, int(headroom), now, round_index, allow_borrow=True
+            )
+        return cost
+
+    def _degrade(
+        self,
+        i: int,
+        node,
+        headroom: int,
+        now: float,
+        round_index: int,
+        *,
+        allow_borrow: bool,
+        evicted: bool = False,
+    ) -> float:
+        """Price the four levers for domain ``i``; apply the cheapest.
+
+        ``headroom`` is what the domain's local allocation could be
+        resized to on its node right now. The decision and every
+        feasible price land in one :class:`BorrowSpan`, so ``repro
+        trace`` (and the property suite) can audit that the chosen
+        lever was the minimum-priced feasible one.
+        """
+        local = self.buffers[i] - self.borrows[i]
+        remaining = self.remaining[i].total
+        recoord = self._recoordination_time(i)
+        fit = max(0, headroom)
+        deficit = local - fit
+        options: list[LeverPrice] = []
+
+        new_total = fit + self.borrows[i]
+        options.append(
+            LeverPrice(
+                "shrink",
+                price_shrink(
+                    remaining,
+                    self.buffers[i],
+                    new_total,
+                    recoord_s=recoord,
+                    round_overhead_s=self.domain_sync[i],
+                ),
+                feasible=fit >= self.shrink_floor,
+            )
+        )
+
+        taker = self._pick_taker(i, node.node_id)
+        options.append(
+            LeverPrice(
+                "remerge",
+                price_remerge(
+                    min(self.buffers[i], remaining),
+                    self._remerge_path_bandwidth(node.node_id, taker),
+                    recoord_s=recoord,
+                )
+                if taker is not None
+                else 0.0,
+                feasible=taker is not None,
+            )
+        )
+
+        pool = self.pool
+        link = pool.link_of(node.node_id) if pool is not None else -1
+        can_borrow = (
+            allow_borrow
+            and pool is not None
+            and deficit > 0
+            and pool.available >= deficit
+        )
+        if can_borrow:
+            contention = pool.borrowers_on_link(link) + (
+                0 if self.borrows[i] > 0 else 1
+            )
+            link_bw = pool.spec.link_bandwidth / self.faults.state.derate(
+                pool_link(link)
+            )
+            borrow_price = price_borrow(
+                remaining,
+                self.buffers[i],
+                self.borrows[i] + deficit,
+                link_bandwidth=link_bw,
+                latency_s=pool.spec.latency_s,
+                contention=contention,
+                recoord_s=recoord,
+            )
+        else:
+            borrow_price = 0.0
+        options.append(LeverPrice("borrow", borrow_price, feasible=can_borrow))
+
+        options.append(
+            LeverPrice(
+                "page",
+                price_page(
+                    remaining,
+                    self.eff_cap(membw(node.node_id)),
+                    min(1.0, deficit / max(local, 1)),
+                ),
+            )
+        )
+
+        choice = choose_lever(options)
+        if choice is None:  # unreachable: page is always feasible
+            choice = options[-1]
+        prices = {opt.lever: opt.price_s for opt in options if opt.feasible}
+        if choice.lever == "shrink":
+            cost = self._shrink(i, node, new_total, now, round_index)
+            nbytes = new_total
+        elif choice.lever == "remerge":
+            cost = self._remerge(i, node, taker, now, round_index)
+            nbytes = remaining
+        elif choice.lever == "borrow":
+            cost = self._borrow(i, node, fit, deficit, link, now, round_index)
+            nbytes = deficit
+        else:
+            cost = self._page(i, node, now, round_index)
+            nbytes = deficit
+        self.telemetry.record_borrow(
+            BorrowSpan(
+                t_s=now,
+                round_index=round_index,
+                domain=i,
+                lever=("evict:" + choice.lever) if evicted else choice.lever,
+                nbytes=nbytes,
+                link=link if choice.lever == "borrow" else -1,
+                prices=prices,
+                cost_s=cost,
+                note="pool-saturation eviction" if evicted else "memory pressure",
+            )
+        )
         return cost
 
     def _recoordination_time(self, i: int) -> float:
         """Group barrier + control-record allgather after a degradation."""
         return self.domain_sync[i] + self.ctx.comm.allgather_time(_RECOORD_BYTES)
+
+    def _remerge_path_bandwidth(self, src: int, taker: int | None) -> float:
+        """Slowest effective resource on the src → taker shipping path."""
+        if taker is None:
+            return 0.0
+        dst = self.ctx.comm.node_of(self.domains[taker].aggregator)
+        if src != dst:
+            path = (membw(src), nic_out(src), BISECTION, nic_in(dst), membw(dst))
+            return min(self.eff_cap(key) for key in path)
+        # Same-node handoff crosses the memory bus twice.
+        return self.eff_cap(membw(src)) / 2.0
 
     def _shrink(
         self, i: int, node, new_buffer: int, now: float, round_index: int
@@ -259,7 +457,11 @@ class _DegradationController:
         """Shrink domain ``i``'s collective buffer to what still fits."""
         old = self.buffers[i]
         node.memory.release(f"aggbuf:{i}")
-        node.memory.allocate(f"aggbuf:{i}", new_buffer, allow_oversubscribe=True)
+        node.memory.allocate(
+            f"aggbuf:{i}",
+            max(0, new_buffer - self.borrows[i]),
+            allow_oversubscribe=True,
+        )
         self.buffers[i] = new_buffer
         cost = self._recoordination_time(i)
         self.telemetry.record_fault(
@@ -276,9 +478,10 @@ class _DegradationController:
         self.telemetry.count("recoveries_shrink")
         return cost
 
-    def _remerge(self, i: int, node, now: float, round_index: int) -> float:
+    def _remerge(
+        self, i: int, node, taker: int | None, now: float, round_index: int
+    ) -> float:
         """Hand domain ``i``'s remaining coverage to a neighbour with room."""
-        taker = self._pick_taker(i, node.node_id)
         if taker is None:
             return self._page(i, node, now, round_index)
         moved = self.remaining[i].total
@@ -289,6 +492,9 @@ class _DegradationController:
         )
         self.candidates[i] = []
         node.memory.release(f"aggbuf:{i}")
+        if self.pool is not None and self.borrows[i] > 0:
+            self.pool.release(f"aggbuf:{i}")
+            self.borrows[i] = 0
         self.released.add(i)
         # The staged (already shuffled) round buffer must be re-shipped to
         # the new owner; price it through the flow model's resource path.
@@ -297,11 +503,7 @@ class _DegradationController:
         ship = min(self.buffers[i], moved)
         ship_time = 0.0
         if ship > 0:
-            if src != dst:
-                path = (membw(src), nic_out(src), BISECTION, nic_in(dst), membw(dst))
-                ship_time = max(ship / self.eff_cap(key) for key in path)
-            else:
-                ship_time = 2.0 * ship / self.eff_cap(membw(src))
+            ship_time = ship / self._remerge_path_bandwidth(src, taker)
         cost = self._recoordination_time(i) + ship_time
         self.telemetry.record_fault(
             FaultSpan(
@@ -365,6 +567,106 @@ class _DegradationController:
         self.telemetry.count("recoveries_paging")
         return 0.0
 
+    def _borrow(
+        self,
+        i: int,
+        node,
+        fit: int,
+        deficit: int,
+        link: int,
+        now: float,
+        round_index: int,
+    ) -> float:
+        """Back ``deficit`` bytes of domain ``i``'s buffer with pool memory."""
+        pool = self.pool
+        assert pool is not None  # feasibility-gated by _degrade
+        tag = f"aggbuf:{i}"
+        prev = pool.release(tag)
+        pool.borrow(tag, prev + deficit, link)
+        node.memory.release(tag)
+        node.memory.allocate(tag, fit, allow_oversubscribe=True)
+        self.borrows[i] = prev + deficit
+        self.borrow_links[i] = link
+        cost = self._recoordination_time(i) + pool.spec.latency_s
+        self.telemetry.record_fault(
+            FaultSpan(
+                kind="recovery:borrow",
+                t_s=now,
+                round_index=round_index,
+                target=f"domain:{i}",
+                nbytes=deficit,
+                cost_s=cost,
+                note=f"{deficit} B borrowed over pool link {link}",
+            )
+        )
+        self.telemetry.count("recoveries_borrow")
+        return cost
+
+    # ----------------------------------------------------------- eviction
+    def _evict_over_capacity(self, now: float, round_index: int) -> float:
+        """Evict borrows (largest first) until the shrunken pool fits."""
+        pool = self.pool
+        cost = 0.0
+        while pool is not None and pool.overdraft > 0:
+            victims = sorted(
+                (i for i in range(len(self.domains)) if self.borrows[i] > 0),
+                key=lambda i: (-self.borrows[i], i),
+            )
+            if not victims:
+                break  # ledger and borrows[] disagree; nothing to free
+            cost += self._evict(victims[0], now, round_index)
+        return cost
+
+    def _evict(self, i: int, now: float, round_index: int) -> float:
+        """Return domain ``i``'s borrowed bytes; re-price its levers locally."""
+        pool = self.pool
+        assert pool is not None
+        tag = f"aggbuf:{i}"
+        freed = pool.release(tag)
+        self.borrows[i] = 0
+        self.telemetry.record_fault(
+            FaultSpan(
+                kind="recovery:evict",
+                t_s=now,
+                round_index=round_index,
+                target=f"domain:{i}",
+                nbytes=freed,
+                note="pool saturated; borrowed bytes returned",
+            )
+        )
+        self.telemetry.count("recoveries_evict")
+        if i in self.released or self.remaining[i].is_empty:
+            return 0.0  # domain already done or remerged away
+        node_id = self.ctx.comm.node_of(self.domains[i].aggregator)
+        node = self.ctx.cluster.nodes[node_id]
+        # The whole buffer must live locally again.
+        node.memory.release(tag)
+        node.memory.allocate(tag, self.buffers[i], allow_oversubscribe=True)
+        headroom = node.memory.available + self.buffers[i]
+        if headroom >= self.buffers[i]:
+            cost = self._recoordination_time(i)
+            self.telemetry.record_borrow(
+                BorrowSpan(
+                    t_s=now,
+                    round_index=round_index,
+                    domain=i,
+                    lever="evict:local",
+                    nbytes=freed,
+                    cost_s=cost,
+                    note="evicted bytes refit locally",
+                )
+            )
+            return cost
+        return self._degrade(
+            i,
+            node,
+            int(headroom),
+            now,
+            round_index,
+            allow_borrow=False,
+            evicted=True,
+        )
+
 
 def execute_collective(
     ctx: IOContext,
@@ -408,6 +710,11 @@ def execute_collective(
         caps[membw(node_id)] = caps[membw(node_id)] / slowdown
     for i in range(len(domains)):
         caps.setdefault(ctx.pfs.stream_key(i), ctx.pfs.stream_capacity(kind))
+    pool = ctx.cluster.remote_pool
+    if pool is not None:
+        # Pool access links are first-class resources: chargeable,
+        # deratable (pool_link_degrade), and visible in telemetry.
+        caps.update(pool.capacity_map())
 
     # Each domain's candidate requests, pre-intersected with its
     # coverage once — per-round windows are subsets of the coverage, so
@@ -477,12 +784,21 @@ def execute_collective(
     remaining: list[ExtentList] = [d.coverage for d in domains]
     buffers: list[int] = [d.buffer_bytes for d in domains]
     released: set[int] = set()
+    # Live borrow ledger per domain, seeded from what _allocate_buffers
+    # actually placed in the pool (plan-time borrows may have been
+    # clamped against current availability).
+    borrows: list[int] = [
+        pool.borrowed_by(f"aggbuf:{i}") if pool is not None else 0
+        for i in range(len(domains))
+    ]
+    borrow_links: list[int] = [d.borrow_link for d in domains]
+    telemetry.count("planned_borrows", sum(1 for b in borrows if b > 0))
     controller: _DegradationController | None = None
     max_rounds = planned_rounds
     if faults is not None:
         controller = _DegradationController(
             faults, ctx, domains, remaining, buffers, candidates,
-            caps, domain_sync, telemetry, released,
+            caps, domain_sync, telemetry, released, borrows, borrow_links,
         )
         # Runaway guard: even a fully shrunk schedule must terminate.
         floor = max(1, min([controller.shrink_floor, *(b for b in buffers if b > 0)]))
@@ -587,6 +903,18 @@ def execute_collective(
                 for flow in io_flows:
                     for key in flow.resources:
                         round_io_load[key] = round_io_load.get(key, 0.0) + flow.charge_on(key)
+                if pool is not None and borrows[i] > 0:
+                    # The borrowed share of this round's window crosses
+                    # its pool access link twice: staged in during the
+                    # shuffle, read back for the I/O phase.
+                    key = pool_link(borrow_links[i])
+                    charge = 2.0 * window.total * borrows[i] / max(buffers[i], 1)
+                    round_io_load[key] = round_io_load.get(key, 0.0) + charge
+                    resource_load[key] = resource_load.get(key, 0.0) + charge
+                    if controller is not None:
+                        resource_load_eff[key] = resource_load_eff.get(
+                            key, 0.0
+                        ) + charge * controller.faults.state.derate(key)
 
             # Message-startup latency is paid per round at *this* round's
             # per-aggregator message count — a dense first round must not
@@ -613,6 +941,12 @@ def execute_collective(
                     ),
                     default=0.0,
                 )
+                if pool is not None and borrows[i] > 0:
+                    link_key = pool_link(borrow_links[i])
+                    io_cost = (
+                        max(io_cost, round_io_load[link_key] / cap_of(link_key))
+                        + pool.spec.latency_s
+                    )
                 chain_time[i] += sh_cost + io_cost + domain_sync[i]
                 round_costs.append(
                     DomainRoundCost(

@@ -11,13 +11,14 @@ from .store import ResultStore, iter_records, load_records, records_to_entries
 from .reporting import (
     bandwidth_table,
     render_table,
+    telemetry_borrow_table,
     telemetry_counter_lines,
     telemetry_fault_table,
     telemetry_resource_table,
     telemetry_round_table,
 )
 from .stats import MemorySummary, RunComparison, improvement, memory_summary
-from .telemetry import DomainRoundCost, RoundRecord, Telemetry
+from .telemetry import BorrowSpan, DomainRoundCost, RoundRecord, Telemetry
 
 __all__ = [
     "improvement",
@@ -30,6 +31,7 @@ __all__ = [
     "telemetry_resource_table",
     "telemetry_counter_lines",
     "telemetry_fault_table",
+    "telemetry_borrow_table",
     "result_to_dict",
     "dump_results",
     "load_results",
@@ -38,6 +40,7 @@ __all__ = [
     "Telemetry",
     "RoundRecord",
     "DomainRoundCost",
+    "BorrowSpan",
     "ResultStore",
     "iter_records",
     "load_records",

@@ -19,6 +19,7 @@ __all__ = [
     "telemetry_resource_table",
     "telemetry_counter_lines",
     "telemetry_fault_table",
+    "telemetry_borrow_table",
 ]
 
 
@@ -159,6 +160,43 @@ def telemetry_fault_table(
             )
         )
     headers = ["t ms", "round", "kind", "target", "factor", "cost ms", "detail"]
+    return render_table(headers, rows, title=title)
+
+
+def telemetry_borrow_table(
+    tele: Telemetry, *, title: str = "degradation-lever decisions"
+) -> str:
+    """One row per priced lever decision (:class:`BorrowSpan`).
+
+    Shows the chosen lever, the bytes it moved/borrowed, the pool link
+    (borrow only), the immediate cost, and every feasible lever's price
+    — the audit trail that the engine always picked the cheapest
+    feasible reaction. Empty string when the run made no decisions.
+    """
+    if not tele.borrows:
+        return ""
+    rows = []
+    for span in tele.borrows:
+        prices = ", ".join(
+            f"{lever}={price * 1e3:.3f}ms"
+            for lever, price in sorted(span.prices.items())
+        )
+        rows.append(
+            (
+                f"{span.t_s * 1e3:.3f}",
+                span.round_index if span.round_index >= 0 else "-",
+                span.domain,
+                span.lever,
+                fmt_bytes(span.nbytes) if span.nbytes else "-",
+                span.link if span.link >= 0 else "-",
+                f"{span.cost_s * 1e3:.3f}" if span.cost_s else "-",
+                prices,
+            )
+        )
+    headers = [
+        "t ms", "round", "domain", "lever", "bytes", "link", "cost ms",
+        "prices",
+    ]
     return render_table(headers, rows, title=title)
 
 

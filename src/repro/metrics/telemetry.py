@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 __all__ = [
+    "BorrowSpan",
     "DomainRoundCost",
     "FaultSpan",
     "PLAN_CACHE_REJECTS",
@@ -150,6 +151,62 @@ class FaultSpan:
 
 
 @dataclass(slots=True)
+class BorrowSpan:
+    """One priced lever decision at a pressured (or evicted) aggregator.
+
+    The engine records one span every time it prices the four
+    degradation levers for a domain: ``lever`` is the winner
+    (``"shrink"``/``"remerge"``/``"borrow"``/``"page"``, or the same
+    prefixed with ``evict:`` when a pool saturation forced the domain
+    off its borrowed memory), ``prices`` maps every *feasible* lever to
+    its closed-form price in seconds, ``nbytes`` is the borrowed (or
+    evicted) byte count, and ``link`` the pool access link involved
+    (-1 when no pool was in play). ``cost_s`` is the immediate recovery
+    charge; ongoing costs (remote link traffic, paging) accrue in the
+    round records instead.
+    """
+
+    t_s: float
+    round_index: int
+    domain: int
+    lever: str
+    nbytes: int = 0
+    link: int = -1
+    prices: dict[str, float] = field(default_factory=dict)
+    cost_s: float = 0.0
+    note: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "t_s": self.t_s,
+            "round": self.round_index,
+            "domain": self.domain,
+            "lever": self.lever,
+            "nbytes": self.nbytes,
+            "link": self.link,
+            "prices": {k: float(v) for k, v in self.prices.items()},
+            "cost_s": self.cost_s,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> BorrowSpan:
+        return cls(
+            t_s=float(data["t_s"]),
+            round_index=int(data.get("round", -1)),
+            domain=int(data["domain"]),
+            lever=str(data["lever"]),
+            nbytes=int(data.get("nbytes", 0)),
+            link=int(data.get("link", -1)),
+            prices={
+                str(k): float(v) for k, v in data.get("prices", {}).items()
+            },
+            cost_s=float(data.get("cost_s", 0.0)),
+            note=str(data.get("note", "")),
+        )
+
+
+@dataclass(slots=True)
 class RoundRecord:
     """Everything the engine observed during one round."""
 
@@ -237,6 +294,7 @@ class Telemetry:
         self.paging: dict[int, float] = {}  # node_id -> membw slowdown
         self.capacities: dict[Hashable, float] = {}
         self.faults: list[FaultSpan] = []  # fault + recovery spans, in order
+        self.borrows: list[BorrowSpan] = []  # lever decisions, in order
 
     # ------------------------------------------------------------ feeding
     def count(self, name: str, value: float = 1.0) -> None:
@@ -246,6 +304,10 @@ class Telemetry:
     def record_fault(self, span: FaultSpan) -> None:
         """Append one fault/recovery span (chronological order)."""
         self.faults.append(span)
+
+    def record_borrow(self, span: BorrowSpan) -> None:
+        """Append one lever-decision span (chronological order)."""
+        self.borrows.append(span)
 
     def record_paging(self, node_id: int, slowdown: float) -> None:
         """Note that ``node_id`` pages with the given membw slowdown."""
@@ -375,6 +437,7 @@ class Telemetry:
             "capacities": _encode_resource_map(self.capacities),
             "rounds": [r.to_dict() for r in self.rounds],
             "faults": [f.to_dict() for f in self.faults],
+            "borrows": [b.to_dict() for b in self.borrows],
         }
 
     @classmethod
@@ -384,8 +447,9 @@ class Telemetry:
         tele.paging = {int(k): float(v) for k, v in data["paging"].items()}
         tele.capacities = _decode_resource_map(data["capacities"])
         tele.rounds = [RoundRecord.from_dict(r) for r in data["rounds"]]
-        # "faults" is absent in pre-fault-layer dumps; default to none.
+        # "faults"/"borrows" are absent in older dumps; default to none.
         tele.faults = [FaultSpan.from_dict(f) for f in data.get("faults", [])]
+        tele.borrows = [BorrowSpan.from_dict(b) for b in data.get("borrows", [])]
         return tele
 
     def to_csv(self) -> str:

@@ -11,7 +11,8 @@ method    path       behaviour
 ``POST``  /plan      body = :class:`~repro.serve.protocol.PlanRequest`
                      JSON; answers a ``PlanResponse`` (200) or a
                      ``ServeError`` payload (400 bad request, 422 bad
-                     spec, 429 overloaded + ``Retry-After``, 500)
+                     spec, 429 overloaded + ``Retry-After``, 500
+                     verify-/worker-failed/internal)
 ``GET``   /metrics   counter/latency/cache snapshot (includes a
                      ``telemetry`` dict the existing loaders consume)
 ``GET``   /healthz   liveness + schema version
@@ -34,6 +35,7 @@ from typing import Any
 
 from ..util.errors import (
     PlanVerificationError,
+    PlanWorkerError,
     ReproError,
     ServeOverloadError,
     SpecError,
@@ -193,6 +195,9 @@ class ServeDaemon:
                 "verify-failed", str(exc), detail={"by_rule": exc.by_rule}
             ).to_dict()
             return 500, payload, {}
+        except PlanWorkerError as exc:
+            self.service.metrics.count("errors")
+            return 500, ServeError("worker-failed", str(exc)).to_dict(), {}
         except ReproError as exc:
             self.service.metrics.count("errors")
             return 500, ServeError("internal", str(exc)).to_dict(), {}

@@ -239,8 +239,10 @@ class ServeError:
 
     ``code`` is a stable machine-readable slug (``"bad-request"``,
     ``"spec-error"``, ``"overloaded"``, ``"verify-failed"``,
-    ``"internal"``, ``"not-found"``); ``retry_after_s`` is set only for
-    ``"overloaded"`` and suggests when to retry.
+    ``"worker-failed"``, ``"internal"``, ``"not-found"``);
+    ``retry_after_s`` is set only for ``"overloaded"`` and suggests when
+    to retry. ``"worker-failed"`` marks a planning-worker crash — the
+    request was well-formed and may succeed on retry.
     """
 
     code: str

@@ -40,6 +40,8 @@ from ..core.plans import canonical_json, plan_to_dict
 from ..util.errors import (
     ConfigurationError,
     PlanVerificationError,
+    PlanWorkerError,
+    ReproError,
     ServeOverloadError,
 )
 from .metrics import ServeMetrics
@@ -198,6 +200,15 @@ class PlannerService:
             plan = await loop.run_in_executor(
                 self._executor, self._plan_fn, dict(request.experiment)
             )
+        except ReproError:
+            raise  # a bad spec is the client's problem, not the worker's
+        except Exception as exc:
+            # The worker died (BrokenProcessPool) or raised outside the
+            # library's contract — the request may well succeed elsewhere.
+            self.metrics.count("worker_failures")
+            raise PlanWorkerError(
+                f"planning worker failed: {type(exc).__name__}: {exc}"
+            ) from exc
         finally:
             self._pending -= 1
         self._plan_s_ewma = 0.8 * self._plan_s_ewma + 0.2 * (time.perf_counter() - t0)

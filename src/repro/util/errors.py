@@ -36,6 +36,7 @@ __all__ = [
     "PlanVerificationError",
     "CacheError",
     "ServeOverloadError",
+    "PlanWorkerError",
     "EXIT_OK",
     "EXIT_FAILURE",
     "EXIT_USAGE",
@@ -160,7 +161,16 @@ class ServeOverloadError(ReproError, RuntimeError):
         self.retry_after_s = float(retry_after_s)
 
 
-# --------------------------------------------------------------- exit codes
+class PlanWorkerError(ReproError, RuntimeError):
+    """A planning worker died or raised outside the library's contract.
+
+    The serve daemon's process pool runs the planner out-of-process; a
+    worker that segfaults, gets OOM-killed, or raises a non-``ReproError``
+    exception is a *server*-side failure — the request was well-formed.
+    The daemon answers 500 with the stable ``"worker-failed"`` code so
+    clients can distinguish "my spec is bad" from "the server's worker
+    crashed; the same request may succeed on retry".
+    """
 #
 # The CLI maps the exception class a subcommand dies with to a stable
 # exit code. 0/1/2 follow Unix convention (success / generic failure /

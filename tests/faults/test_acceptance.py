@@ -1,15 +1,22 @@
-"""The fault layer's end-to-end acceptance scenario.
+"""The fault layer's end-to-end acceptance scenarios.
 
 An IOR write campaign with a memory-pressure fault schedule must
 complete with zero error records, its stored telemetry must show the
 remerge/shrink recovery spans, and the degraded point's makespan must
 strictly exceed the fault-free one.
+
+The remote-pool scenario: a pressured aggregator borrows pool memory
+(the priced-cheapest lever over a fast access link), then a
+``pool_saturate`` fault collapses the pool at ~50% progress — the
+engine must evict the borrow, re-price the remaining levers, and still
+complete without a :class:`TransientFaultError`.
 """
 
 from __future__ import annotations
 
 from repro import Campaign, Experiment, FaultEvent, FaultSpec, mib
-from repro.metrics import telemetry_fault_table
+from repro.cluster import RemotePoolSpec
+from repro.metrics import telemetry_borrow_table, telemetry_fault_table
 from repro.metrics.export import load_telemetries
 
 BASE = Experiment(
@@ -63,3 +70,57 @@ def test_pressured_ior_campaign_degrades_gracefully(tmp_path):
     assert faulted["n_rounds"] > clean["n_rounds"]
     # same work was completed either way
     assert faulted["nbytes"] == clean["nbytes"]
+
+
+POOLED = BASE.replace(
+    machine=BASE.resolve_machine().with_pool(
+        RemotePoolSpec(
+            capacity=mib(64),
+            link_bandwidth=50e9,  # fast link: borrowing out-prices remerge
+            latency_s=2e-6,
+            n_links=4,
+        )
+    )
+)
+
+
+def test_pool_saturation_mid_run_evicts_and_completes():
+    clean_ctx = POOLED.context()
+    clean = POOLED.run(ctx=clean_ctx)
+
+    # Full pressure on node 0 right away makes the controller borrow
+    # (cheapest over the fast link); the saturation lands at half the
+    # clean makespan and collapses the whole pool underneath it.
+    spec = FaultSpec(
+        events=(
+            FaultEvent(kind="mem_pressure", time=1e-3, target=0, fraction=1.0),
+            FaultEvent(
+                kind="pool_saturate",
+                time=0.5 * clean.elapsed,
+                fraction=1.0,
+            ),
+        ),
+    )
+    faulted = POOLED.replace(faults=spec)
+    ctx = faulted.context()
+    res = faulted.run(ctx=ctx)  # must NOT raise TransientFaultError
+
+    tele = res.telemetry
+    # borrow first, then the saturation forced a re-priced fallback
+    levers = [s.lever for s in tele.borrows]
+    assert levers[0] == "borrow"
+    assert any(lever.startswith("evict:") for lever in levers[1:])
+    assert tele.counters["recoveries_borrow"] >= 1
+    assert tele.counters["recoveries_evict"] >= 1
+    # the decision trail renders, borrow and fallback both visible
+    table = telemetry_borrow_table(tele)
+    assert "borrow" in table and "evict:" in table
+
+    # everything was paid back: local buffers and the pool ledger
+    assert all(n.memory.in_use == 0 for n in ctx.cluster.nodes)
+    pool = ctx.cluster.remote_pool
+    assert pool is not None and pool.total_borrowed == 0
+    # same bytes written; the detour is visible in the makespan
+    assert res.nbytes == clean.nbytes
+    assert res.shuffle_bytes == res.nbytes
+    assert res.elapsed > clean.elapsed

@@ -1,0 +1,282 @@
+"""Property suite over the priced borrow-vs-degrade machinery.
+
+Three invariants the disaggregated-memory tier must hold for *any*
+inputs, not just the pinned schedules in ``test_runtime.py``:
+
+* :func:`~repro.faults.levers.choose_lever` always returns the
+  minimum-priced feasible option (ties broken by the documented lever
+  order), and every pricing form is non-negative and finite;
+* plans built against a remote pool never violate ``Mem_min`` — every
+  borrow-backed buffer still reaches ``min(mem_min, covered)`` and
+  passes static verification (PV113–PV115);
+* runs degraded by memory pressure, pool saturation, and link derates
+  conserve bytes exactly, and release every local buffer *and* every
+  pool borrow by the end.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.verify import verify_plan
+from repro.api import Experiment
+from repro.cluster import RemotePoolSpec, scaled_testbed
+from repro.core import MemoryConsciousCollectiveIO, MemoryConsciousConfig
+from repro.core.plans import plan_to_dict
+from repro.faults import FaultEvent, FaultRuntime, FaultSpec
+from repro.faults.levers import (
+    LEVERS,
+    LeverPrice,
+    choose_lever,
+    price_borrow,
+    price_page,
+    price_remerge,
+    price_shrink,
+)
+from repro.io import CollectiveHints, make_context
+from repro.mpi import AccessRequest
+from repro.util import ExtentList, kib, mib
+
+pytestmark = pytest.mark.slow
+
+CFG = MemoryConsciousConfig(
+    msg_ind=kib(128), msg_group=kib(512), nah=2, mem_min=kib(32),
+    buffer_floor=kib(8),
+)
+
+prices = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+options_lists = st.lists(
+    st.builds(
+        LeverPrice,
+        lever=st.sampled_from(LEVERS),
+        price_s=prices,
+        feasible=st.booleans(),
+    ),
+    min_size=0,
+    max_size=8,
+)
+
+
+# ----------------------------------------------------- lever selection
+@given(options=options_lists)
+def test_chosen_lever_is_minimum_priced_feasible(options):
+    choice = choose_lever(options)
+    feasible = [opt for opt in options if opt.feasible]
+    if not feasible:
+        assert choice is None
+        return
+    assert choice is not None and choice.feasible
+    best = min(opt.price_s for opt in feasible)
+    assert choice.price_s == best
+    # tie-break: the earliest lever in LEVERS order among the cheapest
+    cheapest = {opt.lever for opt in feasible if opt.price_s == best}
+    assert LEVERS.index(choice.lever) == min(LEVERS.index(lv) for lv in cheapest)
+
+
+@given(
+    remaining=st.integers(0, 1 << 30),
+    buffer=st.integers(1, 1 << 24),
+    borrow=st.integers(0, 1 << 24),
+    recoord=st.floats(0.0, 1.0, allow_nan=False),
+    bw=st.floats(1.0, 1e12, allow_nan=False),
+    latency=st.floats(0.0, 1e-3, allow_nan=False),
+    contention=st.integers(0, 16),
+    fraction=st.floats(0.0, 1.0, allow_nan=False),
+)
+def test_pricing_forms_are_nonnegative_and_finite(
+    remaining, buffer, borrow, recoord, bw, latency, contention, fraction
+):
+    borrow = min(borrow, buffer)
+    new_buffer = max(1, int(buffer * max(fraction, 1e-6)))
+    forms = (
+        price_shrink(
+            remaining, buffer, new_buffer,
+            recoord_s=recoord, round_overhead_s=latency,
+        ),
+        price_remerge(remaining, bw, recoord_s=recoord),
+        price_borrow(
+            remaining, buffer, borrow,
+            link_bandwidth=bw, latency_s=latency,
+            contention=contention, recoord_s=recoord,
+        ),
+        price_page(remaining, bw, fraction),
+    )
+    for price in forms:
+        assert 0.0 <= price < float("inf")
+    # every reshaping lever charges at least the re-coordination cost
+    for price in forms[:3]:
+        assert price >= recoord
+
+
+@given(
+    remaining=st.integers(1, 1 << 28),
+    buffer=st.integers(1, 1 << 22),
+    light=st.integers(0, 4),
+    extra=st.integers(1, 8),
+)
+def test_borrow_price_grows_with_contention(remaining, buffer, light, extra):
+    kwargs = dict(
+        link_bandwidth=10e9, latency_s=2e-6, recoord_s=1e-5
+    )
+    cheap = price_borrow(remaining, buffer, buffer, contention=light, **kwargs)
+    dear = price_borrow(
+        remaining, buffer, buffer, contention=light + extra, **kwargs
+    )
+    assert dear >= cheap
+
+
+# ------------------------------------------------- plan-time invariants
+# Heterogeneous memory (std ~ mem_min) leaves some hosts starved and
+# some slotted — the regime where the planner actually opens
+# borrow-backed slots instead of falling back to paging everywhere.
+POOL_CFG = MemoryConsciousConfig(
+    msg_ind=kib(128), msg_group=kib(512), nah=2, mem_min=mib(2),
+    buffer_floor=kib(8),
+)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(0, 1 << 16),
+    mem_mib=st.integers(1, 4),
+    pool_mib=st.integers(1, 256),
+    links=st.integers(1, 8),
+)
+def test_plans_with_a_pool_never_violate_mem_min(seed, mem_mib, pool_mib, links):
+    machine = scaled_testbed(4, cores_per_node=4).with_pool(
+        RemotePoolSpec(
+            capacity=mib(pool_mib),
+            link_bandwidth=25e9,
+            latency_s=2e-6,
+            n_links=links,
+        )
+    )
+    exp = Experiment(
+        machine=machine,
+        strategy="mc",
+        config=POOL_CFG,
+        n_procs=8,
+        procs_per_node=2,
+        workload_params={"block_size": mib(2), "transfer_size": mib(1) // 2},
+        cb_buffer=mib(1) // 2,
+        seed=seed,
+        memory_variance_mean=mib(mem_mib),
+        memory_variance_std=mib(2),
+    )
+    plan = exp.plan()
+    total_borrowed = 0
+    for domain in plan.domains:
+        borrowed = domain.borrowed_bytes
+        assert 0 <= borrowed <= domain.buffer_bytes
+        total_borrowed += borrowed
+        if borrowed > 0:
+            # the borrow restored the Mem_min floor the host could not
+            assert domain.buffer_bytes >= min(
+                POOL_CFG.mem_min, domain.covered_bytes
+            )
+            assert 0.0 < domain.borrow_price_s <= domain.local_price_s
+    assert total_borrowed <= plan.pool_capacity
+    report = verify_plan(plan_to_dict(plan))
+    assert report.ok, report.render()
+
+
+# ------------------------------------- byte conservation under borrows
+def _requests(chunks):
+    claimed = ExtentList.empty()
+    reqs = []
+    for rank in range(8):
+        el = ExtentList.from_pairs(chunks[rank::8]).subtract(claimed)
+        claimed = claimed.union(el)
+        reqs.append(AccessRequest(rank, el))
+    return reqs, claimed
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    chunks=st.lists(
+        st.tuples(st.integers(0, 1 << 17), st.integers(1, 1 << 11)),
+        min_size=2,
+        max_size=24,
+    ),
+    seed=st.integers(0, 1 << 16),
+    mem_kib=st.integers(16, 1024),
+    pool_kib=st.integers(64, 4096),
+    saturate_frac=st.floats(0.0, 1.0),
+    saturate_t=st.floats(0.0, 2e-3),
+    link_factor=st.floats(1.0, 8.0),
+)
+def test_byte_conservation_under_borrow_and_eviction(
+    chunks, seed, mem_kib, pool_kib, saturate_frac, saturate_t, link_factor
+):
+    machine = scaled_testbed(4, cores_per_node=4).with_pool(
+        RemotePoolSpec(
+            capacity=kib(pool_kib),
+            link_bandwidth=25e9,
+            latency_s=2e-6,
+            n_links=2,
+        )
+    )
+    ctx = make_context(
+        machine, 8, procs_per_node=2, seed=seed,
+        hints=CollectiveHints(cb_buffer_size=kib(64)),
+    )
+    ctx.cluster.apply_memory_variance(
+        ctx.rng, mean_available=kib(mem_kib), std=mib(1)
+    )
+    reqs, claimed = _requests(chunks)
+    if claimed.is_empty:
+        return
+    # a pinned full spike makes the controller price the levers (borrow
+    # included); the saturation then collapses the pool underneath any
+    # borrow it chose, forcing the eviction path
+    spec = FaultSpec(
+        events=(
+            FaultEvent(kind="mem_pressure", time=0.0, target=0, fraction=1.0),
+            FaultEvent(
+                kind="pool_saturate", time=saturate_t, fraction=saturate_frac
+            ),
+            FaultEvent(
+                kind="pool_link_degrade", time=0.0, target=0,
+                factor=link_factor,
+            ),
+        ),
+    )
+    runtime = FaultRuntime(spec, ctx)
+    strategy = MemoryConsciousCollectiveIO(CFG)
+    res = strategy.run(
+        ctx, ctx.pfs.open("f"), reqs, kind="write", faults=runtime
+    )
+    total = claimed.total
+
+    # bytes conserved no matter which levers fired
+    assert res.shuffle_bytes == total
+    assert int(ctx.pfs.ost_utilization().sum()) == total
+    # every local buffer and every pool borrow released
+    assert all(n.memory.in_use == 0 for n in ctx.cluster.nodes)
+    pool = ctx.cluster.remote_pool
+    assert pool is not None
+    assert pool.total_borrowed == 0
+    assert pool.overdraft == 0
+    assert 0 < res.elapsed < float("inf")
+    tele = res.telemetry
+    assert tele is not None
+    assert tele.io_bytes == total
+    # any decision the controller recorded priced at least one feasible
+    # lever, and the chosen one is among the priced set
+    for span in tele.borrows:
+        assert span.prices
+        lever = span.lever.removeprefix("evict:")
+        if lever in LEVERS:
+            assert span.cost_s >= 0.0

@@ -204,9 +204,19 @@ def test_mc_strategy_degrades_too():
     base = _run(None, mc)
     res = _run(_events(_pressure(0, fraction=1.0)), mc)
     tele = res.telemetry
-    assert tele.counters["recoveries_remerge"] == 1
-    assert res.n_rounds > base.n_rounds
-    assert res.elapsed > base.elapsed
+    # The controller priced the levers and recorded the decision; with
+    # little coverage left, riding out the spike oversubscribed (page)
+    # prices below shipping the domain to a neighbour (remerge).
+    assert sum(
+        tele.counters.get(f"recoveries_{lever}", 0)
+        for lever in ("shrink", "remerge", "borrow", "paging")
+    ) >= 1
+    [decision] = tele.borrows
+    assert decision.lever == "page"
+    assert decision.prices["page"] <= decision.prices["remerge"]
+    # Paging a non-critical domain may leave the makespan (a max over
+    # chains) untouched; it must never make the run faster.
+    assert res.elapsed >= base.elapsed
 
 
 def test_faulted_runs_are_deterministic():

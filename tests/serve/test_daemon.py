@@ -137,6 +137,55 @@ class TestPoisonedCacheThroughDaemon:
         assert third["cache_state"] == "hit"
 
 
+def _crashing_plan_fn(fields):
+    raise MemoryError("worker OOM-killed mid-plan")
+
+
+class TestWorkerDeath:
+    def test_worker_crash_answers_500_worker_failed(self, tmp_path, fields):
+        """A dying planning worker is a structured server-side failure:
+        500 with the stable ``worker-failed`` code, not a hung socket or
+        a generic ``internal`` blob — and the daemon keeps serving."""
+        service = PlannerService(
+            pool="thread", pool_workers=1, plan_fn=_crashing_plan_fn
+        )
+        daemon = ServeDaemon(service, port=0)
+        with daemon_in_thread(daemon):
+            client = ServeClient(daemon.url)
+            try:
+                body = PlanRequest(experiment=fields).to_dict()
+                status, data = client.request("POST", "/plan", body)
+                assert status == 500
+                assert data["code"] == "worker-failed"
+                assert "MemoryError" in data["message"]
+                _, metrics = client.request("GET", "/metrics")
+                assert metrics["counters"]["worker_failures"] == 1
+                # the daemon survived the crash and still answers
+                assert client.healthy()
+            finally:
+                client.close()
+        service.close_sync()
+
+    def test_library_errors_still_map_to_spec_error(self, tmp_path, fields):
+        """ReproError from the worker is the client's problem (422),
+        never laundered into ``worker-failed``."""
+
+        def bad_spec(_fields):
+            raise SpecError("synthetic spec rejection")
+
+        service = PlannerService(pool="thread", pool_workers=1, plan_fn=bad_spec)
+        daemon = ServeDaemon(service, port=0)
+        with daemon_in_thread(daemon):
+            client = ServeClient(daemon.url)
+            try:
+                body = PlanRequest(experiment=fields).to_dict()
+                status, data = client.request("POST", "/plan", body)
+                assert status == 422 and data["code"] == "spec-error"
+            finally:
+                client.close()
+        service.close_sync()
+
+
 class TestDaemonConstruction:
     def test_needs_some_listener(self):
         service = PlannerService(pool="thread", pool_workers=1)
