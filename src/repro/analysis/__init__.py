@@ -20,7 +20,21 @@ from .exascale import (
     projection_table,
 )
 from .lint import LINT_RULES, RESTRICTED_PACKAGES, lint_file, lint_paths
-from .model import CollectivePrediction, predict_two_phase
+from .model import (
+    CollectivePrediction,
+    predict_collective,
+    predict_data_sieving,
+    predict_independent,
+    predict_two_phase,
+)
+from .selection import (
+    AUTO_CANDIDATES,
+    FAULT_CAPABLE_CANDIDATES,
+    StrategyChoice,
+    WorkloadStats,
+    compute_workload_stats,
+    select_strategy,
+)
 from .verify import verify_cache_dir, verify_plan, verify_plan_file
 from .violations import Report, Violation
 
@@ -33,6 +47,15 @@ __all__ = [
     "memory_per_core_factor",
     "CollectivePrediction",
     "predict_two_phase",
+    "predict_collective",
+    "predict_independent",
+    "predict_data_sieving",
+    "AUTO_CANDIDATES",
+    "FAULT_CAPABLE_CANDIDATES",
+    "StrategyChoice",
+    "WorkloadStats",
+    "compute_workload_stats",
+    "select_strategy",
     "Violation",
     "Report",
     "verify_plan",

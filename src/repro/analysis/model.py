@@ -30,7 +30,14 @@ from ..util.validation import check_positive
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..io.domains import FileDomain
 
-__all__ = ["CollectivePrediction", "predict_two_phase", "price_domains"]
+__all__ = [
+    "CollectivePrediction",
+    "predict_two_phase",
+    "predict_collective",
+    "predict_independent",
+    "predict_data_sieving",
+    "price_domains",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -121,6 +128,258 @@ def predict_two_phase(
         stream_bound_s=stream_bound,
         shuffle_bound_s=shuffle_bound,
         round_overhead_s=round_overhead,
+        elapsed_s=elapsed,
+    )
+
+
+def _storage_phase_time(
+    machine: MachineModel,
+    *,
+    volume: float,
+    runs: float,
+    max_client_bytes: float,
+    spread_bytes: float,
+    factor: float,
+) -> tuple[float, float, float]:
+    """One uncoordinated storage phase's ``(storage, stream, ost)`` bounds.
+
+    ``volume`` is the bytes entering the PFS, ``runs`` the contiguous
+    object requests they arrive as, ``max_client_bytes`` the busiest
+    process's share (capped by its stream bandwidth), ``spread_bytes``
+    the distinct file span touched (how many OSTs can share the load),
+    and ``factor`` the read-path speedup (``read_factor`` for reads).
+    Mirrors :meth:`repro.fs.pfs.ParallelFileSystem.access_flows`: each
+    run pays ``request_overhead`` at its OST, expressed in effective
+    bytes, and the phase is the bottleneck resource's busy time.
+    """
+    storage = machine.storage
+    if volume <= 0:
+        return 0.0, 0.0, 0.0
+    storage_bound = volume / (storage.aggregate_bandwidth * factor)
+    stream_bound = max_client_bytes / (storage.client_stream_bandwidth * factor)
+    osts = min(
+        float(storage.n_osts),
+        max(1.0, spread_bytes / storage.stripe_unit),
+    )
+    ost_bound = volume / (osts * storage.ost_bandwidth * factor) + (
+        runs / osts
+    ) * storage.request_overhead
+    return storage_bound, stream_bound, ost_bound
+
+
+def predict_collective(
+    machine: MachineModel,
+    *,
+    union_bytes: int,
+    span_bytes: int,
+    n_aggregators: int,
+    buffer_bytes: int,
+    n_nodes: int,
+    inter_node_fraction: float = 1.0,
+    stripe_aligned_domains: bool = True,
+    n_concurrent_domains: int | None = None,
+    kind: str = "write",
+) -> CollectivePrediction:
+    """Price a generic two-phase schedule from its domain geometry.
+
+    Unlike :func:`predict_two_phase` (which assumes the paper's regime —
+    huge files, domains many stripe cycles long, every round colliding
+    on the same stripe units), this models the round-engine's I/O from
+    the *actual* geometry: ``n_aggregators`` domains carved out of a
+    ``span_bytes`` region carrying ``union_bytes`` of data, each walked
+    in ``buffer_bytes`` windows. Per round each domain issues one
+    contiguous window, split at stripe-unit boundaries; the windows
+    collide on the same OSTs only when domains are whole stripe *cycles*
+    apart (the stripe-aligned large-file case), otherwise they spread.
+    Both the baseline (even domains, ``stripe_aligned_domains=True``)
+    and the memory-conscious planner (one domain per Msg_ind-bounded
+    leaf, executed in waves of ``n_concurrent_domains`` aggregator
+    slots) are priced through this one function — only the geometry
+    inputs differ.
+    """
+    check_positive("union_bytes", union_bytes)
+    check_positive("span_bytes", span_bytes)
+    check_positive("n_aggregators", n_aggregators)
+    check_positive("buffer_bytes", buffer_bytes)
+    check_positive("n_nodes", n_nodes)
+    storage = machine.storage
+    factor = storage.read_factor if kind == "read" else 1.0
+    stripe = storage.stripe_unit
+
+    n_dom = n_aggregators
+    if stripe_aligned_domains:
+        # ROMIO's Lustre driver rounds domain bounds up to stripe units;
+        # on a small span adjacent bounds coincide and domains collapse.
+        n_dom = min(n_dom, max(1, -(-span_bytes // stripe)))
+    concurrent = n_dom
+    if n_concurrent_domains is not None:
+        concurrent = min(n_dom, max(1, n_concurrent_domains))
+    per_agg = -(-span_bytes // n_dom)
+    window = min(buffer_bytes, per_agg)
+    n_rounds = max(1, -(-per_agg // window))
+
+    units_per_window = max(1, -(-window // stripe))
+    cycle = stripe * storage.n_osts
+    collides = n_dom > 1 and per_agg % cycle == 0
+    if collides:
+        # Domains a whole number of stripe cycles apart: every domain's
+        # round-r window maps to the SAME stripe units — the mechanism
+        # behind the figures' steep small-memory degradation.
+        concurrency = min(float(storage.n_osts), float(units_per_window))
+    else:
+        concurrency = min(
+            float(storage.n_osts),
+            float(units_per_window) * concurrent,
+            max(1.0, span_bytes / stripe),
+        )
+    runs_per_round = float(n_dom * units_per_window)
+    round_overhead = (
+        n_rounds * (runs_per_round / concurrency) * storage.request_overhead
+        + union_bytes / (concurrency * storage.ost_bandwidth * factor)
+    )
+
+    storage_bound = union_bytes / (storage.aggregate_bandwidth * factor)
+    stream_bound = (union_bytes / concurrent) / (
+        storage.client_stream_bandwidth * factor
+    )
+    inter_bytes = union_bytes * inter_node_fraction
+    shuffle_bound = inter_bytes / (n_nodes * machine.node.nic_bandwidth)
+
+    elapsed = max(storage_bound, stream_bound, shuffle_bound, round_overhead)
+    return CollectivePrediction(
+        total_bytes=union_bytes,
+        n_rounds=n_rounds,
+        storage_bound_s=storage_bound,
+        stream_bound_s=stream_bound,
+        shuffle_bound_s=shuffle_bound,
+        round_overhead_s=round_overhead,
+        elapsed_s=elapsed,
+    )
+
+
+def predict_independent(
+    machine: MachineModel,
+    *,
+    total_bytes: int,
+    n_segments: int,
+    max_client_bytes: int,
+    union_bytes: int | None = None,
+    kind: str = "write",
+) -> CollectivePrediction:
+    """Price independent (non-collective) I/O analytically.
+
+    Every process fires its flattened segments straight at the OSTs:
+    no shuffle, one phase, but ``n_segments`` requests' fixed service
+    costs (plus stripe-boundary splits) land uncoalesced — the regime
+    collective I/O was invented to fix. ``max_client_bytes`` (the
+    busiest rank) binds through the per-process stream cap.
+    """
+    check_positive("total_bytes", total_bytes)
+    check_positive("n_segments", n_segments)
+    storage = machine.storage
+    factor = storage.read_factor if kind == "read" else 1.0
+    spread = float(union_bytes if union_bytes is not None else total_bytes)
+    runs = float(n_segments) + total_bytes / storage.stripe_unit
+    storage_bound, stream_bound, ost_bound = _storage_phase_time(
+        machine,
+        volume=float(total_bytes),
+        runs=runs,
+        max_client_bytes=float(max_client_bytes),
+        spread_bytes=spread,
+        factor=factor,
+    )
+    elapsed = max(storage_bound, stream_bound, ost_bound)
+    return CollectivePrediction(
+        total_bytes=total_bytes,
+        n_rounds=1,
+        storage_bound_s=storage_bound,
+        stream_bound_s=stream_bound,
+        shuffle_bound_s=0.0,
+        round_overhead_s=ost_bound,
+        elapsed_s=elapsed,
+    )
+
+
+def predict_data_sieving(
+    machine: MachineModel,
+    *,
+    total_bytes: int,
+    envelope_bytes: int,
+    holey_envelope_bytes: int,
+    solid_bytes: int,
+    max_client_envelope: int,
+    sieve_buffer: int,
+    span_bytes: int | None = None,
+    n_holey_ranks: int = 0,
+    n_solid_ranks: int = 0,
+    kind: str = "write",
+) -> CollectivePrediction:
+    """Price ROMIO data sieving analytically.
+
+    Each process walks its contiguous envelope in ``sieve_buffer``
+    chunks: reads pull whole chunks; writes with holes read-modify-write
+    them (read the chunk, write it back), hole-free chunks write just
+    their data. ``envelope_bytes`` is the summed per-rank envelope,
+    ``holey_envelope_bytes`` the part belonging to ranks whose envelope
+    exceeds their data (the RMW volume), ``solid_bytes`` the data bytes
+    of hole-free ranks. Each participating rank issues at least one
+    request per phase even when its envelope is tiny, so the per-phase
+    request count floors at the rank count; ``span_bytes`` (the distinct
+    file span, hi − lo) bounds how many OSTs can share the load — the
+    per-rank envelopes of interleaved patterns overlap on the same
+    stripes, so their *sum* overstates the spread. The two storage
+    phases serialize, so the prediction is their sum — the classic
+    sieving trade of extra volume for fewer, larger requests.
+    """
+    check_positive("total_bytes", total_bytes)
+    check_positive("envelope_bytes", envelope_bytes)
+    check_positive("sieve_buffer", sieve_buffer)
+    storage = machine.storage
+    spread = float(span_bytes if span_bytes is not None else envelope_bytes)
+    n_active = max(1, n_holey_ranks + n_solid_ranks)
+
+    if kind == "read":
+        read_vol = float(envelope_bytes)
+        write_vol = 0.0
+        max_read = float(max_client_envelope)
+        max_write = 0.0
+        read_ranks, write_ranks = n_active, 0
+    else:
+        read_vol = float(holey_envelope_bytes)
+        write_vol = float(holey_envelope_bytes + solid_bytes)
+        max_read = min(float(max_client_envelope), read_vol)
+        max_write = float(max_client_envelope)
+        read_ranks, write_ranks = max(n_holey_ranks, 1 if read_vol else 0), n_active
+
+    def _runs(volume: float, ranks: int) -> float:
+        # One request per rank per chunk, each split at stripe-unit
+        # crossings; ranks with sub-chunk envelopes still pay one.
+        return ranks + volume / sieve_buffer + volume / storage.stripe_unit
+
+    read_bounds = _storage_phase_time(
+        machine,
+        volume=read_vol,
+        runs=_runs(read_vol, read_ranks),
+        max_client_bytes=max_read,
+        spread_bytes=spread,
+        factor=storage.read_factor,
+    )
+    write_bounds = _storage_phase_time(
+        machine,
+        volume=write_vol,
+        runs=_runs(write_vol, write_ranks),
+        max_client_bytes=max_write,
+        spread_bytes=spread,
+        factor=1.0,
+    )
+    elapsed = max(read_bounds) + max(write_bounds)
+    return CollectivePrediction(
+        total_bytes=total_bytes,
+        n_rounds=1,
+        storage_bound_s=read_bounds[0] + write_bounds[0],
+        stream_bound_s=read_bounds[1] + write_bounds[1],
+        shuffle_bound_s=0.0,
+        round_overhead_s=read_bounds[2] + write_bounds[2],
         elapsed_s=elapsed,
     )
 

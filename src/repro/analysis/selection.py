@@ -1,0 +1,415 @@
+"""Cost-model-driven strategy selection (``strategy="auto"``).
+
+Given one collective operation's access pattern (columnar
+:class:`~repro.mpi.requests.FlatAccess`), the machine model, and the
+process layout, price every candidate execution strategy with the
+closed-form models of :mod:`repro.analysis.model` and pick the cheapest:
+
+* **independent** — every segment hits the OSTs uncoalesced
+  (:func:`~repro.analysis.model.predict_independent`);
+* **sieving** — per-rank envelope chunks, RMW on holes
+  (:func:`~repro.analysis.model.predict_data_sieving`);
+* **two-phase** — ROMIO even domains: one aggregator per node, the
+  cb_buffer, and a *distribution-oblivious* shuffle fraction measured
+  from the pattern (domain ``d`` always lands on node ``d mod N``);
+* **mc** — memory-conscious domains: Msg_ind-bounded leaves, Nah slots
+  per node, and a *data-affine* shuffle fraction (each domain priced on
+  the node owning most of its bytes — what group division + placement
+  buy).
+
+The pricing is deliberately static — no :class:`IOContext`, no
+planning — so selection is cheap enough to run inside
+``Experiment.spec()`` and deterministic for a given spec. The chosen
+name and the full price vector are recorded in telemetry and (for MC
+plans) in the plan's ``auto`` provenance, where verifier rule PV117
+re-checks that the pick was priced-cheapest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..cluster.machine import MachineModel
+from ..util.errors import ConfigurationError
+from .model import (
+    CollectivePrediction,
+    predict_collective,
+    predict_data_sieving,
+    predict_independent,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.config import MemoryConsciousConfig
+    from ..io.hints import CollectiveHints
+    from ..mpi.requests import FlatAccess
+
+__all__ = [
+    "AUTO_CANDIDATES",
+    "FAULT_CAPABLE_CANDIDATES",
+    "StrategyChoice",
+    "WorkloadStats",
+    "compute_workload_stats",
+    "select_strategy",
+]
+
+#: every strategy the cost model can price, in tie-break preference
+#: order (collective strategies first: on equal price the aggregation
+#: path degrades more gracefully under memory pressure)
+AUTO_CANDIDATES = ("mc", "two-phase", "sieving", "independent")
+
+#: candidates that own a round engine and can absorb injected faults
+FAULT_CAPABLE_CANDIDATES = ("mc", "two-phase")
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadStats:
+    """Shape statistics the cost model prices from (all exact)."""
+
+    total_bytes: int
+    union_bytes: int
+    span_bytes: int
+    n_segments: int
+    n_active_ranks: int
+    max_rank_bytes: int
+    envelope_bytes: int
+    holey_envelope_bytes: int
+    solid_bytes: int
+    n_holey_ranks: int
+    n_solid_ranks: int
+    max_rank_envelope: int
+    inter_fraction_even: float
+    inter_fraction_affine: float
+
+    @property
+    def overlap_factor(self) -> float:
+        """>= 1; how many times the average byte is requested."""
+        return self.total_bytes / self.union_bytes if self.union_bytes else 1.0
+
+    @property
+    def contiguity(self) -> float:
+        """Mean contiguous segment length in bytes."""
+        return self.total_bytes / self.n_segments if self.n_segments else 0.0
+
+    @property
+    def skew(self) -> float:
+        """Busiest rank's bytes over the active-rank mean."""
+        if not self.n_active_ranks or not self.total_bytes:
+            return 1.0
+        return self.max_rank_bytes / (self.total_bytes / self.n_active_ranks)
+
+    def to_dict(self) -> dict:
+        return {
+            "total_bytes": self.total_bytes,
+            "union_bytes": self.union_bytes,
+            "span_bytes": self.span_bytes,
+            "n_segments": self.n_segments,
+            "n_active_ranks": self.n_active_ranks,
+            "max_rank_bytes": self.max_rank_bytes,
+            "envelope_bytes": self.envelope_bytes,
+            "contiguity": self.contiguity,
+            "skew": self.skew,
+            "inter_fraction_even": self.inter_fraction_even,
+            "inter_fraction_affine": self.inter_fraction_affine,
+        }
+
+
+@dataclass(frozen=True)
+class StrategyChoice:
+    """The auto pick: chosen strategy plus the full price vector."""
+
+    chosen: str
+    prices: dict[str, float]
+    predictions: dict[str, CollectivePrediction]
+    stats: WorkloadStats
+
+    def provenance(self) -> dict:
+        """The JSON-safe record stamped into plans (PV117's input)."""
+        return {
+            "chosen": self.chosen,
+            "prices": {k: float(v) for k, v in sorted(self.prices.items())},
+        }
+
+
+def _node_of_ranks(
+    ranks: np.ndarray, *, procs_per_node: int, n_nodes: int, placement: str
+) -> np.ndarray:
+    if placement == "cyclic":
+        return ranks % n_nodes
+    return ranks // procs_per_node
+
+
+def _shuffle_fractions(
+    offsets: np.ndarray,
+    lengths: np.ndarray,
+    node_ids: np.ndarray,
+    *,
+    lo: int,
+    hi: int,
+    n_bins: int,
+    n_nodes: int,
+) -> tuple[float, float]:
+    """Measured shuffle locality for even vs data-affine aggregation.
+
+    The envelope ``[lo, hi)`` is split into ``n_bins`` even domains and
+    every segment's bytes are attributed ``(domain, owner node)``-wise.
+    Returns ``(even, affine)`` fractions of total bytes that must cross
+    the network: *even* assigns domain ``d`` to node ``d mod n_nodes``
+    (ROMIO's distribution-oblivious order), *affine* assigns each domain
+    to whichever node owns most of its bytes (MC's placement).
+    """
+    from ..util.intervals import split_segments_to_bins
+
+    total = float(lengths.sum())
+    if total <= 0 or n_bins <= 0:
+        return 0.0, 0.0
+    bounds = lo + (
+        (hi - lo) * np.arange(n_bins + 1, dtype=np.int64)
+    ) // n_bins
+    bin_idx, ps, pe, src = split_segments_to_bins(offsets, offsets + lengths, bounds)
+    if bin_idx.size == 0:
+        return 0.0, 0.0
+    piece_bytes = (pe - ps).astype(np.float64)
+    piece_nodes = node_ids[src]
+    # Sparse (bin, node) byte accumulation: composite keys, then unique.
+    keys = bin_idx.astype(np.int64) * n_nodes + piece_nodes
+    uniq, inv = np.unique(keys, return_inverse=True)
+    cell_bytes = np.bincount(inv, weights=piece_bytes)
+    cell_bins = uniq // n_nodes
+    cell_nodes = uniq % n_nodes
+
+    local_even = float(cell_bytes[cell_nodes == (cell_bins % n_nodes)].sum())
+    # Affine: per bin, the best single node keeps its bytes local.
+    order = np.lexsort((-cell_bytes, cell_bins))
+    first_of_bin = np.ones(order.size, dtype=bool)
+    first_of_bin[1:] = cell_bins[order[1:]] != cell_bins[order[:-1]]
+    local_affine = float(cell_bytes[order[first_of_bin]].sum())
+
+    return 1.0 - local_even / total, 1.0 - local_affine / total
+
+
+def compute_workload_stats(
+    flat: FlatAccess,
+    *,
+    procs_per_node: int,
+    n_nodes: int,
+    placement: str = "block",
+    n_even_bins: int | None = None,
+    n_affine_bins: int | None = None,
+) -> WorkloadStats:
+    """Measure the shape statistics the cost model prices from.
+
+    Everything is vectorized over the columnar pattern, so million-rank
+    workloads with closed-form :meth:`flat_requests` stay fast.
+    """
+    offsets = flat.offsets
+    lengths = flat.lengths
+    ranks = flat.ranks
+    total = int(flat.total)
+    union = flat.aggregate()
+    n_ranks = int(ranks.max()) + 1 if ranks.size else 0
+
+    rank_bytes = np.bincount(ranks, weights=lengths, minlength=n_ranks)
+    active = rank_bytes > 0
+    # Per-rank envelopes via rank-sorted reduceat groups.
+    order = np.argsort(ranks, kind="stable")
+    sorted_ranks = ranks[order]
+    group_starts = np.flatnonzero(
+        np.concatenate(([True], sorted_ranks[1:] != sorted_ranks[:-1]))
+    )
+    env_lo = np.minimum.reduceat(offsets[order], group_starts)
+    env_hi = np.maximum.reduceat((offsets + lengths)[order], group_starts)
+    envelopes = env_hi - env_lo
+    group_bytes = rank_bytes[sorted_ranks[group_starts]]
+    holey = envelopes > group_bytes
+    envelope_sum = int(envelopes.sum())
+    holey_envelope = int(envelopes[holey].sum())
+    solid = int(group_bytes[~holey].sum())
+
+    node_ids = _node_of_ranks(
+        ranks, procs_per_node=procs_per_node, n_nodes=n_nodes, placement=placement
+    )
+    lo = int(offsets.min()) if offsets.size else 0
+    hi = int((offsets + lengths).max()) if offsets.size else 0
+    even, affine = _shuffle_fractions(
+        offsets,
+        lengths,
+        node_ids,
+        lo=lo,
+        hi=hi,
+        n_bins=n_even_bins if n_even_bins is not None else n_nodes,
+        n_nodes=n_nodes,
+    )
+    if n_affine_bins is not None and n_affine_bins != (
+        n_even_bins if n_even_bins is not None else n_nodes
+    ):
+        _, affine = _shuffle_fractions(
+            offsets,
+            lengths,
+            node_ids,
+            lo=lo,
+            hi=hi,
+            n_bins=n_affine_bins,
+            n_nodes=n_nodes,
+        )
+    return WorkloadStats(
+        total_bytes=total,
+        union_bytes=int(union.total),
+        span_bytes=hi - lo,
+        n_segments=int(lengths.size),
+        n_active_ranks=int(active.sum()),
+        max_rank_bytes=int(rank_bytes.max()) if rank_bytes.size else 0,
+        envelope_bytes=envelope_sum,
+        holey_envelope_bytes=holey_envelope,
+        solid_bytes=solid,
+        n_holey_ranks=int(holey.sum()),
+        n_solid_ranks=int((~holey).sum()),
+        max_rank_envelope=int(envelopes.max()) if envelopes.size else 0,
+        inter_fraction_even=even,
+        inter_fraction_affine=affine,
+    )
+
+
+def _price_candidate(
+    name: str,
+    machine: MachineModel,
+    stats: WorkloadStats,
+    *,
+    n_nodes: int,
+    hints: CollectiveHints,
+    config: MemoryConsciousConfig,
+    kind: str,
+) -> CollectivePrediction:
+    if name == "independent":
+        return predict_independent(
+            machine,
+            total_bytes=stats.total_bytes,
+            n_segments=stats.n_segments,
+            max_client_bytes=stats.max_rank_bytes,
+            union_bytes=stats.union_bytes,
+            kind=kind,
+        )
+    if name == "sieving":
+        return predict_data_sieving(
+            machine,
+            total_bytes=stats.total_bytes,
+            envelope_bytes=stats.envelope_bytes,
+            holey_envelope_bytes=stats.holey_envelope_bytes,
+            solid_bytes=stats.solid_bytes,
+            max_client_envelope=stats.max_rank_envelope,
+            sieve_buffer=hints.sieve_buffer_size,
+            span_bytes=max(1, stats.span_bytes),
+            n_holey_ranks=stats.n_holey_ranks,
+            n_solid_ranks=stats.n_solid_ranks,
+            kind=kind,
+        )
+    if name == "two-phase":
+        n_agg = max(1, n_nodes * hints.cb_nodes_per_node)
+        return predict_collective(
+            machine,
+            union_bytes=max(1, stats.union_bytes),
+            span_bytes=max(1, stats.span_bytes),
+            n_aggregators=n_agg,
+            buffer_bytes=hints.cb_buffer_size,
+            n_nodes=n_nodes,
+            inter_node_fraction=stats.inter_fraction_even,
+            stripe_aligned_domains=hints.align_domains_to_stripes,
+            kind=kind,
+        )
+    if name == "mc":
+        # One domain per Msg_ind-bounded leaf, executed in waves of the
+        # Nah aggregator slots — leaves beyond the slots queue, they do
+        # not collapse into bigger domains.
+        slots = max(1, n_nodes * config.nah)
+        leaves = max(1, -(-stats.union_bytes // max(1, config.msg_ind)))
+        per_leaf = -(-max(1, stats.union_bytes) // leaves)
+        buffer = min(config.msg_ind, max(config.mem_min, per_leaf))
+        return predict_collective(
+            machine,
+            union_bytes=max(1, stats.union_bytes),
+            span_bytes=max(1, stats.span_bytes),
+            n_aggregators=leaves,
+            buffer_bytes=max(1, buffer),
+            n_nodes=n_nodes,
+            inter_node_fraction=stats.inter_fraction_affine,
+            stripe_aligned_domains=False,
+            n_concurrent_domains=slots,
+            kind=kind,
+        )
+    raise ConfigurationError(f"cost model cannot price strategy {name!r}")
+
+
+def select_strategy(
+    machine: MachineModel,
+    flat: FlatAccess,
+    *,
+    n_procs: int,
+    procs_per_node: int | None = None,
+    placement: str = "block",
+    hints: CollectiveHints | None = None,
+    config: MemoryConsciousConfig | None = None,
+    kind: str = "write",
+    candidates: tuple[str, ...] | None = None,
+) -> StrategyChoice:
+    """Price every candidate strategy and return the cheapest.
+
+    ``candidates`` defaults to :data:`AUTO_CANDIDATES`; pass
+    :data:`FAULT_CAPABLE_CANDIDATES` when the run injects faults (only
+    collective strategies own a round engine to degrade). Ties break
+    toward the earlier entry of :data:`AUTO_CANDIDATES`, so the pick is
+    deterministic for a given spec.
+    """
+    from ..io.hints import CollectiveHints
+
+    if candidates is None:
+        candidates = AUTO_CANDIDATES
+    unknown = [c for c in candidates if c not in AUTO_CANDIDATES]
+    if unknown:
+        raise ConfigurationError(
+            f"auto selection cannot price {unknown}; choose from "
+            f"{AUTO_CANDIDATES}"
+        )
+    if not candidates:
+        raise ConfigurationError("auto selection needs at least one candidate")
+    if hints is None:
+        hints = CollectiveHints()
+    if config is None:
+        from ..core.tuning import auto_tune
+
+        config = auto_tune(machine).as_config()
+    ppn = procs_per_node if procs_per_node is not None else machine.node.cores
+    n_nodes = max(1, -(-n_procs // ppn))
+    # The affine (MC) attribution uses as many bins as MC would place
+    # aggregation domains: Msg_ind-bounded leaves capped by the slots.
+    union_bytes = int(flat.aggregate().total)
+    leaves = max(1, -(-union_bytes // max(1, config.msg_ind)))
+    stats = compute_workload_stats(
+        flat,
+        procs_per_node=ppn,
+        n_nodes=n_nodes,
+        placement=placement,
+        n_even_bins=max(1, n_nodes * hints.cb_nodes_per_node),
+        n_affine_bins=min(max(1, n_nodes * config.nah), leaves),
+    )
+    predictions = {
+        name: _price_candidate(
+            name,
+            machine,
+            stats,
+            n_nodes=n_nodes,
+            hints=hints,
+            config=config,
+            kind=kind,
+        )
+        for name in candidates
+    }
+    prices = {name: pred.elapsed_s for name, pred in predictions.items()}
+    chosen = min(
+        candidates,
+        key=lambda name: (prices[name], AUTO_CANDIDATES.index(name)),
+    )
+    return StrategyChoice(
+        chosen=chosen, prices=prices, predictions=predictions, stats=stats
+    )

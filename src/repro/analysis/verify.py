@@ -35,6 +35,9 @@ PV114     per-domain borrow sanity: borrowed <= buffer, and a
 PV115     borrowing was the *cheaper* lever: 0 < borrow_price_s <=
           local_price_s for every borrowed domain
 PV116     version-2 plans carry no borrow provenance (back-compat)
+PV117     auto-selection provenance is well-formed and the recorded
+          pick was priced-cheapest among the candidates (ties break
+          toward the recorded pick)
 ========  ==========================================================
 
 The verifier operates on the *dict* form (what sits in the cache) so a
@@ -247,6 +250,59 @@ def _check_group_tiling(
                          "overlap": [lo_b, min(hi_a, hi_b)]})
 
 
+def _check_auto_provenance(report: Report, auto: Any) -> None:
+    """PV117: an auto-selected plan must record a priced-cheapest pick.
+
+    A serialized collective plan is the MC planner's output, so the
+    recorded pick must be ``"mc"`` — any other value means the plan and
+    its provenance disagree about what produced it.
+    """
+    if not isinstance(auto, Mapping):
+        _err(report, "PV117",
+             f"auto provenance is {type(auto).__name__}, not an object")
+        return
+    chosen = auto.get("chosen")
+    prices = auto.get("prices")
+    if not isinstance(chosen, str) or not chosen:
+        _err(report, "PV117", "auto provenance carries no chosen strategy",
+             detail={"chosen": chosen})
+        return
+    if not isinstance(prices, Mapping) or not prices:
+        _err(report, "PV117", "auto provenance carries no candidate prices",
+             detail={"prices": prices})
+        return
+    clean: dict[str, float] = {}
+    for name, price in prices.items():
+        if (
+            not isinstance(name, str)
+            or isinstance(price, bool)
+            or not isinstance(price, (int, float))
+            or price < 0
+        ):
+            _err(report, "PV117",
+                 f"auto price for {name!r} is not a non-negative number",
+                 detail={"name": name, "price": price})
+            return
+        clean[name] = float(price)
+    if chosen not in clean:
+        _err(report, "PV117",
+             f"chosen strategy {chosen!r} is not among the priced "
+             f"candidates {sorted(clean)}",
+             detail={"chosen": chosen, "candidates": sorted(clean)})
+        return
+    cheapest = min(clean.values())
+    if clean[chosen] > cheapest:
+        _err(report, "PV117",
+             f"auto picked {chosen!r} at {clean[chosen]} s but a candidate "
+             f"was priced cheaper ({cheapest} s)",
+             detail={"chosen": chosen, "prices": clean})
+    if chosen != "mc":
+        _err(report, "PV117",
+             f"a serialized collective plan records pick {chosen!r}; only "
+             "the memory-conscious strategy produces plans",
+             detail={"chosen": chosen})
+
+
 def verify_plan(
     plan: CollectivePlan | Mapping[str, Any],
     *,
@@ -371,6 +427,9 @@ def verify_plan(
                      "version-2 plan carries borrow provenance (borrow "
                      "fields exist only in format v3)",
                      domain=i)
+
+    if "auto" in plan:
+        _check_auto_provenance(report, plan.get("auto"))
 
     _check_overlaps(report, domains)
     _check_group_tiling(report, domains)

@@ -62,15 +62,30 @@ from .io import (
     TwoPhaseCollectiveIO,
     make_context,
 )
+from .analysis.selection import (
+    AUTO_CANDIDATES,
+    FAULT_CAPABLE_CANDIDATES,
+    StrategyChoice,
+    select_strategy,
+)
 from .mpi.requests import AccessRequest
-from .util import mib
+from .util import kib, mib
 from .util.errors import ConfigurationError
-from .workloads import CollPerfWorkload, IORWorkload, Workload
+from .workloads import (
+    CollPerfWorkload,
+    FilePerTaskWorkload,
+    HotSpotWorkload,
+    IORWorkload,
+    NestedStridedWorkload,
+    Workload,
+)
 
 __all__ = [
     "Experiment",
     "MACHINE_PRESETS",
+    "STRATEGY_CHOICES",
     "STRATEGY_NAMES",
+    "WORKLOAD_BUILDERS",
     "WORKLOAD_NAMES",
     "resolve_machine",
     "resolve_strategy",
@@ -83,8 +98,75 @@ MACHINE_PRESETS = {
     "exascale-2018": exascale_2018,
 }
 
-WORKLOAD_NAMES = ("ior", "ior-segmented", "coll_perf")
+
+def _build_ior(n_procs: int, params: Mapping[str, Any]) -> Workload:
+    return IORWorkload(
+        n_procs,
+        block_size=params.get("block_size", mib(32)),
+        transfer_size=params.get("transfer_size", mib(2)),
+    )
+
+
+def _build_ior_segmented(n_procs: int, params: Mapping[str, Any]) -> Workload:
+    return IORWorkload(
+        n_procs,
+        block_size=params.get("block_size", mib(32)),
+        segmented=True,
+    )
+
+
+def _build_coll_perf(n_procs: int, params: Mapping[str, Any]) -> Workload:
+    edge = params.get("array_edge", 240)
+    return CollPerfWorkload(n_procs, (edge, edge, edge))
+
+
+def _build_file_per_task(n_procs: int, params: Mapping[str, Any]) -> Workload:
+    return FilePerTaskWorkload(
+        n_procs,
+        task_bytes=params.get("task_bytes", kib(256)),
+        tasks_per_rank=params.get("tasks_per_rank", 4),
+        layout=params.get("layout", "interleaved"),
+    )
+
+
+def _build_nested_strided(n_procs: int, params: Mapping[str, Any]) -> Workload:
+    return NestedStridedWorkload(
+        n_procs,
+        block=params.get("block", kib(64)),
+        inner_count=params.get("inner_count", 4),
+        outer_count=params.get("outer_count", 4),
+        hole_factor=params.get("hole_factor", 2),
+    )
+
+
+def _build_hotspot(n_procs: int, params: Mapping[str, Any]) -> Workload:
+    return HotSpotWorkload(
+        n_procs,
+        total_bytes=params.get("total_bytes", n_procs * mib(1)),
+        hot_fraction=params.get("hot_fraction", 0.6),
+        hot_ranks=params.get("hot_ranks", 1),
+    )
+
+
+#: named workload registry: spec string -> builder(n_procs, params).
+#: The CLI choices, the serve allowlist, and the parity test matrix all
+#: iterate this, so registering here is the single step that plugs a
+#: new generator into every surface.
+WORKLOAD_BUILDERS: dict[str, Any] = {
+    "ior": _build_ior,
+    "ior-segmented": _build_ior_segmented,
+    "coll_perf": _build_coll_perf,
+    "file-per-task": _build_file_per_task,
+    "nested-strided": _build_nested_strided,
+    "hotspot": _build_hotspot,
+}
+
+WORKLOAD_NAMES = tuple(WORKLOAD_BUILDERS)
+#: concrete executable strategies (what the spec hash records)
 STRATEGY_NAMES = ("independent", "sieving", "two-phase", "mc")
+#: everything a strategy spec string may say — the concrete strategies
+#: plus cost-model-driven selection
+STRATEGY_CHOICES = STRATEGY_NAMES + ("auto",)
 
 
 def resolve_machine(spec: MachineModel | str) -> MachineModel:
@@ -114,32 +196,20 @@ def resolve_workload(
 ) -> Workload:
     """Turn a workload spec into a generator.
 
-    Named specs take their parameters from ``params`` (defaults mirror
-    the CLI: 32 MiB blocks, 2 MiB transfers, 240-edge arrays). Workload
-    instances pass through untouched.
+    Named specs are looked up in :data:`WORKLOAD_BUILDERS` and take
+    their parameters from ``params`` (defaults mirror the CLI: 32 MiB
+    blocks, 2 MiB transfers, 240-edge arrays). Workload instances pass
+    through untouched.
     """
     if isinstance(spec, Workload):
         return spec
-    params = dict(params or {})
-    if spec == "ior":
-        return IORWorkload(
-            n_procs,
-            block_size=params.get("block_size", mib(32)),
-            transfer_size=params.get("transfer_size", mib(2)),
+    builder = WORKLOAD_BUILDERS.get(spec)
+    if builder is None:
+        raise ConfigurationError(
+            f"unknown workload {spec!r}; choose from {WORKLOAD_NAMES} "
+            f"or pass a Workload instance"
         )
-    if spec == "ior-segmented":
-        return IORWorkload(
-            n_procs,
-            block_size=params.get("block_size", mib(32)),
-            segmented=True,
-        )
-    if spec == "coll_perf":
-        edge = params.get("array_edge", 240)
-        return CollPerfWorkload(n_procs, (edge, edge, edge))
-    raise ConfigurationError(
-        f"unknown workload {spec!r}; choose from {WORKLOAD_NAMES} "
-        f"or pass a Workload instance"
-    )
+    return builder(n_procs, dict(params or {}))
 
 
 @lru_cache(maxsize=32)
@@ -152,14 +222,28 @@ def resolve_strategy(
     spec: IOStrategy | str,
     machine: MachineModel,
     config: MemoryConsciousConfig | None = None,
+    *,
+    choice: StrategyChoice | None = None,
 ) -> IOStrategy:
     """Turn a strategy spec into an executable strategy.
 
     ``"mc"`` uses ``config`` when given, else the machine's auto-tuned
-    calibration (Nah/Msg_ind/Msg_group/Mem_min).
+    calibration (Nah/Msg_ind/Msg_group/Mem_min). ``"auto"`` needs the
+    cost model's pick — pass the :class:`StrategyChoice` (from
+    :meth:`Experiment.auto_choice` or
+    :func:`repro.analysis.select_strategy`); without one the spec cannot
+    be resolved here because selection depends on the workload.
     """
     if isinstance(spec, IOStrategy):
         return spec
+    if spec == "auto":
+        if choice is None:
+            raise ConfigurationError(
+                "strategy 'auto' needs a cost-model choice; use "
+                "Experiment(strategy='auto', ...) or pass choice= from "
+                "repro.analysis.select_strategy"
+            )
+        return resolve_strategy(choice.chosen, machine, config)
     if spec == "independent":
         return IndependentIO()
     if spec == "sieving":
@@ -171,7 +255,7 @@ def resolve_strategy(
             config if config is not None else _auto_config(machine)
         )
     raise ConfigurationError(
-        f"unknown strategy {spec!r}; choose from {STRATEGY_NAMES} "
+        f"unknown strategy {spec!r}; choose from {STRATEGY_CHOICES} "
         f"or pass an IOStrategy instance"
     )
 
@@ -209,10 +293,14 @@ class Experiment:
     Attributes:
         machine: preset name (``"testbed"``, ``"testbed-<nodes>"``,
             ``"petascale-2010"``, ``"exascale-2018"``) or a model.
-        workload: ``"ior"`` / ``"ior-segmented"`` / ``"coll_perf"`` or a
+        workload: a name from :data:`WORKLOAD_NAMES` or a
             :class:`Workload`; named specs read ``workload_params``.
         strategy: ``"independent"`` / ``"sieving"`` / ``"two-phase"`` /
-            ``"mc"`` or an :class:`IOStrategy`.
+            ``"mc"`` / ``"auto"`` or an :class:`IOStrategy`. ``"auto"``
+            prices every candidate with the analytic cost model
+            (:func:`repro.analysis.select_strategy`) and runs the
+            cheapest; the pick and the price vector are recorded in the
+            result's ``extras``/telemetry and in plan provenance.
         cb_buffer: shorthand overriding ``hints.cb_buffer_size`` (bytes).
         memory_variance_mean: when set, per-node available memory is
             drawn from Normal(mean, ``memory_variance_std``).
@@ -269,11 +357,45 @@ class Experiment:
             hints = hints.with_buffer(self.cb_buffer)
         return hints
 
+    def auto_choice(self) -> StrategyChoice:
+        """The cost model's pick for ``strategy="auto"``.
+
+        Prices every candidate from the workload's columnar pattern and
+        the machine model. With an active fault spec only the collective
+        candidates are priced — they alone own a round engine that can
+        degrade gracefully. Deterministic for a given spec, so the
+        several callers (``spec()``/``run()``/``plan()``) always agree;
+        selection is closed-form arithmetic over the flattened pattern,
+        cheap enough to recompute rather than cache on the frozen spec.
+        """
+        if self.strategy != "auto":
+            raise ConfigurationError(
+                f"auto_choice() is only meaningful for strategy='auto' "
+                f"(this experiment uses {self.strategy!r})"
+            )
+        machine = self.resolve_machine()
+        faults_active = self.faults is not None and not self.faults.is_empty
+        choice = select_strategy(
+            machine,
+            self.resolve_workload().flat_requests(),
+            n_procs=self.n_procs,
+            procs_per_node=self.procs_per_node,
+            placement=self.placement,
+            hints=self.resolve_hints(),
+            config=self.config if self.config is not None else _auto_config(machine),
+            kind=self.kind,
+            candidates=(
+                FAULT_CAPABLE_CANDIDATES if faults_active else AUTO_CANDIDATES
+            ),
+        )
+        return choice
+
     def resolve_strategy(self, machine: MachineModel | None = None) -> IOStrategy:
         return resolve_strategy(
             self.strategy,
             machine if machine is not None else self.resolve_machine(),
             self.config,
+            choice=self.auto_choice() if self.strategy == "auto" else None,
         )
 
     def context(self) -> IOContext:
@@ -300,6 +422,8 @@ class Experiment:
     # ------------------------------------------------------------ execution
     def supports_plan_cache(self) -> bool:
         """True when the strategy exposes a separable plan (MC only)."""
+        if self.strategy == "auto":
+            return self.auto_choice().chosen == "mc"
         return self.strategy == "mc" or isinstance(
             self.strategy, MemoryConsciousCollectiveIO
         )
@@ -319,6 +443,10 @@ class Experiment:
         # so cached copies can be checked against the cache key they are
         # loaded under (repro.analysis.verify PV111).
         plan.spec_hash = self.spec_hash()
+        if self.strategy == "auto":
+            # Auto-pick provenance: the verifier re-checks the pick was
+            # priced-cheapest (PV117) on every cache hit.
+            plan.auto_choice = self.auto_choice().provenance()
         return plan
 
     def fault_runtime(
@@ -366,10 +494,26 @@ class Experiment:
                 raise ConfigurationError(
                     f"strategy {strategy.name!r} cannot replay a plan"
                 )
-            return strategy.run(
+            result = strategy.run(
                 ctx, file, requests, kind=self.kind, plan=plan, faults=faults
             )
-        return strategy.run(ctx, file, requests, kind=self.kind, faults=faults)
+        else:
+            result = strategy.run(ctx, file, requests, kind=self.kind, faults=faults)
+        if self.strategy == "auto":
+            self._annotate_auto(result)
+        return result
+
+    def _annotate_auto(self, result: CollectiveResult) -> None:
+        """Record the auto pick and price vector on a result."""
+        choice = self.auto_choice()
+        result.extras["auto_strategy"] = choice.chosen
+        result.extras["auto_prices"] = {
+            name: float(price) for name, price in sorted(choice.prices.items())
+        }
+        if result.telemetry is not None:
+            result.telemetry.count(f"auto_pick_{choice.chosen}")
+            for name, price in sorted(choice.prices.items()):
+                result.telemetry.count(f"auto_price_us_{name}", price * 1e6)
 
     # ---------------------------------------------------------- description
     def spec(self) -> dict:

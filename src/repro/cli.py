@@ -45,7 +45,7 @@ from collections.abc import Sequence
 from pathlib import Path
 
 from .analysis import DESIGN_2010, DESIGN_2018, memory_per_core_factor, projection_table
-from .api import Experiment, resolve_machine
+from .api import STRATEGY_CHOICES, WORKLOAD_NAMES, Experiment, resolve_machine
 from .campaign import Campaign
 from .core import auto_tune
 from .faults import FaultSpec
@@ -60,7 +60,7 @@ from .metrics import (
     telemetry_round_table,
 )
 from .metrics.telemetry import Telemetry
-from .util import GB_per_s, fmt_rate, gib, mib
+from .util import GB_per_s, fmt_rate, gib, kib, mib
 from .util.errors import (
     EXIT_FAILURE,
     EXIT_OK,
@@ -71,7 +71,14 @@ from .util.errors import (
 
 __all__ = ["main"]
 
-_STRATEGY_CHOICES = ["independent", "sieving", "two-phase", "mc"]
+# Strategy names a CLI flag accepts: every registered fixed strategy
+# plus "auto" (the cost-model pick). Derived from the api registries so
+# a new workload or strategy shows up here without a second edit.
+_STRATEGY_CHOICES = list(STRATEGY_CHOICES)
+_WORKLOAD_CHOICES = list(WORKLOAD_NAMES)
+
+#: table-column display names where the wire name reads poorly
+_STRATEGY_LABELS = {"mc": "memory-conscious"}
 
 
 def _variance(mean_bytes: int | None, variance_mib: int) -> tuple[int | None, int]:
@@ -131,6 +138,31 @@ def _experiment(args: argparse.Namespace, *, strategy: str | None = None) -> Exp
             params["transfer_size"] = mib(args.transfer_mib)
     elif args.workload == "coll_perf":
         params["array_edge"] = args.array_edge
+    elif args.workload == "file-per-task":
+        # Flags default None so the api builder defaults stay the single
+        # source of truth; only explicitly-set knobs enter the spec.
+        if getattr(args, "task_kib", None) is not None:
+            params["task_bytes"] = kib(args.task_kib)
+        if getattr(args, "tasks_per_rank", None) is not None:
+            params["tasks_per_rank"] = args.tasks_per_rank
+        if getattr(args, "task_layout", None) is not None:
+            params["layout"] = args.task_layout
+    elif args.workload == "nested-strided":
+        if getattr(args, "nest_block_kib", None) is not None:
+            params["block"] = kib(args.nest_block_kib)
+        if getattr(args, "inner_count", None) is not None:
+            params["inner_count"] = args.inner_count
+        if getattr(args, "outer_count", None) is not None:
+            params["outer_count"] = args.outer_count
+        if getattr(args, "hole_factor", None) is not None:
+            params["hole_factor"] = args.hole_factor
+    elif args.workload == "hotspot":
+        if getattr(args, "hot_mib", None) is not None:
+            params["total_bytes"] = mib(args.hot_mib)
+        if getattr(args, "hot_fraction", None) is not None:
+            params["hot_fraction"] = args.hot_fraction
+        if getattr(args, "hot_ranks", None) is not None:
+            params["hot_ranks"] = args.hot_ranks
     memory_mib = getattr(args, "memory_mib", None)
     variance_mib = getattr(args, "variance_mib", None) or 0
     cb_buffer = mib(memory_mib) if isinstance(memory_mib, int) else None
@@ -270,35 +302,40 @@ def cmd_trace(args: argparse.Namespace) -> int:
 def cmd_sweep(args: argparse.Namespace) -> int:
     machine = resolve_machine(args.machine)
     config = auto_tune(machine).as_config()
-    base_exp = _experiment(args, strategy="two-phase")
+    strategies = args.strategies
+    base_exp = _experiment(args, strategy=strategies[0])
     workload = base_exp.resolve_workload()
-    # The sweep's MC arm has always run with memory variance on (mean =
-    # budget, std = 50 MiB); keep that default, but honour an explicit
-    # --variance-mib — including 0 to genuinely disable it.
+    # The sweep's non-baseline arms have always run with memory variance
+    # on (mean = budget, std = 50 MiB) while the first arm — the
+    # comparison baseline — never does; keep that default, but honour an
+    # explicit --variance-mib, including 0 to genuinely disable it.
     variance_mib = 50 if args.variance_mib is None else args.variance_mib
     rows = []
     for mem_mib in args.memory_mib:
         mem = mib(mem_mib)
         variance_mean, variance_std = _variance(mem, variance_mib)
-        base = base_exp.replace(cb_buffer=mem).run()
-        mc = base_exp.replace(
-            strategy="mc",
-            config=config,
-            cb_buffer=mem,
-            memory_variance_mean=variance_mean,
-            memory_variance_std=variance_std,
-        ).run()
+        arms = []
+        for pos, strategy in enumerate(strategies):
+            arms.append(
+                base_exp.replace(
+                    strategy=strategy,
+                    config=config if strategy in ("mc", "auto") else None,
+                    cb_buffer=mem,
+                    memory_variance_mean=variance_mean if pos else None,
+                    memory_variance_std=variance_std if pos else 0,
+                ).run()
+            )
         rows.append(
             (
                 f"{mem_mib} MiB",
-                fmt_rate(base.bandwidth),
-                fmt_rate(mc.bandwidth),
-                f"{mc.bandwidth / base.bandwidth - 1:+.1%}",
+                *(fmt_rate(arm.bandwidth) for arm in arms),
+                f"{arms[-1].bandwidth / arms[0].bandwidth - 1:+.1%}",
             )
         )
+    labels = [_STRATEGY_LABELS.get(s, s) for s in strategies]
     print(
         render_table(
-            ["memory", "two-phase", "memory-conscious", "improvement"],
+            ["memory", *labels, "improvement"],
             rows,
             title=f"{workload.name} {args.kind}, {workload.n_procs} procs "
             f"on {machine.name}",
@@ -310,7 +347,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 def cmd_campaign(args: argparse.Namespace) -> int:
     """Run a memory x strategy x seed grid over a worker pool."""
     machine = resolve_machine(args.machine)
-    config = auto_tune(machine).as_config() if "mc" in args.strategies else None
+    config = (
+        auto_tune(machine).as_config()
+        if {"mc", "auto"} & set(args.strategies)
+        else None
+    )
     base_exp = _experiment(args, strategy=args.strategies[0]).replace(config=config)
     seeds = args.seeds if args.seeds else [args.seed]
     experiments = []
@@ -486,10 +527,36 @@ def _build_parser() -> argparse.ArgumentParser:
     common.add_argument("--procs-per-node", type=int, default=12)
     common.add_argument("--seed", type=int, default=7)
     common.add_argument("--workload", default="ior",
-                        choices=["ior", "ior-segmented", "coll_perf"])
+                        choices=_WORKLOAD_CHOICES)
     common.add_argument("--block-mib", type=int, default=32)
     common.add_argument("--transfer-mib", type=int, default=2)
     common.add_argument("--array-edge", type=int, default=240)
+    # Workload-specific knobs for the expanded generator suite. All
+    # default None so the api builder defaults stay authoritative and
+    # unset flags never enter the spec (same parent-parser caveat as
+    # --variance-mib below).
+    common.add_argument("--task-kib", type=int, default=None,
+                        help="file-per-task: bytes per task (KiB)")
+    common.add_argument("--tasks-per-rank", type=int, default=None,
+                        help="file-per-task: per-task files per rank")
+    common.add_argument("--task-layout", default=None,
+                        choices=["interleaved", "grouped"],
+                        help="file-per-task: aggregate-file slot order")
+    common.add_argument("--nest-block-kib", type=int, default=None,
+                        help="nested-strided: inner block size (KiB)")
+    common.add_argument("--inner-count", type=int, default=None,
+                        help="nested-strided: blocks per inner comb")
+    common.add_argument("--outer-count", type=int, default=None,
+                        help="nested-strided: outer repetitions")
+    common.add_argument("--hole-factor", type=int, default=None,
+                        help="nested-strided: outer stride / dense tile "
+                             "ratio (1 = back-to-back)")
+    common.add_argument("--hot-mib", type=int, default=None,
+                        help="hotspot: total bytes (MiB)")
+    common.add_argument("--hot-fraction", type=float, default=None,
+                        help="hotspot: fraction of bytes on the hot ranks")
+    common.add_argument("--hot-ranks", type=int, default=None,
+                        help="hotspot: number of hot ranks")
     common.add_argument("--kind", default="write", choices=["write", "read"])
     # Default None = command-specific default (sweep keeps its historic
     # 50 MiB; everything else is off). A plain default here would be
@@ -517,8 +584,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_tune)
 
     p = sub.add_parser("run", parents=[common], help="run one collective op")
-    p.add_argument("--strategy", default="mc",
-                   choices=["independent", "sieving", "two-phase", "mc"])
+    p.add_argument("--strategy", default="mc", choices=_STRATEGY_CHOICES)
     p.add_argument("--memory-mib", type=int, default=16)
     p.add_argument("--faults",
                    help='fault schedule: compact form ("mem=2,stall=1,seed=5") '
@@ -530,8 +596,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "trace", parents=[common],
         help="per-round / per-resource telemetry breakdown",
     )
-    p.add_argument("--strategy", default="mc",
-                   choices=["independent", "sieving", "two-phase", "mc"])
+    p.add_argument("--strategy", default="mc", choices=_STRATEGY_CHOICES)
     p.add_argument("--memory-mib", type=int, default=16)
     p.add_argument("--faults",
                    help='fault schedule: compact form ("mem=2,stall=1,seed=5") '
@@ -545,6 +610,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep", parents=[common], help="memory sweep table")
     p.add_argument("--memory-mib", type=int, nargs="+",
                    default=[2, 8, 32, 128])
+    p.add_argument("--strategies", nargs="+", default=["two-phase", "mc"],
+                   choices=_STRATEGY_CHOICES,
+                   help="arms to sweep; the first is the improvement "
+                        "baseline (and runs without memory variance)")
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser(

@@ -29,6 +29,12 @@ the plan was built against (``config.pool_capacity``) and the
 ``n_borrows`` placement counter. Version-2 plans still load (their
 defaults mean "no borrows"), so existing caches stay warm; version 1
 and unknown versions are rejected, which cache layers treat as misses.
+
+Plans produced under ``strategy="auto"`` additionally carry auto-pick
+provenance (``auto``: the chosen strategy and the candidate price
+vector), emitted only when selection actually ran — plans from fixed
+strategies serialize byte-identically to before. Verifier rule PV117
+re-checks that the recorded pick was priced-cheapest.
 """
 
 from __future__ import annotations
@@ -69,8 +75,9 @@ class CollectivePlan:
     under (0 = unknown, e.g. a hand-built plan); ``pool_capacity`` the
     remote-pool bytes the planner could borrow against (0 = no pool);
     ``spec_hash`` is the experiment identity the plan was produced for
-    ("" = unstamped). All are advisory metadata: execution ignores
-    them, the static verifier uses them.
+    ("" = unstamped); ``auto_choice`` the cost model's auto-selection
+    provenance (``None`` = fixed strategy). All are advisory metadata:
+    execution ignores them, the static verifier uses them.
     """
 
     domains: list[FileDomain]
@@ -80,6 +87,7 @@ class CollectivePlan:
     mem_min: int = 0
     pool_capacity: int = 0
     spec_hash: str = ""
+    auto_choice: dict[str, Any] | None = None
 
     @classmethod
     def from_tuple(
@@ -148,7 +156,7 @@ def _domain_from_dict(data: Mapping[str, Any]) -> FileDomain:
 
 def plan_to_dict(plan: CollectivePlan) -> dict[str, Any]:
     """Flatten a plan to JSON-safe data (lossless)."""
-    return {
+    out = {
         "version": PLAN_FORMAT_VERSION,
         "domains": [_domain_to_dict(d) for d in plan.domains],
         "stats": {
@@ -166,6 +174,12 @@ def plan_to_dict(plan: CollectivePlan) -> dict[str, Any]:
         },
         "spec_hash": plan.spec_hash,
     }
+    if plan.auto_choice is not None:
+        # Auto-selection provenance: only plans produced under
+        # strategy="auto" carry it, so fixed-strategy bodies stay
+        # byte-identical to their pre-auto serialization.
+        out["auto"] = dict(plan.auto_choice)
+    return out
 
 
 def plan_from_dict(data: Mapping[str, Any]) -> CollectivePlan:
@@ -189,6 +203,7 @@ def plan_from_dict(data: Mapping[str, Any]) -> CollectivePlan:
         n_borrows=int(stats_d.get("n_borrows", 0)),
     )
     config_d = data.get("config", {})
+    auto = data.get("auto")
     return CollectivePlan(
         domains=[_domain_from_dict(d) for d in data["domains"]],
         stats=stats,
@@ -197,6 +212,7 @@ def plan_from_dict(data: Mapping[str, Any]) -> CollectivePlan:
         mem_min=int(config_d.get("mem_min", 0)),
         pool_capacity=int(config_d.get("pool_capacity", 0)),
         spec_hash=str(data.get("spec_hash", "")),
+        auto_choice=dict(auto) if isinstance(auto, Mapping) else None,
     )
 
 

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Any
 
-from ..api import Experiment
+from ..api import STRATEGY_CHOICES, WORKLOAD_NAMES, Experiment
 from ..core.plans import canonical_json
 from ..util.errors import SpecError
 
@@ -105,9 +105,12 @@ def experiment_from_fields(fields: Mapping[str, Any]) -> Experiment:
     """Rebuild an :class:`Experiment` from a wire field dict.
 
     Unknown fields and wrong types raise :class:`SpecError` (the
-    daemon answers 422); value-level validation (unknown machine name,
-    bad workload) happens inside ``Experiment`` resolution and raises
-    the same class.
+    daemon answers 422). The ``workload`` and ``strategy`` names are
+    additionally checked against the registries here, so a typo'd or
+    unsupported name is a structured 422 at the edge rather than a late
+    ``SpecError`` deep inside planning; remaining value-level
+    validation (unknown machine name, bad workload params) happens
+    inside ``Experiment`` resolution and raises the same class.
     """
     if not isinstance(fields, Mapping):
         raise SpecError(f"experiment must be an object, got {type(fields).__name__}")
@@ -130,6 +133,18 @@ def experiment_from_fields(fields: Mapping[str, Any]) -> Experiment:
                 f"{'/'.join(t.__name__ for t in types)}, got {value!r}"
             )
         kwargs[name] = value
+    workload = kwargs.get("workload")
+    if workload is not None and workload not in WORKLOAD_NAMES:
+        raise SpecError(
+            f"unknown workload {workload!r}; "
+            f"registered workloads: {', '.join(WORKLOAD_NAMES)}"
+        )
+    strategy = kwargs.get("strategy")
+    if strategy is not None and strategy not in STRATEGY_CHOICES:
+        raise SpecError(
+            f"unknown strategy {strategy!r}; "
+            f"valid strategies: {', '.join(STRATEGY_CHOICES)}"
+        )
     return Experiment(**kwargs)
 
 

@@ -4,7 +4,14 @@ from .base import Workload
 from .checkpoint import CheckpointWorkload, DatasetSpec
 from .coll_perf import CollPerfWorkload, proc_grid
 from .ior import IORWorkload
-from .synthetic import ShuffledChunksWorkload, SkewedWorkload, StridedWorkload
+from .manytask import FilePerTaskWorkload
+from .nested import NestedStridedWorkload
+from .synthetic import (
+    HotSpotWorkload,
+    ShuffledChunksWorkload,
+    SkewedWorkload,
+    StridedWorkload,
+)
 from .trace import TraceRecord, TraceWorkload
 
 __all__ = [
@@ -14,9 +21,12 @@ __all__ = [
     "CollPerfWorkload",
     "proc_grid",
     "IORWorkload",
+    "FilePerTaskWorkload",
+    "NestedStridedWorkload",
     "StridedWorkload",
     "ShuffledChunksWorkload",
     "SkewedWorkload",
+    "HotSpotWorkload",
     "TraceRecord",
     "TraceWorkload",
 ]

@@ -1,0 +1,105 @@
+"""Loosely-coupled many-task workloads (file-per-task fan-in).
+
+After Zhang et al. (arXiv:0901.0134): a many-task application writes one
+small file per task, with no MPI coupling between tasks. Pushed through
+a shared parallel file system, the per-task files are aggregated into
+one container file (task ``t`` owns slot ``[t * task_bytes,
+(t + 1) * task_bytes)``), so the fan-in degree — tasks per rank times
+ranks — is what stresses the I/O stack, not any single request's shape.
+
+Two layouts cover the two natural slot orders:
+
+* **interleaved** (default): tasks are dealt round-robin, rank ``r``
+  runs tasks ``r, r + P, r + 2P, ...`` — adjacent slots belong to
+  different ranks, so every rank's data combs across the container.
+* **grouped**: rank ``r`` runs tasks ``r * tasks_per_rank ...`` — each
+  rank's slots are contiguous, the serial distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mpi.requests import FlatAccess
+from ..util.errors import WorkloadError
+from ..util.intervals import ExtentList
+from ..util.validation import check_positive
+from .base import Workload
+
+__all__ = ["FilePerTaskWorkload"]
+
+
+class FilePerTaskWorkload(Workload):
+    """Many-task fan-in: per-task files aggregated through one container."""
+
+    name = "file-per-task"
+
+    def __init__(
+        self,
+        n_procs: int,
+        *,
+        task_bytes: int,
+        tasks_per_rank: int = 1,
+        layout: str = "interleaved",
+    ) -> None:
+        check_positive("n_procs", n_procs)
+        check_positive("task_bytes", task_bytes)
+        check_positive("tasks_per_rank", tasks_per_rank)
+        if layout not in ("interleaved", "grouped"):
+            raise WorkloadError(
+                f"layout must be 'interleaved' or 'grouped', got {layout!r}"
+            )
+        self._n_procs = n_procs
+        self.task_bytes = int(task_bytes)
+        self.tasks_per_rank = int(tasks_per_rank)
+        self.layout = layout
+
+    @property
+    def n_procs(self) -> int:
+        return self._n_procs
+
+    @property
+    def n_tasks(self) -> int:
+        """Fan-in degree: total task files entering the container."""
+        return self._n_procs * self.tasks_per_rank
+
+    def task_ids_for_rank(self, rank: int) -> np.ndarray:
+        if not 0 <= rank < self._n_procs:
+            raise WorkloadError(f"rank {rank} out of range")
+        k = np.arange(self.tasks_per_rank, dtype=np.int64)
+        if self.layout == "interleaved":
+            return k * self._n_procs + rank
+        return rank * self.tasks_per_rank + k
+
+    def extents_for_rank(self, rank: int) -> ExtentList:
+        tasks = self.task_ids_for_rank(rank)
+        return ExtentList.from_arrays(
+            tasks * self.task_bytes,
+            np.full(tasks.size, self.task_bytes, dtype=np.int64),
+        )
+
+    def flat_requests(self) -> FlatAccess:
+        """Closed-form columns: slot index is arithmetic in (rank, k).
+
+        Grouped ranks own one contiguous run (their slots coalesce), so
+        the columns match the normalized object-path extents exactly.
+        """
+        P = self._n_procs
+        tpr = self.tasks_per_rank
+        if self.layout == "grouped" or P == 1:
+            # A single interleaved rank owns every slot back-to-back.
+            ranks = np.arange(P, dtype=np.int64)
+            run = tpr * self.task_bytes
+            return FlatAccess(
+                ranks * run, np.full(P, run, dtype=np.int64), ranks
+            )
+        ranks = np.repeat(np.arange(P, dtype=np.int64), tpr)
+        k = np.tile(np.arange(tpr, dtype=np.int64), P)
+        return FlatAccess(
+            (k * P + ranks) * self.task_bytes,
+            np.full(P * tpr, self.task_bytes, dtype=np.int64),
+            ranks,
+        )
+
+    def total_bytes(self) -> int:
+        return self.n_tasks * self.task_bytes

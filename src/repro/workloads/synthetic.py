@@ -17,7 +17,12 @@ from ..util.rng import make_rng
 from ..util.validation import check_positive
 from .base import Workload
 
-__all__ = ["StridedWorkload", "ShuffledChunksWorkload", "SkewedWorkload"]
+__all__ = [
+    "StridedWorkload",
+    "ShuffledChunksWorkload",
+    "SkewedWorkload",
+    "HotSpotWorkload",
+]
 
 
 class StridedWorkload(Workload):
@@ -125,3 +130,59 @@ class SkewedWorkload(Workload):
         if not 0 <= rank < self._n_procs:
             raise WorkloadError(f"rank {rank} out of range")
         return ExtentList.single(int(self._offsets[rank]), int(self._sizes[rank]))
+
+
+class HotSpotWorkload(SkewedWorkload):
+    """Hot-spot parameterization of :class:`SkewedWorkload`.
+
+    Instead of a geometric decay, the skew is specified directly: the
+    first ``hot_ranks`` ranks split ``hot_fraction`` of ``total_bytes``
+    between them; the remaining ranks split the rest evenly. Rounding
+    remainders land on the lowest-index rank of each class so the sizes
+    sum to ``total_bytes`` exactly and every rank owns at least a byte.
+    """
+
+    name = "hotspot"
+
+    def __init__(
+        self,
+        n_procs: int,
+        *,
+        total_bytes: int,
+        hot_fraction: float = 0.6,
+        hot_ranks: int = 1,
+    ) -> None:
+        check_positive("n_procs", n_procs)
+        check_positive("total_bytes", total_bytes)
+        if not 0.0 < hot_fraction < 1.0:
+            raise WorkloadError(
+                f"hot_fraction must be in (0, 1), got {hot_fraction}"
+            )
+        if not 1 <= hot_ranks < n_procs:
+            raise WorkloadError(
+                f"hot_ranks must be in [1, n_procs), got {hot_ranks}"
+            )
+        hot_bytes = max(int(total_bytes * hot_fraction), hot_ranks)
+        cold_ranks = n_procs - hot_ranks
+        cold_bytes = total_bytes - hot_bytes
+        if cold_bytes < cold_ranks:
+            raise WorkloadError(
+                f"total_bytes {total_bytes} too small: {cold_ranks} cold "
+                f"ranks need at least one byte each after the hot share"
+            )
+        sizes = np.empty(n_procs, dtype=np.int64)
+        sizes[:hot_ranks] = hot_bytes // hot_ranks
+        sizes[0] += hot_bytes - int(sizes[:hot_ranks].sum())
+        sizes[hot_ranks:] = cold_bytes // cold_ranks
+        sizes[hot_ranks] += cold_bytes - int(sizes[hot_ranks:].sum())
+        self._n_procs = n_procs
+        self.total = int(total_bytes)
+        self.hot_fraction = float(hot_fraction)
+        self.hot_ranks = int(hot_ranks)
+        self._sizes = sizes
+        self._offsets = np.concatenate(
+            ([0], np.cumsum(sizes[:-1]))
+        ).astype(np.int64)
+
+    def total_bytes(self) -> int:
+        return self.total

@@ -1,0 +1,161 @@
+"""Auto-selection behaviour plus the committed golden pick fixture.
+
+``tests/fixtures/golden.auto.json`` pins, for every registered
+workload, which strategy the cost model picks and the full candidate
+price vector. Any drift in the cost model — a changed constant, a new
+term, a different tie-break — fails here with a readable diff instead
+of silently flipping campaign picks. Regenerate deliberately with:
+
+    PYTHONPATH=src python - <<'PY'
+    import json
+    from tests.analysis.test_auto_selection import GOLDEN, golden_entries
+    GOLDEN.write_text(json.dumps(golden_entries(), indent=2, sort_keys=True) + "\n")
+    PY
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import WORKLOAD_NAMES, Experiment
+from repro.analysis import AUTO_CANDIDATES, FAULT_CAPABLE_CANDIDATES
+from repro.faults import FaultSpec
+from repro.util import ConfigurationError, kib, mib
+
+GOLDEN = Path(__file__).resolve().parents[1] / "fixtures" / "golden.auto.json"
+
+#: the same small per-workload parameters the parity matrix runs
+PARAMS: dict[str, dict] = {
+    "ior": {"block_size": kib(256), "transfer_size": kib(32)},
+    "ior-segmented": {"block_size": kib(256)},
+    "coll_perf": {"array_edge": 16},
+    "file-per-task": {"task_bytes": kib(32), "tasks_per_rank": 3,
+                      "layout": "interleaved"},
+    "nested-strided": {"block": kib(8), "inner_count": 3, "outer_count": 3,
+                       "hole_factor": 2},
+    "hotspot": {"total_bytes": mib(2), "hot_fraction": 0.65, "hot_ranks": 2},
+}
+
+
+def _experiment(workload: str, strategy: str = "auto") -> Experiment:
+    return Experiment(
+        machine="testbed-4",
+        workload=workload,
+        strategy=strategy,
+        n_procs=8,
+        procs_per_node=2,
+        seed=3,
+        cb_buffer=mib(1),
+        workload_params=PARAMS[workload],
+    )
+
+
+def golden_entries() -> dict[str, dict]:
+    """The fixture's content: per-workload pick and price vector."""
+    entries: dict[str, dict] = {}
+    for workload in WORKLOAD_NAMES:
+        choice = _experiment(workload).auto_choice()
+        entries[workload] = {
+            "chosen": choice.chosen,
+            "prices": {k: float(v) for k, v in sorted(choice.prices.items())},
+        }
+    return entries
+
+
+def test_golden_covers_every_registered_workload():
+    committed = json.loads(GOLDEN.read_text())
+    assert set(committed) == set(WORKLOAD_NAMES)
+    assert set(PARAMS) == set(WORKLOAD_NAMES)
+
+
+def test_golden_matches_the_cost_model():
+    committed = json.loads(GOLDEN.read_text())
+    regenerated = json.loads(json.dumps(golden_entries()))
+    assert committed == regenerated
+
+
+def test_golden_picks_are_priced_cheapest():
+    for workload, entry in json.loads(GOLDEN.read_text()).items():
+        prices = entry["prices"]
+        assert set(prices) == set(AUTO_CANDIDATES), workload
+        assert prices[entry["chosen"]] == pytest.approx(
+            min(prices.values()), rel=1e-9
+        ), workload
+
+
+class TestAutoExperiment:
+    def test_auto_choice_requires_auto_strategy(self):
+        with pytest.raises(ConfigurationError):
+            _experiment("ior", strategy="mc").auto_choice()
+
+    def test_spec_hash_equals_fixed_pick(self):
+        exp = _experiment("ior")
+        pick = exp.auto_choice().chosen
+        assert exp.spec_hash() == _experiment("ior", strategy=pick).spec_hash()
+
+    def test_run_annotates_pick_and_prices(self):
+        exp = _experiment("coll_perf")
+        choice = exp.auto_choice()
+        res = exp.run()
+        assert res.extras["auto_strategy"] == choice.chosen
+        assert set(res.extras["auto_prices"]) == set(AUTO_CANDIDATES)
+        counters = res.telemetry.counters
+        assert counters[f"auto_pick_{choice.chosen}"] == 1
+        for name, price in choice.prices.items():
+            assert counters[f"auto_price_us_{name}"] == pytest.approx(
+                price * 1e6
+            )
+
+    def test_faults_restrict_candidates_to_collectives(self):
+        exp = _experiment("ior").replace(
+            faults=FaultSpec(mem_pressure=1, seed=7)
+        )
+        choice = exp.auto_choice()
+        assert set(choice.prices) == set(FAULT_CAPABLE_CANDIDATES)
+        assert choice.chosen in FAULT_CAPABLE_CANDIDATES
+
+    def test_plan_cache_support_follows_the_pick(self):
+        for workload in WORKLOAD_NAMES:
+            exp = _experiment(workload)
+            assert exp.supports_plan_cache() == (
+                exp.auto_choice().chosen == "mc"
+            )
+
+    def test_plan_carries_verifiable_provenance(self):
+        from repro.analysis import verify_plan
+
+        mc_picks = [
+            w for w in WORKLOAD_NAMES
+            if _experiment(w).auto_choice().chosen == "mc"
+        ]
+        assert mc_picks, "fixture matrix should contain at least one mc pick"
+        plan = _experiment(mc_picks[0]).plan()
+        data = plan.to_dict()
+        assert data["auto"]["chosen"] == "mc"
+        assert verify_plan(data).ok
+
+    def test_pv117_flags_tampered_provenance(self):
+        from repro.analysis import verify_plan
+
+        mc_pick = next(
+            w for w in WORKLOAD_NAMES
+            if _experiment(w).auto_choice().chosen == "mc"
+        )
+        data = _experiment(mc_pick).plan().to_dict()
+
+        not_cheapest = json.loads(json.dumps(data))
+        not_cheapest["auto"]["prices"]["mc"] = 1e9
+        assert not verify_plan(not_cheapest).ok
+
+        # cheapest but not mc: PV117 rejects non-mc picks on a plan
+        non_mc = json.loads(json.dumps(data))
+        non_mc["auto"]["chosen"] = "two-phase"
+        non_mc["auto"]["prices"]["two-phase"] = 0.0
+        assert not verify_plan(non_mc).ok
+
+        malformed = json.loads(json.dumps(data))
+        malformed["auto"] = {"chosen": "mc"}
+        assert not verify_plan(malformed).ok

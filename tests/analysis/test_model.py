@@ -4,10 +4,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis.model import predict_two_phase
-from repro.cluster import testbed_640
+from repro.analysis.model import predict_collective, predict_two_phase
+from repro.cluster import scaled_testbed, testbed_640
 from repro.io import CollectiveHints, TwoPhaseCollectiveIO, make_context
-from repro.util import ConfigurationError, gib, mib
+from repro.util import ConfigurationError, gib, kib, mib
 from repro.workloads import IORWorkload
 
 
@@ -69,6 +69,97 @@ class TestModelStructure:
                 machine, total_bytes=0, n_aggregators=1,
                 buffer_bytes=1, n_nodes=1,
             )
+
+
+class TestPredictCollective:
+    """Geometry-aware pricing on the small testbed (4 OSTs, 1MiB stripe)."""
+
+    def test_stripe_alignment_collapses_domains(self):
+        m = scaled_testbed(4)
+        # span 2MiB / 1MiB stripe: only 2 aligned domains survive, so
+        # requesting 4 aggregators must price identically to 2.
+        four = predict_collective(
+            m, union_bytes=mib(2), span_bytes=mib(2), n_aggregators=4,
+            buffer_bytes=mib(1), n_nodes=4,
+        )
+        two = predict_collective(
+            m, union_bytes=mib(2), span_bytes=mib(2), n_aggregators=2,
+            buffer_bytes=mib(1), n_nodes=4,
+        )
+        assert four.elapsed_s == pytest.approx(two.elapsed_s)
+
+    def test_unaligned_domains_do_not_collapse(self):
+        m = scaled_testbed(4)
+        aligned = predict_collective(
+            m, union_bytes=mib(2), span_bytes=mib(2), n_aggregators=4,
+            buffer_bytes=mib(1), n_nodes=4,
+        )
+        free = predict_collective(
+            m, union_bytes=mib(2), span_bytes=mib(2), n_aggregators=4,
+            buffer_bytes=mib(1), n_nodes=4, stripe_aligned_domains=False,
+        )
+        # All 4 domains survive: each streams a quarter of the union,
+        # not the half the collapsed (aligned) pair would.
+        assert free.stream_bound_s == pytest.approx(aligned.stream_bound_s / 2)
+
+    def test_stripe_cycle_collision_serializes(self):
+        m = scaled_testbed(4)
+        # Domains exactly one stripe cycle (4MiB) long: every round's
+        # windows land on the same stripe units, so halving the buffer
+        # does not spread the load and the price degrades.
+        colliding = predict_collective(
+            m, union_bytes=mib(16), span_bytes=mib(16), n_aggregators=4,
+            buffer_bytes=kib(512), n_nodes=4,
+        )
+        roomy = predict_collective(
+            m, union_bytes=mib(16), span_bytes=mib(16), n_aggregators=4,
+            buffer_bytes=mib(4), n_nodes=4,
+        )
+        assert colliding.elapsed_s > roomy.elapsed_s
+        assert colliding.n_rounds > roomy.n_rounds
+
+    def test_concurrent_domain_cap_limits_streams(self):
+        m = scaled_testbed(4)
+        capped = predict_collective(
+            m, union_bytes=mib(32), span_bytes=mib(32), n_aggregators=16,
+            buffer_bytes=mib(2), n_nodes=4, stripe_aligned_domains=False,
+            n_concurrent_domains=2,
+        )
+        free = predict_collective(
+            m, union_bytes=mib(32), span_bytes=mib(32), n_aggregators=16,
+            buffer_bytes=mib(2), n_nodes=4, stripe_aligned_domains=False,
+        )
+        assert capped.stream_bound_s > free.stream_bound_s
+        assert capped.elapsed_s >= free.elapsed_s
+
+    def test_read_factor_speeds_reads(self):
+        m = scaled_testbed(4)
+        write = predict_collective(
+            m, union_bytes=mib(8), span_bytes=mib(8), n_aggregators=4,
+            buffer_bytes=mib(2), n_nodes=4,
+        )
+        read = predict_collective(
+            m, union_bytes=mib(8), span_bytes=mib(8), n_aggregators=4,
+            buffer_bytes=mib(2), n_nodes=4, kind="read",
+        )
+        assert read.elapsed_s < write.elapsed_s
+
+    def test_tracks_simulated_two_phase(self):
+        m = scaled_testbed(4)
+        # ior parity point: 8 ranks, union 2MiB; the sim lands ~14ms
+        # at cb=1MiB and degrades as the buffer shrinks. The model must
+        # stay within ~20% and preserve the ordering.
+        prices = [
+            predict_collective(
+                m, union_bytes=mib(2), span_bytes=mib(2), n_aggregators=4,
+                buffer_bytes=buf, n_nodes=4, inter_node_fraction=0.75,
+            ).elapsed_s
+            for buf in (mib(1), kib(512), kib(256), kib(128))
+        ]
+        simulated = [0.01406, 0.01488, 0.01652, 0.01978]
+        for got, want in zip(prices, simulated):
+            assert got == pytest.approx(want, rel=0.2)
+        assert prices == sorted(prices)
 
 
 class TestCrossValidation:

@@ -1,0 +1,101 @@
+"""Differential parity: every workload x every strategy, same file bytes.
+
+The registries are the source of truth — the matrix is generated from
+``api.WORKLOAD_NAMES`` x ``api.STRATEGY_CHOICES``, so registering a new
+workload or strategy automatically enrolls it here. For each cell the
+final :class:`~repro.fs.FileImage` must equal the closed-form expected
+pattern over the workload's union (and therefore every strategy's image
+is bit-identical to every other's), and the telemetry byte identity
+``total == shuffle_intra + shuffle_inter + io`` must hold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import STRATEGY_CHOICES, WORKLOAD_NAMES, Experiment
+from repro.cluster import scaled_testbed
+from repro.mpi import pattern_bytes
+from repro.util import ExtentList, kib, mib
+
+# Small per-workload parameters: big enough to exercise multi-round
+# aggregation at a 1 MiB collective buffer, small enough for a full
+# byte-tracked matrix to stay fast.
+PARAMS: dict[str, dict] = {
+    "ior": {"block_size": kib(256), "transfer_size": kib(32)},
+    "ior-segmented": {"block_size": kib(256)},
+    "coll_perf": {"array_edge": 16},
+    "file-per-task": {"task_bytes": kib(32), "tasks_per_rank": 3,
+                      "layout": "interleaved"},
+    "nested-strided": {"block": kib(8), "inner_count": 3, "outer_count": 3,
+                       "hole_factor": 2},
+    "hotspot": {"total_bytes": mib(2), "hot_fraction": 0.65, "hot_ranks": 2},
+}
+
+
+def test_params_cover_every_registered_workload():
+    """A new workload registration must add a row to this matrix."""
+    assert set(PARAMS) == set(WORKLOAD_NAMES)
+
+
+def _experiment(workload: str, strategy: str) -> Experiment:
+    return Experiment(
+        machine=scaled_testbed(4, cores_per_node=4),
+        workload=workload,
+        strategy=strategy,
+        n_procs=8,
+        procs_per_node=2,
+        seed=3,
+        cb_buffer=mib(1),
+        track_data=True,
+        workload_params=PARAMS[workload],
+    )
+
+
+@pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+@pytest.mark.parametrize("strategy", STRATEGY_CHOICES)
+def test_write_parity_and_byte_conservation(workload, strategy):
+    exp = _experiment(workload, strategy)
+    ctx = exp.context()
+    res = exp.run(ctx=ctx)
+    file = ctx.pfs.open(exp.file_name)
+
+    union = ExtentList.union_all([r.extents for r in exp.requests()])
+    assert np.array_equal(file.apply_read(union), pattern_bytes(union)), (
+        f"{strategy} corrupted {workload}"
+    )
+    assert res.nbytes == union.total  # workloads are disjoint partitions
+
+    tele = res.telemetry
+    assert tele is not None
+    assert tele.shuffle_intra_bytes == res.shuffle_intra_bytes
+    assert tele.shuffle_inter_bytes == res.shuffle_inter_bytes
+    assert tele.total_bytes == (
+        tele.shuffle_intra_bytes + tele.shuffle_inter_bytes + tele.io_bytes
+    )
+    # Every workload byte reaches storage at least once (data sieving's
+    # read-modify-write may add envelope traffic on top).
+    assert tele.io_bytes >= res.nbytes
+
+
+@pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+def test_auto_runs_identically_to_its_pick(workload):
+    """Auto is a selector, not a fifth engine: bit-identical results."""
+    auto_exp = _experiment(workload, "auto")
+    pick = auto_exp.auto_choice().chosen
+    fixed_exp = _experiment(workload, pick)
+
+    auto_ctx, fixed_ctx = auto_exp.context(), fixed_exp.context()
+    auto_res = auto_exp.run(ctx=auto_ctx)
+    fixed_res = fixed_exp.run(ctx=fixed_ctx)
+
+    assert auto_res.extras["auto_strategy"] == pick
+    assert auto_res.bandwidth == fixed_res.bandwidth
+    assert auto_res.elapsed == fixed_res.elapsed
+    assert (
+        auto_ctx.pfs.open(auto_exp.file_name).image.snapshot()
+        == fixed_ctx.pfs.open(fixed_exp.file_name).image.snapshot()
+    )
+    # The two spell the same spec, so they share one plan-cache slot.
+    assert auto_exp.spec_hash() == fixed_exp.spec_hash()

@@ -54,6 +54,32 @@ class TestExperimentFields:
         with pytest.raises(SpecError, match="must be an object"):
             experiment_from_fields([1, 2])  # type: ignore[arg-type]
 
+    def test_unknown_strategy_rejected_at_the_edge(self, fields):
+        # Value-level validation: a typo'd strategy is a structured
+        # SpecError here (the daemon answers 422), never a late failure
+        # deep inside planning.
+        fields["strategy"] = "two-phse"
+        with pytest.raises(SpecError, match="unknown strategy"):
+            experiment_from_fields(fields)
+
+    def test_unknown_workload_rejected_at_the_edge(self, fields):
+        fields["workload"] = "iorr"
+        with pytest.raises(SpecError, match="unknown workload"):
+            experiment_from_fields(fields)
+
+    @pytest.mark.parametrize(
+        "workload,strategy",
+        [("file-per-task", "auto"), ("nested-strided", "mc"),
+         ("hotspot", "two-phase")],
+    )
+    def test_new_workloads_and_auto_cross_the_wire(self, fields, workload, strategy):
+        fields["workload"] = workload
+        fields["strategy"] = strategy
+        fields["workload_params"] = {}
+        exp = experiment_from_fields(fields)
+        assert exp.workload == workload
+        assert exp.strategy == strategy
+
 
 class TestSpecHash:
     def test_matches_experiment_spec_hash(self, fields):

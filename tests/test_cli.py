@@ -169,8 +169,86 @@ class TestSweep:
         assert code == 0
         out = capsys.readouterr().out
         assert "two-phase" in out
+        assert "memory-conscious" in out
         assert "improvement" in out
         assert "1 MiB" in out and "4 MiB" in out
+
+    def test_sweep_accepts_auto_arm(self, capsys):
+        code = main(
+            [
+                "sweep", "--machine", "testbed-4", "--procs", "8",
+                "--procs-per-node", "2", "--block-mib", "2",
+                "--transfer-mib", "1", "--memory-mib", "1",
+                "--strategies", "two-phase", "mc", "auto",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "auto" in out
+        assert "memory-conscious" in out
+
+    def test_sweep_rejects_unknown_arm(self, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "sweep", "--machine", "testbed-4", "--procs", "8",
+                    "--strategies", "two-phse",
+                ]
+            )
+        assert "invalid choice" in capsys.readouterr().err
+
+
+class TestNewWorkloadFlags:
+    BASE = [
+        "run", "--machine", "testbed-4", "--procs", "8",
+        "--procs-per-node", "2", "--memory-mib", "1",
+    ]
+
+    def test_file_per_task(self, capsys):
+        code = main(
+            [
+                *self.BASE, "--workload", "file-per-task", "--strategy", "mc",
+                "--task-kib", "64", "--tasks-per-rank", "2",
+                "--task-layout", "grouped",
+            ]
+        )
+        assert code == 0
+        assert "memory-conscious write" in capsys.readouterr().out
+
+    def test_nested_strided_with_auto(self, capsys):
+        code = main(
+            [
+                *self.BASE, "--workload", "nested-strided",
+                "--strategy", "auto", "--nest-block-kib", "16",
+                "--inner-count", "3", "--outer-count", "3",
+                "--hole-factor", "2",
+            ]
+        )
+        assert code == 0
+        assert "write" in capsys.readouterr().out
+
+    def test_hotspot(self, capsys):
+        code = main(
+            [
+                *self.BASE, "--workload", "hotspot", "--strategy", "two-phase",
+                "--hot-mib", "4", "--hot-fraction", "0.7", "--hot-ranks", "2",
+            ]
+        )
+        assert code == 0
+        assert "write" in capsys.readouterr().out
+
+    def test_campaign_accepts_auto_strategy(self, capsys):
+        code = main(
+            [
+                "campaign", "--machine", "testbed-4", "--procs", "8",
+                "--procs-per-node", "2", "--workload", "hotspot",
+                "--memory-mib", "4", "--strategies", "two-phase", "auto",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 points: 2 ok, 0 errors" in out
+        assert "auto" in out
 
 
 class TestVarianceFlag:

@@ -1,0 +1,149 @@
+"""Property suite for the expanded workload generators.
+
+Every generator must satisfy four laws regardless of parameters:
+
+* requests are in-bounds and non-negative (disjoint partition of a
+  finite file region);
+* the closed-form :meth:`flat_requests` is **bit-identical** to
+  flattening the object-path ``requests()`` — same offsets, lengths,
+  and ranks, in the same order;
+* structural invariants match the spec (fan-in task count, nested
+  tiling, hot/cold byte split sums exactly);
+* ``total_bytes()`` agrees with what the columns actually carry.
+
+Marked ``slow``: the CI properties job re-runs this module under the
+``ci`` hypothesis profile (``REPRO_HYPOTHESIS_PROFILE=ci``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mpi import flatten_requests
+from repro.util import ExtentList
+from repro.workloads import (
+    FilePerTaskWorkload,
+    HotSpotWorkload,
+    NestedStridedWorkload,
+)
+
+pytestmark = pytest.mark.slow
+
+
+def assert_flat_matches_object_path(wl) -> None:
+    """The closed form must equal the flattened object path, bit for bit."""
+    flat = wl.flat_requests()
+    ref = flatten_requests(wl.requests())
+    assert np.array_equal(flat.offsets, ref.offsets)
+    assert np.array_equal(flat.lengths, ref.lengths)
+    assert np.array_equal(flat.ranks, ref.ranks)
+
+
+def assert_well_formed(wl) -> None:
+    """In-bounds, non-negative, disjoint, and byte-complete."""
+    wl.validate_disjoint()
+    flat = wl.flat_requests()
+    assert np.all(flat.offsets >= 0)
+    assert np.all(flat.lengths > 0)
+    assert np.all(flat.ranks >= 0) and np.all(flat.ranks < wl.n_procs)
+    assert flat.total == wl.total_bytes()
+
+
+class TestFilePerTask:
+    @given(
+        n_procs=st.integers(1, 16),
+        task_bytes=st.integers(1, 4096),
+        tasks_per_rank=st.integers(1, 8),
+        layout=st.sampled_from(["interleaved", "grouped"]),
+    )
+    def test_laws(self, n_procs, task_bytes, tasks_per_rank, layout):
+        wl = FilePerTaskWorkload(
+            n_procs,
+            task_bytes=task_bytes,
+            tasks_per_rank=tasks_per_rank,
+            layout=layout,
+        )
+        assert_well_formed(wl)
+        assert_flat_matches_object_path(wl)
+        # Fan-in degree: every rank contributes tasks_per_rank tasks.
+        assert wl.n_tasks == n_procs * tasks_per_rank
+        # The per-task files tile the aggregate file with no holes.
+        union = ExtentList.union_all(
+            [wl.extents_for_rank(r) for r in range(n_procs)]
+        )
+        assert union.to_pairs() == [(0, wl.n_tasks * task_bytes)]
+
+    @given(n_procs=st.integers(1, 12), tasks_per_rank=st.integers(1, 6))
+    def test_task_ownership_partitions_tasks(self, n_procs, tasks_per_rank):
+        wl = FilePerTaskWorkload(
+            n_procs, task_bytes=64, tasks_per_rank=tasks_per_rank
+        )
+        owned = sorted(
+            t for r in range(n_procs) for t in wl.task_ids_for_rank(r)
+        )
+        assert owned == list(range(wl.n_tasks))
+
+
+class TestNestedStrided:
+    @given(
+        n_procs=st.integers(1, 12),
+        block=st.integers(1, 1024),
+        inner_count=st.integers(1, 6),
+        outer_count=st.integers(1, 6),
+        hole_factor=st.integers(1, 4),
+    )
+    def test_laws(self, n_procs, block, inner_count, outer_count, hole_factor):
+        wl = NestedStridedWorkload(
+            n_procs,
+            block=block,
+            inner_count=inner_count,
+            outer_count=outer_count,
+            hole_factor=hole_factor,
+        )
+        assert_well_formed(wl)
+        assert_flat_matches_object_path(wl)
+        # The ranks together tile each outer repetition densely: the
+        # union is outer_count tiles of tile_bytes at outer_stride.
+        union = wl.flat_requests().aggregate()
+        expected = [
+            (j * wl.outer_stride, wl.tile_bytes) for j in range(outer_count)
+        ]
+        if hole_factor == 1:
+            expected = [(0, wl.tile_bytes * outer_count)]
+        assert union.to_pairs() == expected
+        assert wl.total_bytes() == n_procs * block * inner_count * outer_count
+
+
+class TestHotSpot:
+    @given(
+        n_procs=st.integers(2, 24),
+        total_kib=st.integers(1, 256),
+        hot_fraction=st.floats(0.05, 0.95),
+        data=st.data(),
+    )
+    def test_laws(self, n_procs, total_kib, hot_fraction, data):
+        hot_ranks = data.draw(st.integers(1, n_procs - 1))
+        total = total_kib * 1024
+        wl = HotSpotWorkload(
+            n_procs,
+            total_bytes=total,
+            hot_fraction=hot_fraction,
+            hot_ranks=hot_ranks,
+        )
+        assert_well_formed(wl)
+        assert_flat_matches_object_path(wl)
+        # The skew never loses or invents a byte.
+        assert wl.total_bytes() == total
+        # The hot ranks carry exactly the hot share (rounding remainders
+        # included) and every rank owns at least one byte.
+        flat = wl.flat_requests()
+        per_rank = np.bincount(
+            flat.ranks, weights=flat.lengths, minlength=n_procs
+        ).astype(np.int64)
+        hot_bytes = max(int(total * hot_fraction), hot_ranks)
+        assert int(per_rank[:hot_ranks].sum()) == hot_bytes
+        assert int(per_rank[hot_ranks:].sum()) == total - hot_bytes
+        assert per_rank.min() >= 1
