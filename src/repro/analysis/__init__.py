@@ -19,7 +19,17 @@ from .exascale import (
     memory_per_core_factor,
     projection_table,
 )
-from .lint import LINT_RULES, RESTRICTED_PACKAGES, lint_file, lint_paths
+from .lint import (
+    LINT_RULES,
+    RESTRICTED_PACKAGES,
+    BaselineEntry,
+    apply_baseline,
+    lint_file,
+    lint_paths,
+    load_baseline,
+    write_baseline,
+)
+from .sarif import to_sarif
 from .model import (
     CollectivePrediction,
     predict_collective,
@@ -65,4 +75,9 @@ __all__ = [
     "lint_paths",
     "LINT_RULES",
     "RESTRICTED_PACKAGES",
+    "BaselineEntry",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
+    "to_sarif",
 ]

@@ -1,75 +1,126 @@
-"""AST lint pass enforcing the project rules determinism depends on.
+"""Lint pass enforcing the project rules determinism depends on.
 
 The round engine and the campaign runner promise bit-identical results
-for identical specs at any worker count. That promise rests on coding
+for identical specs at any worker count, and the serve daemon promises
+an unblocked event loop under load. Those promises rest on coding
 rules no general-purpose linter knows about; this pass enforces them
 over the source tree with Python's :mod:`ast` — no third-party
-dependency, so it runs in tier-1 tests and CI alike:
+dependency, so it runs in tier-1 tests and CI alike.
+
+Two engines share the front end:
+
+* per-node AST checks (the L20x family) for properties visible in a
+  single expression;
+* the flow-sensitive engine (:mod:`repro.analysis.flow`, the L3xx
+  families) for properties that cross assignments — a CFG per
+  function, forward abstract interpretation, per-rule lattices.
 
 ========  ==========================================================
 rule      what it catches
 ========  ==========================================================
 L200      file does not parse (reported, never raised)
-L201      unseeded randomness in the deterministic packages
-          (``core``/``io``/``sim``/``faults``): module-level
-          ``random.*`` calls, legacy ``numpy.random.*`` global-state
-          calls, or ``random.Random()`` with no seed — everything
-          must flow through seeded generators
-          (:func:`repro.util.rng.make_rng`)
+L201      *(deprecated — subsumed by L310's taint analysis; the code
+          is retained so old suppression comments stay meaningful)*
 L202      wall-clock reads (``time.time``, ``datetime.now``, ...)
           in the deterministic packages; simulated time comes from
-          the engine clock, host profiling belongs outside
-L203      bytes-vs-MiB unit mixing: arithmetic/comparison between
-          ``*_mib``-suffixed and ``*_bytes``-suffixed identifiers,
-          converting an already-byte value with ``mib()``, or
-          binding a ``mib()`` result (bytes!) to a ``*_mib`` name
+          the engine clock, host profiling belongs outside.  Serve
+          metrics timestamps are the documented exception — allowed
+          via ``# repro-lint: disable=L202`` at the read site
+L203      *(deprecated — subsumed by L320's dimension propagation)*
 L204      ``object.__setattr__`` on a frozen spec outside
           ``__post_init__`` — silent spec mutation breaks the
           spec-hash identity the plan cache keys on
 L205      ``sim.run()`` without a horizon argument where the
           receiver is a simulator — an unbounded drain can hang a
           campaign point past its timeout budget
+L300      blocking call (``time.sleep``, ``open``, sync
+          ``http.client``, ``submit(...).result()``) reachable in an
+          ``async def`` body in ``serve``/``client``
+L301      module-level mutable state written from function scope in
+          ``campaign``/``serve`` (worker/event-loop sharing hazard)
+L302      second lock acquired while one is held, unless ordered by
+          ascending shard index
+L310      RNG whose seed does not trace to SeedSequence/spec fields
+          (flow-sensitive successor of L201)
+L320      arithmetic/comparison/bind across unit dimensions — bytes,
+          MiB-family counts, byte rates, seconds, µs, ranks
+          (flow-sensitive successor of L203)
 ========  ==========================================================
 
-Suppress a finding by appending ``# repro-lint: disable=L203`` (comma
-list, or ``disable=all``) to the flagged line. Suppressions are
-deliberate and grep-able, exactly like ``noqa``.
+Suppress a finding by appending ``# repro-lint: disable=L203`` to the
+flagged line — comma lists (``disable=L202,L310``), family wildcards
+(``disable=L3xx``), and ``disable=all`` are understood. Suppressions
+are deliberate and grep-able, exactly like ``noqa``.
+
+The committed ``lint-baseline.json`` ratchet lets pre-existing
+findings ride while new ones fail: :func:`apply_baseline` splits a
+report into fresh findings (fail), grandfathered ones (allowed, still
+reported to SARIF with a suppression justification), and stale budget
+(the finding was fixed but the baseline was not counted down — also a
+failure, so the baseline only ever shrinks).
 """
 
 from __future__ import annotations
 
 import ast
+import json
 import re
 from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
 from pathlib import Path
 
+from .flow import ModuleContext, run_flow_rules
+from .rules_concurrency import AsyncBlockingRule, LockOrderRule, SharedStateRule
+from .rules_determinism import DeterminismTaintRule
+from .rules_units import UnitDimensionRule
 from .violations import Report, Violation
 
-__all__ = ["LINT_RULES", "RESTRICTED_PACKAGES", "lint_paths", "lint_file"]
+__all__ = [
+    "LINT_RULES",
+    "RESTRICTED_PACKAGES",
+    "BaselineEntry",
+    "apply_baseline",
+    "lint_file",
+    "lint_paths",
+    "load_baseline",
+    "write_baseline",
+]
 
 #: rule code -> one-line description (rendered by ``repro lint --rules``)
 LINT_RULES: dict[str, str] = {
     "L200": "file does not parse",
-    "L201": "unseeded random/numpy.random use in deterministic packages",
+    "L201": "unseeded RNG use (deprecated — replaced by L310 taint analysis)",
     "L202": "wall-clock read (time.time/datetime.now) in deterministic packages",
-    "L203": "bytes-vs-MiB unit mixing on suffixed identifiers",
+    "L203": "bytes-vs-MiB unit mixing (deprecated — replaced by L320 dimensions)",
     "L204": "object.__setattr__ on frozen spec outside __post_init__",
     "L205": "simulator .run() without a bounded horizon",
+    "L300": "blocking call inside an async def body (serve/client)",
+    "L301": "module-level mutable state written from campaign/serve functions",
+    "L302": "nested lock acquire not ordered by shard index",
+    "L310": "RNG seed does not trace to SeedSequence/spec fields",
+    "L320": "arithmetic/comparison/bind across unit dimensions",
 }
 
 #: packages whose results must be a pure function of the experiment spec
-RESTRICTED_PACKAGES = frozenset({"core", "io", "sim", "faults"})
+#: (the original deterministic core, plus the service/campaign layers —
+#: top-level modules like ``client.py`` match by module stem)
+RESTRICTED_PACKAGES = frozenset(
+    {"core", "io", "sim", "faults", "serve", "client", "campaign", "cluster"}
+)
 
 _SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9,\s]+)")
 
-# numpy.random attributes that are *not* hidden global state
-_NP_RANDOM_OK = frozenset(
-    {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64", "Philox"}
-)
 _WALLCLOCK_TIME = frozenset({"time", "time_ns"})
 _WALLCLOCK_DATETIME = frozenset({"now", "utcnow", "today"})
-_SIZE_HELPERS = frozenset({"kib", "mib", "gib", "tib"})
-_MIBISH = ("_kib", "_mib", "_gib", "_tib")
+
+#: the flow-sensitive rule families (stateless — safe to share)
+_FLOW_RULES = (
+    AsyncBlockingRule(),
+    SharedStateRule(),
+    LockOrderRule(),
+    DeterminismTaintRule(),
+    UnitDimensionRule(),
+)
 
 
 def _dotted(node: ast.expr) -> tuple[str, ...] | None:
@@ -84,28 +135,37 @@ def _dotted(node: ast.expr) -> tuple[str, ...] | None:
     return None
 
 
-def _terminal_name(node: ast.expr) -> str | None:
-    """The identifier a unit suffix would live on (name or attribute)."""
-    if isinstance(node, ast.Name):
-        return node.id
-    if isinstance(node, ast.Attribute):
-        return node.attr
-    return None
+def _token_matches(token: str, rule: str) -> bool:
+    """One suppression token against one rule code.
+
+    ``all`` matches everything, ``L310`` matches exactly, and ``x``/``X``
+    act as digit wildcards so ``L3xx`` silences the whole family.
+    """
+    token = token.strip().upper()
+    if not token:
+        return False
+    if token == "ALL":
+        return True
+    if token == rule:
+        return True
+    if "X" in token and len(token) == len(rule):
+        return all(
+            (t == "X" and c.isdigit()) or t == c for t, c in zip(token, rule)
+        )
+    return False
 
 
-def _unit_category(name: str | None) -> str | None:
-    if name is None:
-        return None
-    lowered = name.lower()
-    if lowered.endswith("_bytes"):
-        return "bytes"
-    if lowered.endswith(_MIBISH):
-        return "mib"
-    return None
+def _suppressed(lines: list[str], line: int, rule: str) -> bool:
+    if not 1 <= line <= len(lines):
+        return False
+    match = _SUPPRESS_RE.search(lines[line - 1])
+    if match is None:
+        return False
+    return any(_token_matches(tok, rule) for tok in match.group(1).split(","))
 
 
 class _FileLinter(ast.NodeVisitor):
-    """Collects violations for one parsed source file."""
+    """Collects per-node (L20x) violations for one parsed source file."""
 
     def __init__(self, rel_path: str, lines: list[str], restricted: bool) -> None:
         self.rel_path = rel_path
@@ -115,18 +175,9 @@ class _FileLinter(ast.NodeVisitor):
         self._func_stack: list[str] = []
 
     # ------------------------------------------------------------ helpers
-    def _suppressed(self, line: int, rule: str) -> bool:
-        if not 1 <= line <= len(self.lines):
-            return False
-        match = _SUPPRESS_RE.search(self.lines[line - 1])
-        if match is None:
-            return False
-        codes = {c.strip().upper() for c in match.group(1).split(",")}
-        return "ALL" in codes or rule in codes
-
     def _flag(self, rule: str, node: ast.AST, message: str, **detail: object) -> None:
         line = getattr(node, "lineno", 0)
-        if self._suppressed(line, rule):
+        if _suppressed(self.lines, line, rule):
             return
         self.violations.append(
             Violation(
@@ -153,41 +204,10 @@ class _FileLinter(ast.NodeVisitor):
         chain = _dotted(node.func)
         if chain is not None:
             if self.restricted:
-                self._check_rng(node, chain)
                 self._check_wallclock(node, chain)
             self._check_setattr(node, chain)
             self._check_sim_run(node, chain)
-        self._check_unit_call(node)
         self.generic_visit(node)
-
-    def _check_rng(self, node: ast.Call, chain: tuple[str, ...]) -> None:
-        if chain[0] == "random" and len(chain) == 2:
-            if chain[1] == "Random":
-                if not node.args and not node.keywords:
-                    self._flag(
-                        "L201", node,
-                        "random.Random() without a seed is unseeded global-ish "
-                        "state; pass an explicit seed",
-                    )
-                return
-            self._flag(
-                "L201", node,
-                f"random.{chain[1]}() draws from the unseeded global RNG; "
-                "use util.rng.make_rng(seed)",
-                call=".".join(chain),
-            )
-        elif (
-            len(chain) >= 3
-            and chain[0] in ("np", "numpy")
-            and chain[1] == "random"
-            and chain[2] not in _NP_RANDOM_OK
-        ):
-            self._flag(
-                "L201", node,
-                f"{'.'.join(chain)}() uses numpy's legacy global RNG; "
-                "use np.random.default_rng(seed) / util.rng.make_rng",
-                call=".".join(chain),
-            )
 
     def _check_wallclock(self, node: ast.Call, chain: tuple[str, ...]) -> None:
         is_time = chain[0] == "time" and chain[-1] in _WALLCLOCK_TIME
@@ -231,70 +251,14 @@ class _FileLinter(ast.NodeVisitor):
                 "pass until=<clamped horizon>",
             )
 
-    def _check_unit_call(self, node: ast.Call) -> None:
-        func_name = node.func.id if isinstance(node.func, ast.Name) else None
-        if func_name in _SIZE_HELPERS and len(node.args) == 1:
-            arg_name = _terminal_name(node.args[0])
-            if _unit_category(arg_name) == "bytes":
-                self._flag(
-                    "L203", node,
-                    f"{func_name}({arg_name}) converts a value already in "
-                    "bytes; double conversion",
-                    argument=arg_name,
-                )
-
-    def visit_BinOp(self, node: ast.BinOp) -> None:
-        # Addition/subtraction across unit families is always a bug;
-        # multiplication/division is how conversions are written.
-        if isinstance(node.op, (ast.Add, ast.Sub)):
-            left = _unit_category(_terminal_name(node.left))
-            right = _unit_category(_terminal_name(node.right))
-            if left and right and left != right:
-                self._flag(
-                    "L203", node,
-                    f"mixing {_terminal_name(node.left)} and "
-                    f"{_terminal_name(node.right)} in one expression mixes "
-                    "MiB-family and byte units",
-                )
-        self.generic_visit(node)
-
-    def visit_Compare(self, node: ast.Compare) -> None:
-        operands = [node.left, *node.comparators]
-        categories = [_unit_category(_terminal_name(op)) for op in operands]
-        seen = {c for c in categories if c}
-        if len(seen) > 1:
-            names = [
-                _terminal_name(op)
-                for op, c in zip(operands, categories)
-                if c is not None
-            ]
-            self._flag(
-                "L203", node,
-                f"comparison between {' and '.join(str(n) for n in names)} "
-                "mixes MiB-family and byte units",
-            )
-        self.generic_visit(node)
-
-    def visit_Assign(self, node: ast.Assign) -> None:
-        if (
-            len(node.targets) == 1
-            and isinstance(node.value, ast.Call)
-            and isinstance(node.value.func, ast.Name)
-            and node.value.func.id in _SIZE_HELPERS
-        ):
-            target = _terminal_name(node.targets[0])
-            if _unit_category(target) == "mib":
-                self._flag(
-                    "L203", node,
-                    f"{target} = {node.value.func.id}(...) binds a byte count "
-                    "to a MiB-suffixed name",
-                    target=target,
-                )
-        self.generic_visit(node)
-
 
 def _is_restricted(rel_parts: tuple[str, ...]) -> bool:
-    return any(part in RESTRICTED_PACKAGES for part in rel_parts[:-1])
+    if any(part in RESTRICTED_PACKAGES for part in rel_parts[:-1]):
+        return True
+    # Top-level modules (client.py) carry their own package identity.
+    stem = rel_parts[-1]
+    stem = stem[:-3] if stem.endswith(".py") else stem
+    return len(rel_parts) == 1 and stem in RESTRICTED_PACKAGES
 
 
 def lint_file(
@@ -322,9 +286,29 @@ def lint_file(
                 line=exc.lineno or 0,
             )
         ]
-    linter = _FileLinter(str(rel), source.splitlines(), _is_restricted(rel.parts))
+    lines = source.splitlines()
+    restricted = _is_restricted(rel.parts)
+    linter = _FileLinter(str(rel), lines, restricted)
     linter.visit(tree)
     out = linter.violations
+    # Flow rules scope themselves by package via FlowRule.packages;
+    # L320 runs everywhere, matching the old L203.
+    ctx = ModuleContext.from_tree(tree, str(rel))
+
+    def emit(rule: str, line: int, message: str, **detail: object) -> None:
+        if _suppressed(lines, line, rule):
+            return
+        out.append(
+            Violation(
+                rule=rule,
+                message=message,
+                file=str(rel),
+                line=line,
+                detail=dict(detail),
+            )
+        )
+
+    run_flow_rules(tree, ctx, _FLOW_RULES, emit)
     if rules is not None:
         selected = {r.upper() for r in rules}
         out = [v for v in out if v.rule in selected]
@@ -358,3 +342,104 @@ def lint_paths(
             for violation in lint_file(file, root=root, rules=rules):
                 report.add(violation)
     return report
+
+
+# --------------------------------------------------------------- baseline
+
+@dataclass(slots=True)
+class BaselineEntry:
+    """A grandfathered (rule, file) budget with its justification."""
+
+    rule: str
+    file: str
+    count: int
+    reason: str
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "file": self.file,
+            "count": self.count,
+            "reason": self.reason,
+        }
+
+
+def load_baseline(path: str | Path) -> list[BaselineEntry]:
+    """Read ``lint-baseline.json``; a missing file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    payload = json.loads(path.read_text())
+    entries = payload.get("entries", []) if isinstance(payload, dict) else []
+    out: list[BaselineEntry] = []
+    for raw in entries:
+        out.append(
+            BaselineEntry(
+                rule=str(raw["rule"]),
+                file=str(raw["file"]),
+                count=int(raw.get("count", 1)),
+                reason=str(raw.get("reason", "grandfathered")),
+            )
+        )
+    return out
+
+
+def apply_baseline(
+    violations: Sequence[Violation],
+    baseline: Sequence[BaselineEntry],
+) -> tuple[list[Violation], list[tuple[Violation, str]], list[BaselineEntry]]:
+    """Split findings into (fresh, grandfathered+reason, stale budget).
+
+    Budgets are per ``(rule, file)``: the first ``count`` findings of a
+    budgeted pair are grandfathered, anything beyond is fresh (fails),
+    and unused budget is stale — the finding was fixed, so the baseline
+    must be counted down for the ratchet to hold.
+    """
+    budgets: dict[tuple[str, str], int] = {}
+    reasons: dict[tuple[str, str], str] = {}
+    for entry in baseline:
+        key = (entry.rule, entry.file)
+        budgets[key] = budgets.get(key, 0) + entry.count
+        reasons.setdefault(key, entry.reason)
+    fresh: list[Violation] = []
+    grandfathered: list[tuple[Violation, str]] = []
+    for violation in violations:
+        key = (violation.rule, violation.file or "")
+        if budgets.get(key, 0) > 0:
+            budgets[key] -= 1
+            grandfathered.append((violation, reasons.get(key, "grandfathered")))
+        else:
+            fresh.append(violation)
+    stale = [
+        BaselineEntry(rule=rule, file=file, count=count,
+                      reason=reasons.get((rule, file), "grandfathered"))
+        for (rule, file), count in sorted(budgets.items())
+        if count > 0
+    ]
+    return fresh, grandfathered, stale
+
+
+def write_baseline(
+    path: str | Path,
+    violations: Sequence[Violation],
+    *,
+    previous: Sequence[BaselineEntry] = (),
+) -> list[BaselineEntry]:
+    """Rewrite the baseline from current findings, keeping old reasons."""
+    reasons = {(e.rule, e.file): e.reason for e in previous}
+    counts: dict[tuple[str, str], int] = {}
+    for violation in violations:
+        key = (violation.rule, violation.file or "")
+        counts[key] = counts.get(key, 0) + 1
+    entries = [
+        BaselineEntry(
+            rule=rule,
+            file=file,
+            count=count,
+            reason=reasons.get((rule, file), "grandfathered pending fix"),
+        )
+        for (rule, file), count in sorted(counts.items())
+    ]
+    payload = {"version": 1, "entries": [e.to_dict() for e in entries]}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return entries

@@ -511,15 +511,28 @@ def verify_plan_file(
     return inner
 
 
-def verify_cache_dir(root: str | Path) -> list[Report]:
+def verify_cache_dir(root: str | Path, *, purge: bool = False) -> list[Report]:
     """Verify every ``*.plan.json`` entry of a plan-cache directory.
 
     Each entry's file stem is its spec-hash key, so the identity check
-    (PV111) runs automatically against the file name.
+    (PV111) runs automatically against the file name. Both flat
+    ``PlanCache`` directories and sharded ``ShardedPlanCache`` layouts
+    (``shard-XX/`` subdirectories) are walked; a sharded entry's report
+    subject carries its ``shard-XX/`` prefix so per-shard damage is
+    attributable. With ``purge=True``, entries that fail verification
+    are deleted on the spot (the report still records the violations,
+    plus a ``PURGED`` marker in its subject).
     """
     root = Path(root)
     reports: list[Report] = []
-    for path in sorted(root.glob("*.plan.json")):
+    for path in sorted(root.rglob("*.plan.json")):
         key = path.name[: -len(".plan.json")]
-        reports.append(verify_plan_file(path, expected_spec_hash=key))
+        report = verify_plan_file(path, expected_spec_hash=key)
+        rel = path.relative_to(root)
+        if len(rel.parts) > 1:
+            report.subject = str(rel)
+        if purge and not report.ok:
+            path.unlink(missing_ok=True)
+            report.subject = f"{report.subject} [PURGED]"
+        reports.append(report)
     return reports

@@ -148,7 +148,8 @@ class ParallelFileSystem:
             # Each contiguous object run pays the per-request service
             # overhead at the OST; expressed as extra effective bytes so
             # the flow solver sees one consistent load.
-            overhead_bytes = float(runs) * self.storage.request_overhead * per_ost_cap
+            service_s = float(runs) * self.storage.request_overhead
+            overhead_bytes = service_s * per_ost_cap
             flows.append(
                 Flow(
                     size=float(nbytes),

@@ -17,6 +17,7 @@ and the JSON exporters can consume server counters unchanged.
 from __future__ import annotations
 
 import threading
+import time
 from bisect import bisect_left
 from typing import Any
 
@@ -99,6 +100,16 @@ class ServeMetrics:
         self._lock = threading.Lock()
         self.counters: dict[str, float] = {}
         self.endpoints: dict[str, LatencyHistogram] = {}
+        # Wall-clock reads are banned in the deterministic packages
+        # (L202); operator-facing serve timestamps are the documented
+        # exception — dashboards need real epochs, nothing downstream
+        # of the planner consumes them.
+        self.started_at = time.time()  # repro-lint: disable=L202
+
+    @property
+    def uptime_s(self) -> float:
+        """Seconds since this metrics registry was created."""
+        return max(time.time() - self.started_at, 0.0)  # repro-lint: disable=L202
 
     def count(self, name: str, value: float = 1.0) -> None:
         with self._lock:
@@ -120,7 +131,12 @@ class ServeMetrics:
         with self._lock:
             counters = dict(self.counters)
             endpoints = {name: h.to_dict() for name, h in self.endpoints.items()}
-        return {"counters": counters, "endpoints": endpoints}
+        return {
+            "counters": counters,
+            "endpoints": endpoints,
+            "started_at": self.started_at,
+            "uptime_s": self.uptime_s,
+        }
 
     def to_telemetry(self) -> Telemetry:
         """Bridge into the existing telemetry layer.

@@ -83,6 +83,7 @@ def fmt_bytes(n: float) -> str:
 
 def fmt_rate(bytes_per_s: float) -> str:
     """Render a bandwidth in MiB/s or GiB/s, matching the paper's figures."""
-    if bytes_per_s >= GiB:
-        return f"{bytes_per_s / GiB:.2f} GiB/s"
+    gib_per_s = bytes_per_s / GiB
+    if gib_per_s >= 1.0:
+        return f"{gib_per_s:.2f} GiB/s"
     return f"{bytes_per_s / MiB:.2f} MiB/s"

@@ -165,7 +165,9 @@ class HotSpotWorkload(SkewedWorkload):
         hot_bytes = max(int(total_bytes * hot_fraction), hot_ranks)
         cold_ranks = n_procs - hot_ranks
         cold_bytes = total_bytes - hot_bytes
-        if cold_bytes < cold_ranks:
+        # One byte per cold rank is the floor, so the rank count *is*
+        # the byte threshold here.
+        if cold_bytes < cold_ranks:  # repro-lint: disable=L320
             raise WorkloadError(
                 f"total_bytes {total_bytes} too small: {cold_ranks} cold "
                 f"ranks need at least one byte each after the hot share"

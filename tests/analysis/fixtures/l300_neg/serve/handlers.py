@@ -1,0 +1,28 @@
+"""L300 negatives: the idiomatic async equivalents stay silent."""
+
+import asyncio
+
+
+async def sleepy():
+    await asyncio.sleep(0.5)
+
+
+async def executor_hop(loop, pool, job):
+    # The blessed pattern: blocking work hops to the executor.
+    return await loop.run_in_executor(pool, job)
+
+
+def sync_helper(pool, job):
+    # Blocking in a *sync* function is fine — no event loop here.
+    return pool.submit(job).result()
+
+
+def sync_file_io(path):
+    with open(path) as fh:
+        return fh.read()
+
+
+async def rebound(pool, job):
+    fut = pool.submit(job)
+    fut = None  # re-binding kills the future tag
+    return fut

@@ -1,0 +1,28 @@
+"""L300 positives: blocking calls reachable inside async def bodies."""
+
+import http.client
+import time
+
+
+async def sleepy():
+    time.sleep(0.5)  # blocks the event loop
+
+
+async def chained(pool, job):
+    return pool.submit(job).result()  # executor future, awaited wrong
+
+
+async def tracked(pool, job):
+    fut = pool.submit(job)
+    return fut.result()  # flow-tracked across the assignment
+
+
+async def sync_http(host):
+    conn = http.client.HTTPConnection(host)
+    conn.request("GET", "/metrics")
+    return conn.getresponse()
+
+
+async def file_io(path):
+    with open(path) as fh:
+        return fh.read()

@@ -1,0 +1,28 @@
+"""L301 negatives: reads, locals, and shadowed names stay silent."""
+
+_RESULTS: dict[str, int] = {}
+_LIMITS = {"points": 100}
+
+# Module-scope initialization is the one legal write site.
+_RESULTS["warm"] = 0
+_LIMITS.update(budget=10)
+
+
+def read(key):
+    return _RESULTS.get(key)  # reads are fine
+
+
+def local_scratch():
+    _RESULTS = {}  # function-local shadow, not the module global
+    _RESULTS["x"] = 1
+    return _RESULTS
+
+
+def param_shadow(_QUEUE):
+    _QUEUE.append(1)  # parameter, not module state
+    return _QUEUE
+
+
+def loop_shadow(items):
+    for _LIMITS in items:  # loop target shadows the global
+        _LIMITS.update(x=1)

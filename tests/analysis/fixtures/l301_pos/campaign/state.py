@@ -1,0 +1,22 @@
+"""L301 positives: module-level mutables written from function scope."""
+
+_RESULTS: dict[str, int] = {}
+_QUEUE = []
+_TOTAL = 0
+
+
+def record(key, value):
+    _RESULTS[key] = value  # item assignment on a module global
+
+
+def enqueue(item):
+    _QUEUE.append(item)  # mutating method on a module global
+
+
+def bump(n):
+    global _TOTAL
+    _TOTAL = _TOTAL + n  # rebinding via an explicit global declaration
+
+
+def forget(key):
+    del _RESULTS[key]  # item deletion on a module global

@@ -1,0 +1,36 @@
+"""L302 negatives: ordered, sequential, or released acquisitions."""
+
+import threading
+
+
+class Ledger:
+    def __init__(self, n):
+        self._lock = threading.Lock()
+        self._counter_lock = threading.Lock()
+        self._locks = [threading.Lock() for _ in range(n)]
+
+    def ascending_shards(self):
+        with self._locks[0]:
+            with self._locks[2]:  # ordered by constant shard index
+                pass
+
+    def sorted_gather(self, indexes):
+        # Accumulating acquires is safe when the index is ascending:
+        # the loop variable is bound by sorted(), so iteration N+1's
+        # shard index is provably greater than iteration N's.
+        for i in sorted(indexes):
+            self._locks[i].acquire()
+        for i in sorted(indexes):
+            self._locks[i].release()
+
+    def sequential(self):
+        with self._locks[1]:
+            pass
+        with self._counter_lock:  # first lock released at with-exit
+            pass
+
+    def release_then_acquire(self):
+        self._lock.acquire()
+        self._lock.release()
+        self._counter_lock.acquire()  # nothing held any more
+        self._counter_lock.release()

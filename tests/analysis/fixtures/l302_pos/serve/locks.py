@@ -1,0 +1,39 @@
+"""L302 positives: nested acquires without shard-index ordering."""
+
+import threading
+
+
+class Ledger:
+    def __init__(self, n):
+        self._lock = threading.Lock()
+        self._counter_lock = threading.Lock()
+        self._locks = [threading.Lock() for _ in range(n)]
+
+    def nested_distinct(self):
+        with self._lock:
+            with self._counter_lock:  # unordered second acquire
+                pass
+
+    def descending_shards(self):
+        with self._locks[1]:
+            with self._locks[0]:  # wrong order: 1 then 0
+                pass
+
+    def explicit_acquire(self):
+        self._lock.acquire()
+        self._counter_lock.acquire()  # second acquire while held
+        self._counter_lock.release()
+        self._lock.release()
+
+    def unsorted_gather(self, indexes):
+        for i in indexes:  # no sorted() — acquisition order unknown
+            self._locks[i].acquire()
+        for i in indexes:
+            self._locks[i].release()
+
+    def held_across_branch(self, flag):
+        self._lock.acquire()
+        if flag:
+            self._lock.release()
+        with self._counter_lock:  # still held on the other path
+            pass

@@ -1,0 +1,32 @@
+"""L310 negatives: every seed traces to SeedSequence/spec material."""
+
+import numpy as np
+
+DEFAULT_SEED = 20120907
+
+
+def from_spec(spec):
+    return np.random.default_rng(spec.seed)  # spec field
+
+
+def from_param(seed):
+    return np.random.default_rng(seed)  # seed-named parameter
+
+
+def from_constant():
+    return np.random.default_rng(DEFAULT_SEED)  # module constant
+
+
+def through_sequence(spec):
+    seq = np.random.SeedSequence(spec.seed)  # tracked across assignment
+    return np.random.default_rng(seq)
+
+
+def spawned_children(spec, n):
+    seq = np.random.SeedSequence(entropy=spec.seed, spawn_key=(3, n))
+    children = seq.spawn(4)
+    return [np.random.default_rng(child) for child in children]
+
+
+def derived_arithmetic(base_seed, rank):
+    return np.random.default_rng(base_seed + rank * 1000)

@@ -1,0 +1,34 @@
+"""L310 positives: RNGs whose seeds do not trace to trusted sources."""
+
+import random
+import time
+
+import numpy as np
+
+
+def unseeded():
+    return np.random.default_rng()  # OS entropy
+
+
+def wall_clock_seed():
+    # L202 (wall-clock read) is suppressed so the taint finding stands alone.
+    return np.random.default_rng(int(time.time()))  # repro-lint: disable=L202
+
+
+def tainted_through_assignment():
+    entropy_now = time.time_ns()  # repro-lint: disable=L202
+    seed = entropy_now % 1000
+    return np.random.default_rng(seed)  # taint survives arithmetic
+
+
+def untracked_seed(payload):
+    material = payload.checksum  # nothing marks this as seed material
+    return np.random.default_rng(material)
+
+
+def hidden_global():
+    return random.random()  # module-global RNG state
+
+
+def legacy_numpy():
+    return np.random.rand(3)  # legacy global stream

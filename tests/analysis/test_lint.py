@@ -1,15 +1,18 @@
 """Determinism/unit lint: the shipped tree is clean, seeded sins fire.
 
 Fixture snippets are written into a fake package layout under tmp_path
-(``core/`` counts as a deterministic package, ``campaign/`` does not) so
+(``core/`` counts as a deterministic package, ``metrics/`` does not) so
 the restricted-package gating is exercised, not just the AST matching.
+The flow-sensitive families (L300/L310/L320) have their own dedicated
+test modules; this one covers the front end — scoping, suppressions,
+selection — and the per-node L20x rules.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
 
-from repro.analysis import LINT_RULES, lint_file, lint_paths
+from repro.analysis import LINT_RULES, RESTRICTED_PACKAGES, lint_file, lint_paths
 
 REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
 
@@ -38,14 +41,15 @@ def test_syntax_error_is_l200(tmp_path):
     assert rules_fired(lint_paths([root])) == {"L200"}
 
 
-def test_unseeded_random_in_core_is_l201(tmp_path):
+def test_unseeded_random_in_core_is_l310(tmp_path):
+    # The historical L201 cases now fire as L310 (taint analysis).
     root = write_tree(tmp_path, {
         "core/a.py": "import random\nx = random.random()\n",
         "core/b.py": "import numpy as np\nnp.random.shuffle([1])\n",
         "core/c.py": "import random\nrng = random.Random()\n",
     })
     report = lint_paths([root])
-    assert rules_fired(report) == {"L201"}
+    assert rules_fired(report) == {"L310"}
     assert len(report.violations) == 3
 
 
@@ -62,10 +66,32 @@ def test_seeded_rng_is_allowed(tmp_path):
 
 
 def test_rng_outside_restricted_packages_is_allowed(tmp_path):
+    # metrics/ is not in the deterministic set (campaign now is).
     root = write_tree(tmp_path, {
-        "campaign/jitter.py": "import random\nx = random.random()\n",
+        "metrics/jitter.py": "import random\nx = random.random()\n",
     })
     assert lint_paths([root]).ok
+
+
+def test_campaign_and_serve_joined_restricted_set():
+    assert {"serve", "client", "campaign", "cluster"} <= RESTRICTED_PACKAGES
+    assert {"core", "io", "sim", "faults"} <= RESTRICTED_PACKAGES
+
+
+def test_wallclock_in_campaign_is_l202(tmp_path):
+    # Scope extension: campaign joined the deterministic set.
+    root = write_tree(tmp_path, {
+        "campaign/clock.py": "import time\nt = time.time()\n",
+    })
+    assert rules_fired(lint_paths([root])) == {"L202"}
+
+
+def test_top_level_client_module_is_restricted(tmp_path):
+    # client is a top-level module (client.py), matched by stem.
+    root = write_tree(tmp_path, {
+        "client.py": "import time\nt = time.time()\n",
+    })
+    assert rules_fired(lint_paths([root])) == {"L202"}
 
 
 def test_wallclock_in_sim_is_l202(tmp_path):
@@ -88,7 +114,8 @@ def test_perf_counter_is_not_wallclock(tmp_path):
     assert lint_paths([root]).ok
 
 
-def test_unit_mixing_is_l203(tmp_path):
+def test_unit_mixing_is_l320(tmp_path):
+    # The historical L203 cases now fire as L320 (dimension lattice).
     root = write_tree(tmp_path, {
         "util/mix.py": (
             "def f(cap_mib, used_bytes):\n"
@@ -109,7 +136,7 @@ def test_unit_mixing_is_l203(tmp_path):
         ),
     })
     report = lint_paths([root])
-    assert rules_fired(report) == {"L203"}
+    assert rules_fired(report) == {"L320"}
     assert len(report.violations) == 4
 
 
@@ -162,7 +189,7 @@ def test_suppression_comment_disables_rule(tmp_path):
     root = write_tree(tmp_path, {
         "core/sup.py": (
             "import random\n"
-            "x = random.random()  # repro-lint: disable=L201\n"
+            "x = random.random()  # repro-lint: disable=L310\n"
             "y = random.random()  # repro-lint: disable=all\n"
             "z = random.random()  # repro-lint: disable=L202\n"  # wrong code
         ),
@@ -170,6 +197,39 @@ def test_suppression_comment_disables_rule(tmp_path):
     report = lint_paths([root])
     assert len(report.violations) == 1
     assert report.violations[0].line == 4
+
+
+def test_suppression_family_wildcard(tmp_path):
+    # L3xx silences the whole flow family but not the L20x rules.
+    root = write_tree(tmp_path, {
+        "core/wild.py": (
+            "import random, time\n"
+            "x = random.random()  # repro-lint: disable=L3xx\n"
+            "t = time.time()  # repro-lint: disable=L3xx\n"  # L202 stays
+        ),
+    })
+    report = lint_paths([root])
+    assert rules_fired(report) == {"L202"}
+    assert len(report.violations) == 1
+
+
+def test_suppression_mixed_old_and_new_on_one_line(tmp_path):
+    # Comma list combining an L20x code and an L3xx wildcard.
+    root = write_tree(tmp_path, {
+        "core/both.py": (
+            "import random, time\n"
+            "x = random.random() + time.time()"
+            "  # repro-lint: disable=L202,L3xx\n"
+        ),
+        "core/partial.py": (
+            "import random, time\n"
+            "y = random.random() + time.time()"
+            "  # repro-lint: disable=L202,L999\n"  # L310 not covered
+        ),
+    })
+    report = lint_paths([root])
+    assert rules_fired(report) == {"L310"}
+    assert [v.file for v in report.violations] == ["core/partial.py"]
 
 
 def test_rule_selection_filters(tmp_path):
@@ -192,4 +252,9 @@ def test_lint_file_single_path(tmp_path):
 
 
 def test_every_rule_documented():
-    assert set(LINT_RULES) == {"L200", "L201", "L202", "L203", "L204", "L205"}
+    assert set(LINT_RULES) == {
+        "L200", "L201", "L202", "L203", "L204", "L205",
+        "L300", "L301", "L302", "L310", "L320",
+    }
+    for code in ("L201", "L203"):
+        assert "deprecated" in LINT_RULES[code]

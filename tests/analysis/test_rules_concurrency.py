@@ -1,0 +1,66 @@
+"""L300/L301/L302 concurrency rules against the committed fixture pairs."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import lint_paths
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def fired(root: Path) -> set[str]:
+    return {v.rule for v in lint_paths([root]).violations}
+
+
+def violations(root: Path):
+    return lint_paths([root]).violations
+
+
+class TestL300AsyncBlocking:
+    def test_positive_fixture_fires_only_l300(self):
+        assert fired(FIXTURES / "l300_pos") == {"L300"}
+
+    def test_negative_fixture_is_clean(self):
+        report = lint_paths([FIXTURES / "l300_neg"])
+        assert report.ok, report.render()
+
+    def test_each_blocking_shape_is_caught(self):
+        msgs = "\n".join(v.message for v in violations(FIXTURES / "l300_pos"))
+        assert "time.sleep" in msgs
+        # chained submit(...).result() and the tracked-future variant
+        assert msgs.count("result") >= 2
+        # sync HTTP round-trip methods
+        assert "request" in msgs or "getresponse" in msgs
+        assert "open" in msgs
+
+    def test_findings_carry_locations(self):
+        for v in violations(FIXTURES / "l300_pos"):
+            assert v.file.endswith("handlers.py")
+            assert v.line > 0
+
+
+class TestL301SharedState:
+    def test_positive_fixture_fires_only_l301(self):
+        assert fired(FIXTURES / "l301_pos") == {"L301"}
+
+    def test_negative_fixture_is_clean(self):
+        report = lint_paths([FIXTURES / "l301_neg"])
+        assert report.ok, report.render()
+
+    def test_covers_rebind_mutation_and_delete(self):
+        msgs = [v.message for v in violations(FIXTURES / "l301_pos")]
+        assert len(msgs) >= 4  # item assign, .append, global rebind, del
+
+
+class TestL302LockOrder:
+    def test_positive_fixture_fires_only_l302(self):
+        assert fired(FIXTURES / "l302_pos") == {"L302"}
+
+    def test_negative_fixture_is_clean(self):
+        report = lint_paths([FIXTURES / "l302_neg"])
+        assert report.ok, report.render()
+
+    def test_descending_shard_acquire_is_flagged(self):
+        lines = {v.line: v.message for v in violations(FIXTURES / "l302_pos")}
+        assert any("while holding" in m or "held" in m for m in lines.values())

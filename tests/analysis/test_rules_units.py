@@ -1,0 +1,99 @@
+"""L320 unit-dimension rule against the committed fixture pair."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import lint_paths
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def fired(root: Path) -> set[str]:
+    return {v.rule for v in lint_paths([root]).violations}
+
+
+def violations(root: Path):
+    return lint_paths([root]).violations
+
+
+class TestL320Fixtures:
+    def test_positive_fixture_fires_only_l320(self):
+        assert fired(FIXTURES / "l320_pos") == {"L320"}
+
+    def test_negative_fixture_is_clean(self):
+        report = lint_paths([FIXTURES / "l320_neg"])
+        assert report.ok, report.render()
+
+    def test_every_positive_function_is_caught(self):
+        # One finding per offending function in the fixture.
+        assert len(violations(FIXTURES / "l320_pos")) >= 7
+
+
+class TestL320TmpTrees:
+    @staticmethod
+    def _lint(tmp_path: Path, body: str, rel: str = "fs/layout.py"):
+        path = tmp_path / "pkg" / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(body)
+        return lint_paths([tmp_path / "pkg"])
+
+    def test_runs_outside_restricted_packages_too(self, tmp_path):
+        # Unlike L300/L310, unit checking applies to every package.
+        report = self._lint(
+            tmp_path,
+            "def f(a_bytes, b_s):\n    return a_bytes + b_s\n",
+            rel="metrics/span.py",
+        )
+        assert {v.rule for v in report.violations} == {"L320"}
+
+    def test_rate_times_seconds_is_bytes(self, tmp_path):
+        report = self._lint(
+            tmp_path,
+            "def f(bw_per_s, window_s, cap_bytes):\n"
+            "    moved_bytes = bw_per_s * window_s\n"
+            "    return moved_bytes + cap_bytes\n",
+        )
+        assert report.ok, report.render()
+
+    def test_bytes_over_seconds_is_rate(self, tmp_path):
+        report = self._lint(
+            tmp_path,
+            "def f(n_bytes, dt_s, link_per_s):\n"
+            "    measured = n_bytes / dt_s\n"
+            "    return measured < link_per_s\n",
+        )
+        assert report.ok, report.render()
+
+    def test_assignment_suffix_mismatch(self, tmp_path):
+        report = self._lint(
+            tmp_path,
+            "def f(window_s):\n"
+            "    total_bytes = window_s\n"
+            "    return total_bytes\n",
+        )
+        assert {v.rule for v in report.violations} == {"L320"}
+
+    def test_augmented_assign_mix(self, tmp_path):
+        report = self._lint(
+            tmp_path,
+            "def f(acc_bytes, lat_us):\n"
+            "    acc_bytes += lat_us\n"
+            "    return acc_bytes\n",
+        )
+        assert {v.rule for v in report.violations} == {"L320"}
+
+    def test_module_level_statements_are_checked(self, tmp_path):
+        report = self._lint(
+            tmp_path,
+            "LIMIT_BYTES = 10\nWINDOW_S = 2\nslack = LIMIT_BYTES - WINDOW_S\n",
+        )
+        assert {v.rule for v in report.violations} == {"L320"}
+
+    def test_inline_suppression(self, tmp_path):
+        report = self._lint(
+            tmp_path,
+            "def f(a_bytes, n_ranks):\n"
+            "    return a_bytes < n_ranks  # repro-lint: disable=L320\n",
+        )
+        assert report.ok, report.render()

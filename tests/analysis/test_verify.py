@@ -254,3 +254,55 @@ def test_collective_plan_objects_accepted(mutation, rule):
     data = plan_to_dict(plan)
     mutation(data)
     assert rule in rules_fired(verify_plan(data))
+
+
+def test_verify_cache_dir_sharded_layout_with_purge(tmp_path):
+    """ShardedPlanCache layouts verify per shard; poisoned entries purge.
+
+    One poisoned entry per shard must be reported with its shard-XX/
+    prefix and deleted by purge=True, while the good entry in the same
+    shard survives untouched.
+    """
+    from repro.serve import ShardedPlanCache
+
+    cache = ShardedPlanCache(tmp_path, shards=3)
+    per_shard: dict[int, list[str]] = {0: [], 1: [], 2: []}
+    n = 0
+    while any(len(keys) < 2 for keys in per_shard.values()):
+        key = f"{n:08x}"
+        index = cache.shard_index(key)
+        if len(per_shard[index]) < 2:
+            cache.put(key, make_plan(spec_hash=key))
+            per_shard[index].append(key)
+        n += 1
+
+    def entry(index: int, key: str):
+        return tmp_path / f"shard-{index:02x}" / f"{key}.plan.json"
+
+    for index, keys in per_shard.items():
+        entry(index, keys[0]).write_text("not json{")
+
+    reports = verify_cache_dir(tmp_path, purge=True)
+    assert len(reports) == 6
+    bad = [r for r in reports if not r.ok]
+    assert len(bad) == 3
+    bad_shards = set()
+    for report in bad:
+        assert "[PURGED]" in report.subject
+        assert report.subject.startswith("shard-")
+        bad_shards.add(report.subject.split("/", 1)[0])
+    assert bad_shards == {"shard-00", "shard-01", "shard-02"}
+    for index, keys in per_shard.items():
+        assert not entry(index, keys[0]).exists()  # poisoned -> purged
+        assert entry(index, keys[1]).exists()  # good entry untouched
+
+
+def test_verify_cache_dir_without_purge_keeps_entries(tmp_path):
+    (tmp_path / "shard-00").mkdir()
+    poisoned = tmp_path / "shard-00" / "deadbeef.plan.json"
+    poisoned.write_text("not json{")
+    reports = verify_cache_dir(tmp_path)
+    assert len(reports) == 1
+    assert not reports[0].ok
+    assert "PURGED" not in reports[0].subject
+    assert poisoned.exists()

@@ -383,7 +383,8 @@ class TestLint:
         bad.parent.mkdir()
         bad.write_text("import random\nx = random.random()\n")
         assert main(["lint", str(tmp_path)]) == 1
-        assert "L201" in capsys.readouterr().out
+        # the flow-sensitive L310 subsumed the old L201 heuristic
+        assert "L310" in capsys.readouterr().out
 
     def test_json_format(self, tmp_path, capsys):
         bad = tmp_path / "sim" / "bad.py"
@@ -399,13 +400,57 @@ class TestLint:
         bad.write_text("import random, time\nx = random.random()\nt = time.time()\n")
         assert main(["lint", str(tmp_path), "--select", "L202"]) == 1
         out = capsys.readouterr().out
-        assert "L202" in out and "L201" not in out
+        assert "L202" in out and "L310" not in out
 
     def test_rules_listing(self, capsys):
         assert main(["lint", "--rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("L200", "L201", "L202", "L203", "L204", "L205"):
+        for code in (
+            "L200", "L201", "L202", "L203", "L204", "L205",
+            "L300", "L301", "L302", "L310", "L320",
+        ):
             assert code in out
+
+    def test_sarif_format(self, tmp_path, capsys):
+        bad = tmp_path / "core" / "bad.py"
+        bad.parent.mkdir()
+        bad.write_text("import random\nx = random.random()\n")
+        assert main(["lint", str(tmp_path), "--format", "sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"][0]["ruleId"] == "L310"
+
+    def test_update_baseline_grandfathers_findings(self, tmp_path, capsys):
+        bad = tmp_path / "pkg" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import random\nx = random.random()\n")
+        baseline = tmp_path / "baseline.json"
+        root = str(tmp_path / "pkg")
+        assert main(
+            ["lint", root, "--baseline", str(baseline), "--update-baseline"]
+        ) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        # grandfathered finding no longer fails the run
+        assert main(["lint", root, "--baseline", str(baseline)]) == 0
+        assert "grandfathered" in capsys.readouterr().out
+
+    def test_stale_baseline_fails(self, tmp_path, capsys):
+        clean = tmp_path / "pkg" / "core" / "ok.py"
+        clean.parent.mkdir(parents=True)
+        clean.write_text("x = 1\n")
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "version": 1,
+            "entries": [
+                {"rule": "L310", "file": "core/gone.py", "count": 1,
+                 "reason": "fixed long ago"},
+            ],
+        }))
+        assert main(
+            ["lint", str(tmp_path / "pkg"), "--baseline", str(baseline)]
+        ) == 1
+        assert "stale" in capsys.readouterr().err
 
 
 class TestServe:
